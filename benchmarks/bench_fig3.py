@@ -1,0 +1,60 @@
+"""Figure 3: four unconditional watchpoint implementations."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import figure3, format_figure
+from repro.harness.report import headline_summary
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+def test_figure3(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure3(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure3", format_figure(result))
+    record(results_dir, "headline", headline_summary(result))
+
+    dise = [c for c in result.cells if c.backend == "dise"]
+    stepping = [c for c in result.cells if c.backend == "single_step"]
+
+    # Single-stepping: thousands to tens of thousands of times slower
+    # (paper: 6,000x-40,000x).
+    assert all(c.overhead > 2_000 for c in stepping)
+    assert max(c.overhead for c in stepping) > 20_000
+
+    # DISE: "typically limits debugging overhead to 25% or less" —
+    # check the median; HOT watchpoints may run higher.
+    overheads = sorted(c.overhead for c in dise)
+    assert overheads[len(overheads) // 2] < 1.35
+    assert all(c.overhead < 10 for c in dise)
+
+    # DISE never generates spurious transitions.
+    assert all(c.spurious_transitions == 0 for c in dise)
+
+    # INDIRECT is DISE-only (no VM/hardware bars in the paper).
+    for bench in BENCHMARK_NAMES:
+        assert result.cell(benchmark=bench, kind="INDIRECT",
+                           backend="virtual_memory").overhead is None
+        assert result.cell(benchmark=bench, kind="INDIRECT",
+                           backend="hardware").overhead is None
+        assert result.cell(benchmark=bench, kind="INDIRECT",
+                           backend="dise").overhead is not None
+        # RANGE has no hardware-register bar either.
+        assert result.cell(benchmark=bench, kind="RANGE",
+                           backend="hardware").overhead is None
+
+    # Hardware registers suffer on silent-store-heavy HOT watchpoints
+    # ("in all HOT benchmarks—save bzip2").
+    for bench in ("crafty", "mcf", "twolf", "vortex"):
+        assert result.overhead(benchmark=bench, kind="HOT",
+                               backend="hardware") > 20
+    assert result.overhead(benchmark="bzip2", kind="HOT",
+                           backend="hardware") < 20
+
+    # VM is erratic: nearly free for COLD/bzip2, catastrophic for
+    # WARM1/bzip2 (page shared with hot unwatched data).
+    assert result.overhead(benchmark="bzip2", kind="COLD",
+                           backend="virtual_memory") < 10
+    assert result.overhead(benchmark="bzip2", kind="WARM1",
+                           backend="virtual_memory") > 1_000
+    for bench in ("twolf", "vortex"):
+        assert result.overhead(benchmark=bench, kind="COLD",
+                               backend="virtual_memory") > 100

@@ -1,0 +1,25 @@
+"""Figure 5: DISE vs static binary rewriting (I-cache effects)."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import figure5, format_figure
+
+
+def test_figure5(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure5(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure5", format_figure(result))
+
+    def gap(bench):
+        return (result.overhead(benchmark=bench, backend="binary_rewrite")
+                - result.overhead(benchmark=bench, backend="dise"))
+
+    # Comparable performance for small instruction footprints...
+    for bench in ("bzip2", "crafty", "mcf"):
+        assert abs(gap(bench)) < 0.6, bench
+    # ...but the inflated static image degrades I-cache behaviour
+    # considerably for the large-footprint programs.
+    for bench in ("gcc", "twolf", "vortex"):
+        assert gap(bench) > 0.25, bench
+    # The worst large-footprint gap clearly exceeds the worst small one.
+    assert max(gap(b) for b in ("gcc", "twolf", "vortex")) > \
+        2 * max(abs(gap(b)) for b in ("bzip2", "crafty", "mcf"))

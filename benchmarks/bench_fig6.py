@@ -1,0 +1,48 @@
+"""Figure 6: impact of the number of watchpoints."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import FIG6_BENCHMARKS, figure6, format_figure
+
+
+def test_figure6(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure6(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure6", format_figure(result))
+
+    for bench in FIG6_BENCHMARKS:
+        # Within register capacity the hardware mechanism is near-free
+        # and at least competitive with DISE.
+        for count in (1, 2, 3, 4):
+            assert result.overhead(benchmark=bench, kind=f"N={count}",
+                                   backend="hardware") < 3
+        # Once the VM fallback kicks in, every DISE strategy wins by
+        # orders of magnitude (paper: "at least three orders").
+        for count in (5, 8, 16):
+            hw = result.overhead(benchmark=bench, kind=f"N={count}",
+                                 backend="hardware")
+            for strategy in ("dise-serial", "dise-bloom-byte",
+                             "dise-bloom-bit"):
+                dise = result.overhead(benchmark=bench, kind=f"N={count}",
+                                       backend=strategy)
+                assert hw > 100 * dise, (bench, count, strategy)
+                assert dise < 10
+
+        # DISE strategies have flat, predictable cost: the 16-watchpoint
+        # Bloom configurations stay within a small factor of the
+        # 1-watchpoint serial cost.
+        serial_1 = result.overhead(benchmark=bench, kind="N=1",
+                                   backend="dise-serial")
+        for strategy in ("dise-bloom-byte", "dise-bloom-bit"):
+            assert result.overhead(benchmark=bench, kind="N=16",
+                                   backend=strategy) < 6 * serial_1
+
+        # Serial matching grows with the watch count; the constant-
+        # length Bloom sequences overtake it at high counts.
+        serial_16 = result.overhead(benchmark=bench, kind="N=16",
+                                    backend="dise-serial")
+        bloom_16 = min(
+            result.overhead(benchmark=bench, kind="N=16",
+                            backend="dise-bloom-byte"),
+            result.overhead(benchmark=bench, kind="N=16",
+                            backend="dise-bloom-bit"))
+        assert bloom_16 <= serial_16 * 1.2

@@ -1,0 +1,42 @@
+"""Figure 7: alternate DISE replacement-sequence organizations."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import (FIG7_BENCHMARKS, figure7, format_figure)
+
+
+def test_figure7(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure7(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure7", format_figure(result))
+
+    kinds = ("HOT", "WARM1", "WARM2", "COLD")
+    pairs = (("MA/EE +ccall", "MA/EE -ccall"),
+             ("EE/-- +ctrap", "EE/-- -ctrap"),
+             ("MAV/-- +ctrap", "MAV/-- -ctrap"))
+
+    # "the unavailability of conditional calls and traps results in
+    # considerably higher overhead, regardless of the replacement
+    # sequence/function organization."
+    for bench in FIG7_BENCHMARKS:
+        for kind in kinds:
+            for with_isa, without_isa in pairs:
+                fast = result.overhead(benchmark=bench, kind=kind,
+                                       backend=with_isa)
+                slow = result.overhead(benchmark=bench, kind=kind,
+                                       backend=without_isa)
+                assert slow > fast, (bench, kind, with_isa)
+
+    # With conditional ISA support every variant stays modest.
+    for cell in result.cells:
+        if "+c" in cell.backend:
+            assert cell.overhead < 6
+
+    # Match-Address-Value never loads and never calls: for HOT
+    # watchpoints it avoids the function-call flushes that burden
+    # Match-Address/Evaluate-Expression.
+    for bench in FIG7_BENCHMARKS:
+        mav = result.overhead(benchmark=bench, kind="HOT",
+                              backend="MAV/-- +ctrap")
+        ma = result.overhead(benchmark=bench, kind="HOT",
+                             backend="MA/EE +ccall")
+        assert mav <= ma * 1.05, bench

@@ -1,0 +1,34 @@
+"""Figure 8: multithreaded DISE function calls."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import figure8, format_figure
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+def test_figure8(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure8(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure8", format_figure(result))
+
+    def overheads(bench, kind):
+        return (result.overhead(benchmark=bench, kind=kind,
+                                backend="dise"),
+                result.overhead(benchmark=bench, kind=kind,
+                                backend="dise-mt"))
+
+    # Multithreading never hurts.
+    for cell in result.cells:
+        if cell.backend == "dise":
+            mt = result.overhead(benchmark=cell.benchmark, kind=cell.kind,
+                                 backend="dise-mt")
+            assert mt <= cell.overhead * 1.05
+
+    # HOT watchpoints (frequent address matches -> frequent calls)
+    # benefit substantially; bzip2's overhead drops by roughly half.
+    plain, mt = overheads("bzip2", "HOT")
+    assert (mt - 1) < 0.6 * (plain - 1)
+
+    # COLD watchpoints barely call the function: little to gain.
+    for bench in BENCHMARK_NAMES:
+        plain, mt = overheads(bench, "COLD")
+        assert abs(plain - mt) < 0.25, bench

@@ -1,0 +1,22 @@
+"""Figure 9: cost of protecting debugger structures."""
+
+from benchmarks.conftest import record
+from repro.harness.figures import figure9, format_figure
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+
+def test_figure9(benchmark, bench_settings, results_dir):
+    result = benchmark.pedantic(lambda: figure9(bench_settings),
+                                rounds=1, iterations=1)
+    record(results_dir, "figure9", format_figure(result))
+
+    for bench in BENCHMARK_NAMES:
+        plain = result.overhead(benchmark=bench, kind="COLD",
+                                backend="dise")
+        protected = result.overhead(benchmark=bench, kind="COLD",
+                                    backend="dise-protected")
+        # Protection costs something but remains modest (paper: "the
+        # protection contributes only a modest additional overhead").
+        assert protected >= plain * 0.98
+        assert protected - plain < 0.8, bench
+        assert protected < 2.5, bench

@@ -1,0 +1,49 @@
+"""Tables 1 & 2: benchmark summary and watchpoint write frequencies."""
+
+from benchmarks.conftest import record
+from repro.harness.tables import (PAPER_TABLE2, format_table1, format_table2,
+                                  table1)
+
+
+def test_table1_and_table2(benchmark, bench_settings, results_dir):
+    rows = benchmark.pedantic(lambda: table1(bench_settings),
+                              rounds=1, iterations=1)
+    record(results_dir, "table1", format_table1(rows))
+    record(results_dir, "table2", format_table2(rows))
+
+    by_name = {row.name: row for row in rows}
+    # Table 1 shape: store densities within 35% of the paper's, IPC
+    # ordering preserved (mcf lowest by far, bzip2/crafty/vortex high).
+    for row in rows:
+        assert row.store_density == _approx(row.paper_store_density, 0.35)
+    assert by_name["mcf"].ipc < 0.6
+    assert by_name["mcf"].ipc < 0.6 * min(
+        row.ipc for row in rows if row.name != "mcf")
+    assert by_name["bzip2"].ipc > 1.5
+
+    # Table 2 shape: HOT ordering across benchmarks and the
+    # within-benchmark HOT > WARM1 > WARM2 hierarchy (only where the
+    # expected event count is statistically meaningful for the run).
+    for row in rows:
+        freq = row.write_freq
+        stores = row.instructions * row.store_density
+        assert freq["HOT"] == _approx(PAPER_TABLE2[row.name]["HOT"], 0.5)
+
+        def expected_events(kind):
+            return PAPER_TABLE2[row.name][kind] / 100_000.0 * stores
+
+        if expected_events("WARM1") >= 20:
+            assert freq["HOT"] > freq["WARM1"]
+        if expected_events("WARM1") >= 20 and expected_events("WARM2") >= 20:
+            assert freq["WARM1"] > freq["WARM2"]
+    # Silent stores: every HOT except bzip2's is >= 40% silent.
+    for row in rows:
+        if row.name == "bzip2":
+            assert row.silent_fraction["HOT"] < 0.2
+        else:
+            assert row.silent_fraction["HOT"] >= 0.4
+
+
+def _approx(expected, rel):
+    import pytest
+    return pytest.approx(expected, rel=rel)

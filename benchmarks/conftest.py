@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper,
+asserts its qualitative shape, records a text rendering under
+``benchmarks/results/``, and reports wall-clock time through
+pytest-benchmark.  Budgets honour the ``REPRO_SCALE`` environment
+variable (1.0 = the default ~50K measured instructions per cell).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiment import ExperimentSettings
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    return ExperimentSettings.scaled()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendered exhibit and echo it to stdout."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

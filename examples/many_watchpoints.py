@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Scaling the number of watchpoints (the paper's Figure 6 scenario).
+
+A user debugging a data-corruption bug often wants to watch *many*
+locations at once — every element of a suspect structure, say.  The
+hardware-register mechanism holds four addresses and then falls back to
+page protection; DISE just grows (or Bloom-hashes) its replacement
+sequence.
+
+Run:  python examples/many_watchpoints.py
+"""
+
+from repro import DebugSession, build_benchmark
+from repro.harness.figures import FIG6_WATCH_ORDER
+
+
+def run_config(backend: str, count: int, **options) -> float:
+    program = build_benchmark("crafty")
+    session = DebugSession(program, backend=backend, **options)
+    for expression in FIG6_WATCH_ORDER[:count]:
+        session.watch(expression)
+    result = session.run(max_app_instructions=30_000, run_baseline=True)
+    return result.overhead
+
+
+def main() -> None:
+    configs = [
+        ("hardware registers (+VM)", "hardware", {}),
+        ("DISE serial match", "dise", {"multi_strategy": "serial"}),
+        ("DISE bytewise Bloom", "dise", {"multi_strategy": "bloom-byte"}),
+        ("DISE bitwise Bloom", "dise", {"multi_strategy": "bloom-bit"}),
+    ]
+    counts = (1, 2, 4, 5, 8, 16)
+
+    header = f"{'watchpoints':>24s}" + "".join(f"{n:>10d}" for n in counts)
+    print(header)
+    for label, backend, options in configs:
+        cells = []
+        for count in counts:
+            overhead = run_config(backend, count, **options)
+            cells.append(f"{overhead:10,.2f}")
+        print(f"{label:>24s}" + "".join(cells))
+
+    print()
+    print("Past four watchpoints the register mechanism leans on page")
+    print("protection and collapses; every DISE strategy keeps constant,")
+    print("low overhead because the address checks ride along inside")
+    print("the application's own instruction stream.")
+
+
+if __name__ == "__main__":
+    main()

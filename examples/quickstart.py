@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Quickstart: set a watchpoint with the DISE backend and measure it.
+
+Builds the synthetic ``bzip2`` benchmark (a stand-in for the paper's
+generateMTFValues function), watches its frequently-written ``hot``
+variable under the DISE backend, and compares execution time against an
+undebugged baseline — the paper's core measurement.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DebugSession, build_benchmark
+
+
+def main() -> None:
+    program = build_benchmark("bzip2")
+
+    session = DebugSession(program, backend="dise")
+    session.watch("hot")
+
+    result = session.run(max_app_instructions=60_000, run_baseline=True)
+
+    print("=== DISE watchpoint on bzip2/hot ===")
+    print(f"overhead vs undebugged run : {result.overhead:.3f}x "
+          f"({result.overhead - 1:+.1%})")
+    print(f"user transitions           : {result.user_transitions}")
+    print(f"spurious transitions       : {result.spurious_transitions}")
+    stats = result.stats
+    print(f"application instructions   : {stats.app_instructions:,}")
+    print(f"DISE-inserted instructions : {stats.dise_instructions:,}")
+    print(f"handler-function instrs    : {stats.function_instructions:,}")
+    print(f"store expansions           : {stats.dise_expansions:,}")
+    print()
+    print("Every store was dynamically expanded with an address check;")
+    print("the expression was re-evaluated in-application only on")
+    print("matches, so no spurious debugger transitions occurred.")
+
+
+if __name__ == "__main__":
+    main()

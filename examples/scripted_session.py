@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Drive the interactive debugger shell from a script.
+
+:class:`~repro.debugger.repl.DebuggerShell` executes one command per
+call and returns its output, so an entire debugging session — the
+workflow the paper's introduction describes, with execution stopping at
+each masked user transition — can be captured in a few lines.
+
+Run:  python examples/scripted_session.py
+"""
+
+from repro.debugger.repl import DebuggerShell
+from repro.workloads import build_benchmark
+
+SESSION = [
+    "info backend",
+    "watch warm2",
+    "break loop_top if warm1 == 2001",
+    "info watchpoints",
+    "run",          # stops at the first hit
+    "print warm2",
+    "continue",     # ... and the next
+    "overhead",
+    "info stats",
+]
+
+
+def main() -> None:
+    shell = DebuggerShell(build_benchmark("twolf"), backend="dise")
+    for command in SESSION:
+        print(f"(dise-db) {command}")
+        output = shell.execute(command)
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Reproduction of "Low-Overhead Interactive Debugging via Dynamic
+Instrumentation with DISE" (Corliss, Lewis & Roth, HPCA-11, 2005).
+
+Public API tour:
+
+* :class:`repro.Machine` -- the simulated Alpha-like machine with the
+  DISE engine between fetch and execute.
+* :class:`repro.DebugSession` -- set (conditional) watchpoints and
+  breakpoints, pick one of the five backend implementations, run, and
+  read back overhead and transition statistics.
+* :func:`repro.build_benchmark` -- the six synthetic SPEC2000 stand-ins.
+* :mod:`repro.harness` -- regenerate every table and figure.
+
+Quickstart::
+
+    from repro import DebugSession, build_benchmark
+
+    session = DebugSession(build_benchmark("bzip2"), backend="dise")
+    session.watch("hot", condition="hot == 4096")
+    result = session.run(max_app_instructions=100_000, run_baseline=True)
+    print(result.summary())
+"""
+
+from repro.config import MachineConfig, DEFAULT_CONFIG
+from repro.cpu.machine import Machine, RunResult, TrapEvent, TrapKind
+from repro.cpu.stats import SimStats, TransitionKind
+from repro.debugger.session import DebugSession, SessionResult
+from repro.debugger.watchpoint import Watchpoint, Breakpoint
+from repro.dise import (DiseController, DiseEngine, Pattern, Production, T,
+                        template)
+from repro.isa import CodeBuilder, Instruction, Program, assemble
+from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
+                                        build_benchmark)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "DEFAULT_CONFIG",
+    "Machine",
+    "RunResult",
+    "TrapEvent",
+    "TrapKind",
+    "SimStats",
+    "TransitionKind",
+    "DebugSession",
+    "SessionResult",
+    "Watchpoint",
+    "Breakpoint",
+    "DiseController",
+    "DiseEngine",
+    "Pattern",
+    "Production",
+    "T",
+    "template",
+    "CodeBuilder",
+    "Instruction",
+    "Program",
+    "assemble",
+    "BENCHMARK_NAMES",
+    "WATCHPOINT_KINDS",
+    "build_benchmark",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Result analysis and presentation.
+
+* :mod:`repro.analysis.textchart` -- log-scale text bar charts of
+  figure results (the paper plots Figures 3/4/6 on log axes).
+* :mod:`repro.analysis.summary` -- geometric means and per-backend
+  aggregation of experiment grids.
+"""
+
+from repro.analysis.textchart import render_chart
+from repro.analysis.summary import (backend_geomeans, geomean,
+                                    summarize_figure)
+
+__all__ = [
+    "render_chart",
+    "geomean",
+    "backend_geomeans",
+    "summarize_figure",
+]

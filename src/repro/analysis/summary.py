@@ -1,0 +1,86 @@
+"""Aggregation helpers for experiment grids.
+
+Normalized execution times are ratios, so the geometric mean is the
+appropriate aggregate (the arithmetic mean of a 40,000x and a 1.1x cell
+says nothing useful).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.harness.figures import FigureResult
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; raises on empty or non-positive input."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class BackendSummary:
+    """Aggregate view of one backend across a grid."""
+
+    backend: str
+    cells: int
+    unsupported: int
+    geomean_overhead: float
+    min_overhead: float
+    max_overhead: float
+    spurious_transitions: int
+
+    def describe(self) -> str:
+        """One-line text rendering of the aggregate."""
+        return (f"{self.backend:16s} geomean {self.geomean_overhead:12,.2f}x"
+                f"  range [{self.min_overhead:,.2f}, "
+                f"{self.max_overhead:,.2f}]"
+                f"  spurious {self.spurious_transitions:,}"
+                + (f"  ({self.unsupported} unsupported)"
+                   if self.unsupported else ""))
+
+
+def backend_geomeans(result: FigureResult) -> dict[str, BackendSummary]:
+    """Per-backend aggregate overheads for a figure grid."""
+    by_backend: dict[str, list] = {}
+    for cell in result.cells:
+        by_backend.setdefault(cell.backend, []).append(cell)
+    summaries = {}
+    for backend, cells in by_backend.items():
+        supported = [c.overhead for c in cells if c.overhead is not None]
+        if not supported:
+            continue
+        summaries[backend] = BackendSummary(
+            backend=backend,
+            cells=len(cells),
+            unsupported=sum(1 for c in cells if c.overhead is None),
+            geomean_overhead=geomean(supported),
+            min_overhead=min(supported),
+            max_overhead=max(supported),
+            spurious_transitions=sum(c.spurious_transitions for c in cells),
+        )
+    return summaries
+
+
+def summarize_figure(result: FigureResult,
+                     baseline_backend: Optional[str] = None) -> str:
+    """A text summary: per-backend geomeans plus relative factors."""
+    summaries = backend_geomeans(result)
+    lines = [f"{result.name}: {result.description}"]
+    for summary in summaries.values():
+        lines.append("  " + summary.describe())
+    if baseline_backend and baseline_backend in summaries:
+        reference = summaries[baseline_backend].geomean_overhead
+        for backend, summary in summaries.items():
+            if backend == baseline_backend:
+                continue
+            factor = summary.geomean_overhead / reference
+            lines.append(f"  {backend} is {factor:,.1f}x the geomean "
+                         f"overhead of {baseline_backend}")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Log-scale text bar charts for figure results.
+
+The paper plots its big comparisons (Figures 3, 4, and 6) on log axes
+because the implementations differ by four to five orders of magnitude.
+:func:`render_chart` does the same in plain text so the contrast is
+visible straight from a terminal::
+
+    bzip2/HOT
+      single_step     |########################################  63,799
+      virtual_memory  |#########################                 624.8
+      hardware        |                                          1.00
+      dise            |####                                      2.98
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.harness.figures import FigureResult
+
+_BAR_WIDTH = 44
+_FILL = "#"
+
+
+def _bar(overhead: Optional[float], max_overhead: float) -> str:
+    if overhead is None:
+        return "(unsupported)"
+    # Log scale anchored at 1.0 (no overhead): values below ~1 get no
+    # bar; the grid maximum fills the full width.
+    span = math.log10(max(max_overhead, 10.0))
+    magnitude = math.log10(max(overhead, 1.0))
+    filled = int(round(_BAR_WIDTH * magnitude / span))
+    label = f"{overhead:,.0f}" if overhead >= 100 else f"{overhead:.2f}"
+    return _FILL * filled + " " + label
+
+
+def render_chart(result: FigureResult,
+                 max_overhead: Optional[float] = None) -> str:
+    """Render ``result`` as grouped log-scale text bars."""
+    overheads = [c.overhead for c in result.cells if c.overhead]
+    if not overheads:
+        return f"{result.name}: no supported cells"
+    ceiling = max_overhead or max(overheads)
+
+    backends: list[str] = []
+    for cell in result.cells:
+        if cell.backend not in backends:
+            backends.append(cell.backend)
+    label_width = max(len(b) for b in backends) + 2
+
+    groups: dict[tuple[str, str], dict[str, object]] = {}
+    for cell in result.cells:
+        groups.setdefault((cell.benchmark, cell.kind), {})[cell.backend] = \
+            cell.overhead
+
+    lines = [f"{result.name} (log scale, 1.0 = no overhead)"]
+    for (bench, kind), row in groups.items():
+        lines.append(f"{bench}/{kind}")
+        for backend in backends:
+            if backend not in row:
+                continue
+            lines.append(f"  {backend:<{label_width}s}|"
+                         f"{_bar(row[backend], ceiling)}")
+    return "\n".join(lines)

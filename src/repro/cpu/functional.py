@@ -1,0 +1,78 @@
+"""Pure instruction semantics: ALU operations and branch conditions.
+
+These helpers are side-effect free so they can be unit- and
+property-tested in isolation; :class:`repro.cpu.machine.Machine` applies
+them to architectural state.  All values are 64-bit unsigned integers;
+signed interpretations are applied where an opcode demands them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.isa.opcodes import Opcode
+
+MASK64 = (1 << 64) - 1
+SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 64-bit unsigned value as two's-complement signed."""
+    return value - (1 << 64) if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate a Python integer to its 64-bit unsigned representation."""
+    return value & MASK64
+
+
+def alu_result(opcode: Opcode, a: int, b: int) -> int:
+    """Compute ``a OP b`` for operate-format opcodes (64-bit wrap)."""
+    if opcode is Opcode.ADDQ:
+        return (a + b) & MASK64
+    if opcode is Opcode.SUBQ:
+        return (a - b) & MASK64
+    if opcode is Opcode.MULQ:
+        return (a * b) & MASK64
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.BIS:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.BIC:
+        return a & ~b & MASK64
+    if opcode is Opcode.SLL:
+        return (a << (b & 63)) & MASK64
+    if opcode is Opcode.SRL:
+        return (a >> (b & 63)) & MASK64
+    if opcode is Opcode.SRA:
+        return to_unsigned(to_signed(a) >> (b & 63))
+    if opcode is Opcode.CMPEQ:
+        return 1 if a == b else 0
+    if opcode is Opcode.CMPLT:
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if opcode is Opcode.CMPLE:
+        return 1 if to_signed(a) <= to_signed(b) else 0
+    if opcode is Opcode.CMPULT:
+        return 1 if a < b else 0
+    if opcode is Opcode.CMPULE:
+        return 1 if a <= b else 0
+    raise SimulationError(f"{opcode.name} is not an ALU opcode")
+
+
+def branch_taken(opcode: Opcode, value: int) -> bool:
+    """Evaluate a conditional branch on its source register value."""
+    if opcode is Opcode.BEQ:
+        return value == 0
+    if opcode is Opcode.BNE:
+        return value != 0
+    signed = to_signed(value)
+    if opcode is Opcode.BLT:
+        return signed < 0
+    if opcode is Opcode.BGE:
+        return signed >= 0
+    if opcode is Opcode.BLE:
+        return signed <= 0
+    if opcode is Opcode.BGT:
+        return signed > 0
+    raise SimulationError(f"{opcode.name} is not a conditional branch")

@@ -1,0 +1,571 @@
+"""The simulated machine: fetch, DISE expansion, execute, trap delivery.
+
+:class:`Machine` executes a :class:`~repro.isa.program.Program`
+functionally, in program order, while streaming events into a
+:class:`~repro.cpu.timing.TimingModel`.  The DISE engine sits between
+fetch and execute exactly as in the paper: every *fetched* instruction
+is offered to the engine, and a match substitutes the instantiated
+replacement sequence, whose elements execute with DISEPC semantics:
+
+* taken DISE branches move only the DISEPC and cost a pipeline flush
+  (implemented via the misprediction-recovery path);
+* ``d_call``/``d_ccall`` save ``<PC : DISEPC+1>``, flush, and redirect
+  fetch to conventional code with DISE expansion disabled;
+* ``d_ret`` restores the saved pair, flushes, and re-enables expansion;
+* conventional control transfers inside a sequence jump to
+  ``<newPC : 0>``, abandoning the rest of the sequence.
+
+The machine also implements the non-DISE debugging substrates the paper
+compares against: hardware watchpoint/breakpoint registers (trap on
+matching store/fetch), page-protection faults (via the
+:class:`~repro.memory.pagetable.PageTable`), and statement-granularity
+single-stepping.  All such events are delivered to a single
+``trap_handler`` callback — the "debugger process" — which classifies
+the transition (:class:`~repro.cpu.stats.TransitionKind`); the timing
+model then charges it (spurious: flush + 100,000 cycles; user: free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, unique
+from typing import Callable, Optional
+
+from repro.config import MachineConfig, DEFAULT_CONFIG
+from repro.errors import SimulationError
+from repro.cpu.functional import MASK64, alu_result, branch_taken
+from repro.cpu.stats import SimStats, TransitionKind
+from repro.cpu.timing import TimingModel
+from repro.dise.controller import DiseController
+from repro.dise.engine import DiseEngine
+from repro.dise.registers import DiseRegisterFile
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, OpClass
+from repro.isa.program import (INSTRUCTION_BYTES, Program, STACK_TOP,
+                               STACK_BYTES, TEXT_BASE)
+from repro.isa.registers import DISE_REG_BASE, SP, ZERO_REG
+from repro.memory.main_memory import MainMemory
+from repro.memory.pagetable import PageTable
+
+
+@unique
+class TrapKind(Enum):
+    """Why control crossed into the debugger."""
+
+    TRAP = "trap"  # explicit trap/ctrap instruction
+    HW_WATCHPOINT = "hw_watchpoint"  # hardware watchpoint register match
+    BREAKPOINT = "breakpoint"  # breakpoint register match at fetch
+    PAGE_FAULT = "page_fault"  # store to a write-protected page
+    SINGLE_STEP = "single_step"  # statement-granularity stepping
+
+
+@dataclass
+class TrapEvent:
+    """Context delivered to the trap handler."""
+
+    kind: TrapKind
+    pc: int
+    address: int = 0  # faulting/matching store address (when relevant)
+    size: int = 0
+    value: int = 0  # value being stored (when relevant)
+
+
+TrapHandler = Callable[[TrapEvent], TransitionKind]
+
+_SPURIOUS = frozenset({
+    TransitionKind.SPURIOUS_ADDRESS,
+    TransitionKind.SPURIOUS_VALUE,
+    TransitionKind.SPURIOUS_PREDICATE,
+})
+
+
+@dataclass
+class RunResult:
+    """Outcome of a :meth:`Machine.run` call."""
+
+    stats: SimStats
+    halted: bool
+    stopped_at_user: bool = False
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    def overhead_vs(self, baseline: "RunResult") -> float:
+        """Execution time normalized to ``baseline`` (1.0 = no overhead)."""
+        if baseline.stats.cycles == 0:
+            raise ValueError("baseline has zero cycles")
+        return self.stats.cycles / baseline.stats.cycles
+
+
+class Machine:
+    """A single-core machine running one program."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig | None = None,
+        trap_handler: Optional[TrapHandler] = None,
+        detailed_timing: bool = True,
+    ):
+        self.config = config or DEFAULT_CONFIG
+        self.program = program
+        self.memory = MainMemory()
+        self.pagetable = PageTable(self.config.page_bytes)
+        self.dise_engine = DiseEngine()
+        self.dise_controller = DiseController(self.dise_engine,
+                                              self.config.dise,
+                                              process_name=program.name)
+        self.dise_regs = DiseRegisterFile(self.config.dise.num_dise_registers)
+        self.timing: Optional[TimingModel] = (
+            TimingModel(self.config) if detailed_timing else None)
+        self.stats = SimStats()
+        self.trap_handler = trap_handler
+
+        # Debugging substrates.
+        self.hw_watch_ranges: list[tuple[int, int]] = []  # [lo, hi) ranges
+        self.breakpoint_registers: set[int] = set()
+        self.single_step = False
+        self.statement_pcs: frozenset[int] = frozenset()
+
+        # Optional store observer (used for workload characterization).
+        self.store_observer: Optional[Callable[[int, int, int, int], None]] = None
+
+        # PCs of statically inserted instrumentation (binary rewriting):
+        # they commit and cost cycles but do not count as application
+        # work, so run limits compare equal application progress.
+        self.instrumentation_pcs: frozenset[int] = frozenset()
+
+        # Optional per-instruction observer (used by the tracer):
+        # callable(pc, disepc, instruction, is_dise_inserted).
+        self.instruction_observer = None
+
+        # Interactive mode: pause execution when a trap classifies as a
+        # user transition (the debugger hands control to the user).
+        self.stop_on_user = False
+        self.stopped_at_user = False
+
+        # Architectural state.
+        self.regs = [0] * 32
+        self.pc = 0
+        self.halted = False
+
+        # DISE expansion state.
+        self._expansion: Optional[list[Instruction]] = None
+        self._exp_index = 0
+        self._trigger_pc = 0
+        self._in_dise_function = False
+        self._dise_return: Optional[tuple[int, list[Instruction], int]] = None
+
+        self._load_program()
+
+    # -- setup -------------------------------------------------------------
+
+    def _load_program(self) -> None:
+        program = self.program
+        self._text: list[Instruction] = program.instructions
+        self._text_base = TEXT_BASE
+        for item in program.data_items:
+            symbol = program.symbols[item.name]
+            if item.init:
+                self.memory.write_bytes(symbol.address, item.init)
+        self.regs[SP] = STACK_TOP
+        self.pc = program.entry_pc
+        self.statement_pcs = frozenset(
+            program.pc_of_index(i) for i in program.statement_starts)
+
+    def reload_text(self) -> None:
+        """Re-read the program's instruction list (after appends)."""
+        self._text = self.program.instructions
+        self.statement_pcs = frozenset(
+            self.program.pc_of_index(i)
+            for i in self.program.statement_starts)
+
+    def load_appended_data(self) -> None:
+        """Write initializers of data items appended after construction."""
+        for item in self.program.data_items:
+            symbol = self.program.symbols[item.name]
+            if item.init:
+                self.memory.write_bytes(symbol.address, item.init)
+
+    def reset_stats(self) -> None:
+        """Start a fresh measurement interval (e.g. after warm-up).
+
+        Architectural and microarchitectural state is preserved; only
+        statistics and the cycle counter restart.
+        """
+        self.stats = SimStats()
+        if self.timing is not None:
+            self.timing.reset_counters()
+
+    # -- register helpers -----------------------------------------------------
+
+    def _read_reg(self, reg: int, dise_ok: bool) -> int:
+        if reg == ZERO_REG:
+            return 0
+        if reg < DISE_REG_BASE:
+            return self.regs[reg]
+        if not dise_ok:
+            raise SimulationError(
+                "conventional instruction read DISE register "
+                f"dr{reg - DISE_REG_BASE} at pc={self.pc:#x}")
+        return self.dise_regs.read(reg - DISE_REG_BASE)
+
+    def _write_reg(self, reg: int, value: int, dise_ok: bool) -> None:
+        if reg == ZERO_REG:
+            return
+        if reg < DISE_REG_BASE:
+            self.regs[reg] = value & MASK64
+            return
+        if not dise_ok:
+            raise SimulationError(
+                "conventional instruction wrote DISE register "
+                f"dr{reg - DISE_REG_BASE} at pc={self.pc:#x}")
+        self.dise_regs.write(reg - DISE_REG_BASE, value)
+
+    # -- trap delivery ----------------------------------------------------------
+
+    def deliver_trap(self, event: TrapEvent) -> TransitionKind:
+        """Route a trap to the debugger; classify, account, and charge it."""
+        self.stats.traps += 1
+        if self.trap_handler is None:
+            kind = TransitionKind.NONE
+        else:
+            kind = self.trap_handler(event)
+        self.stats.record_transition(kind)
+        if self.timing is not None and kind is not TransitionKind.NONE:
+            self.timing.debugger_transition(kind in _SPURIOUS)
+        if kind is TransitionKind.USER and self.stop_on_user:
+            self.stopped_at_user = True
+        return kind
+
+    # -- execution -----------------------------------------------------------------
+
+    def run(self, max_app_instructions: Optional[int] = None) -> RunResult:
+        """Run until halt or until the application has committed
+        ``max_app_instructions`` instructions.
+
+        The limit counts *application* instructions only, so different
+        debugger implementations execute identical application work
+        (paper methodology: "simulate the same number of instructions
+        for each experiment").
+        """
+        limit = max_app_instructions if max_app_instructions is not None else -1
+        stats = self.stats
+        timing = self.timing
+        regs = self.regs
+        memory = self.memory
+        pagetable = self.pagetable
+        engine = self.dise_engine
+        text = self._text
+        text_base = self._text_base
+        free_nops = self.config.free_nops
+
+        self.stopped_at_user = False
+        while not self.halted:
+            if limit >= 0 and stats.app_instructions >= limit:
+                break
+            if self.stopped_at_user:
+                break
+
+            expansion = self._expansion
+            if expansion is not None:
+                inst = expansion[self._exp_index]
+                is_dise = True
+            else:
+                pc = self.pc
+                index = (pc - text_base) >> 2
+                if index < 0 or index >= len(text):
+                    raise SimulationError(f"fetch outside text: pc={pc:#x}")
+                inst = text[index]
+                if self.breakpoint_registers and pc in self.breakpoint_registers:
+                    self.deliver_trap(TrapEvent(TrapKind.BREAKPOINT, pc))
+                if self.single_step and pc in self.statement_pcs:
+                    self.deliver_trap(TrapEvent(TrapKind.SINGLE_STEP, pc))
+                if timing is not None:
+                    timing.fetch(pc)
+                if (engine.enabled and engine._productions
+                        and not self._in_dise_function):
+                    seq = engine.expand(inst, pc)
+                    if seq is not None:
+                        stats.dise_expansions += 1
+                        self._expansion = expansion = seq
+                        self._exp_index = 0
+                        self._trigger_pc = pc
+                        inst = seq[0]
+                        is_dise = True
+                    else:
+                        is_dise = False
+                else:
+                    is_dise = False
+
+            self._execute(inst, is_dise, stats, timing, regs, memory,
+                          pagetable, free_nops)
+
+        stats.cycles = timing.total_cycles if timing is not None else \
+            stats.total_instructions
+        return RunResult(stats=stats, halted=self.halted,
+                         stopped_at_user=self.stopped_at_user)
+
+    # pylint: disable=too-many-branches,too-many-statements
+    def _execute(self, inst: Instruction, is_dise: bool, stats, timing,
+                 regs, memory, pagetable, free_nops: bool) -> None:
+        """Execute one instruction and update fetch state."""
+        observer = self.instruction_observer
+        if observer is not None:
+            observer(self.pc, self._exp_index if is_dise else 0, inst,
+                     is_dise)
+        opclass = inst.info.opclass
+        opcode = inst.opcode
+
+        # -- account the committed instruction -----------------------------
+        if opclass is OpClass.NOP and free_nops:
+            stats.nops_elided += 1
+            self._advance()
+            return
+        if is_dise:
+            if self._exp_index == 0:
+                stats.app_instructions += 1
+            else:
+                stats.dise_instructions += 1
+        elif self._in_dise_function:
+            stats.function_instructions += 1
+        elif self.instrumentation_pcs and self.pc in self.instrumentation_pcs:
+            stats.dise_instructions += 1
+        else:
+            stats.app_instructions += 1
+        if timing is not None:
+            timing.commit()
+
+        dise_ok = is_dise  # may DISE registers be named as operands?
+
+        if opclass is OpClass.ALU:
+            if inst.info.format is Format.MEMORY:  # lda
+                base = self._read_reg(inst.rs1, dise_ok)
+                self._write_reg(inst.rd, (base + inst.imm) & MASK64, dise_ok)
+            elif opcode is Opcode.MOV:
+                self._write_reg(inst.rd, self._read_reg(inst.rs1, dise_ok),
+                                dise_ok)
+            else:
+                a = self._read_reg(inst.rs1, dise_ok)
+                b = (self._read_reg(inst.rs2, dise_ok)
+                     if inst.rs2 is not None else inst.imm & MASK64)
+                self._write_reg(inst.rd, alu_result(opcode, a, b), dise_ok)
+            self._advance()
+            return
+
+        if opclass is OpClass.LOAD:
+            base = self._read_reg(inst.rs1, dise_ok)
+            ea = (base + inst.imm) & MASK64
+            size = inst.info.mem_size
+            value = memory.read_int(ea, size)
+            self._write_reg(inst.rd, value, dise_ok)
+            stats.loads += 1
+            if timing is not None:
+                timing.load(ea)
+            self._advance()
+            return
+
+        if opclass is OpClass.STORE:
+            base = self._read_reg(inst.rs1, dise_ok)
+            ea = (base + inst.imm) & MASK64
+            size = inst.info.mem_size
+            value = self._read_reg(inst.rd, dise_ok)
+            self.last_store_addr = ea
+            self.last_store_size = size
+            self.last_store_value = value
+            stats.stores += 1
+            if timing is not None:
+                timing.store(ea)
+            observer = self.store_observer
+            if observer is not None:
+                observer(ea, size, value, memory.read_int(ea, size))
+            faulted = pagetable.any_protected and pagetable.check_store(ea, size)
+            memory.write_int(ea, size, value)
+            if faulted:
+                stats.page_fault_traps += 1
+                self.deliver_trap(TrapEvent(TrapKind.PAGE_FAULT, self.pc,
+                                            ea, size, value))
+            if self.hw_watch_ranges:
+                end = ea + size
+                for lo, hi in self.hw_watch_ranges:
+                    if ea < hi and end > lo:
+                        self.deliver_trap(TrapEvent(
+                            TrapKind.HW_WATCHPOINT, self.pc, ea, size, value))
+                        break
+            self._advance()
+            return
+
+        if opclass is OpClass.BRANCH:
+            value = self._read_reg(inst.rs1, dise_ok)
+            taken = branch_taken(opcode, value)
+            stats.branches += 1
+            if timing is not None:
+                # Decorrelate predictor indices of expansion-internal
+                # branches from the trigger's own PC.
+                branch_pc = self.pc + (self._exp_index << 20 if is_dise else 0)
+                timing.conditional_branch(branch_pc, taken)
+            if taken:
+                stats.taken_branches += 1
+                self._jump(inst.target)
+            else:
+                self._advance()
+            return
+
+        if opclass is OpClass.JUMP:
+            self._execute_jump(inst, opcode, dise_ok, timing)
+            return
+
+        if opclass is OpClass.TRAP:
+            if opcode is Opcode.CTRAP:
+                if self._read_reg(inst.rs1, dise_ok) == 0:
+                    self._advance()
+                    return
+            self.deliver_trap(TrapEvent(TrapKind.TRAP, self.pc,
+                                        self.last_store_addr,
+                                        self.last_store_size,
+                                        self.last_store_value))
+            self._advance()
+            return
+
+        if opclass is OpClass.DISE_BRANCH:
+            self._execute_dise_branch(inst, opcode, stats, timing)
+            return
+
+        if opclass is OpClass.DISE_CALL:
+            taken = True
+            if opcode is Opcode.D_CCALL:
+                taken = self._read_reg(inst.rs1, True) != 0
+            if not taken:
+                self._advance()
+                return
+            if self._expansion is None:
+                raise SimulationError("DISE call outside a replacement "
+                                      f"sequence at pc={self.pc:#x}")
+            self._dise_return = (self._trigger_pc, self._expansion,
+                                 self._exp_index + 1)
+            self._in_dise_function = True
+            self._expansion = None
+            suppressed = timing.dise_call() if timing is not None else True
+            if not suppressed:
+                stats.dise_call_flushes += 1
+            self.pc = inst.target
+            return
+
+        if opclass is OpClass.DISE_RET:
+            if not self._in_dise_function or self._dise_return is None:
+                raise SimulationError(
+                    f"d_ret outside a DISE-called function at pc={self.pc:#x}")
+            trigger_pc, expansion, resume = self._dise_return
+            self._dise_return = None
+            self._in_dise_function = False
+            if timing is not None:
+                timing.dise_return()
+                stats.dise_call_flushes += 0 if timing.multithreaded else 1
+            if resume >= len(expansion):
+                self._expansion = None
+                self.pc = trigger_pc + INSTRUCTION_BYTES
+            else:
+                self._expansion = expansion
+                self._exp_index = resume
+                self._trigger_pc = trigger_pc
+            return
+
+        if opclass is OpClass.DISE_MOVE:
+            if not self._in_dise_function:
+                raise SimulationError(
+                    f"{inst.info.mnemonic} outside a DISE-called function "
+                    f"at pc={self.pc:#x}")
+            if opcode is Opcode.D_MFR:
+                self._write_reg(inst.rd, self.dise_regs.read(inst.imm), False)
+            else:  # D_MTR
+                self.dise_regs.write(inst.imm,
+                                     self._read_reg(inst.rs1, False))
+            self._advance()
+            return
+
+        if opclass is OpClass.NOP:
+            self._advance()
+            return
+
+        if opclass is OpClass.HALT:
+            self.halted = True
+            return
+
+        if opclass is OpClass.CODEWORD:
+            raise SimulationError(
+                f"codeword {inst.imm} executed without a matching DISE "
+                f"production at pc={self.pc:#x}")
+
+        raise SimulationError(f"unhandled opcode {opcode.name}")
+
+    # -- store context for trap handlers -------------------------------------
+
+    last_store_addr: int = 0
+    last_store_size: int = 0
+    last_store_value: int = 0
+
+    # -- control-flow helpers --------------------------------------------------
+
+    def _advance(self) -> None:
+        if self._expansion is not None:
+            self._exp_index += 1
+            if self._exp_index >= len(self._expansion):
+                self._expansion = None
+                self.pc = self._trigger_pc + INSTRUCTION_BYTES
+        else:
+            self.pc += INSTRUCTION_BYTES
+
+    def _jump(self, target: int) -> None:
+        """Conventional control transfer: <newPC : 0>."""
+        self._expansion = None
+        self.pc = target
+
+    def _execute_jump(self, inst: Instruction, opcode: Opcode,
+                      dise_ok: bool, timing) -> None:
+        if opcode is Opcode.BR:
+            if timing is not None:
+                timing.direct_jump()
+            self._jump(inst.target)
+            return
+        if opcode is Opcode.JSR:
+            if self._expansion is not None:
+                return_pc = self._trigger_pc + INSTRUCTION_BYTES
+            else:
+                return_pc = self.pc + INSTRUCTION_BYTES
+            self._write_reg(inst.rd, return_pc, dise_ok)
+            if timing is not None:
+                timing.call(self.pc, return_pc)
+            self._jump(inst.target)
+            return
+        target = self._read_reg(inst.rs1, dise_ok)
+        if opcode is Opcode.RET:
+            if timing is not None:
+                timing.return_(self.pc, target)
+            self._jump(target)
+            return
+        # JMP
+        if timing is not None:
+            timing.indirect_jump(self.pc, target)
+        self._jump(target)
+
+    def _execute_dise_branch(self, inst: Instruction, opcode: Opcode,
+                             stats, timing) -> None:
+        if self._expansion is None:
+            raise SimulationError("DISE branch outside a replacement "
+                                  f"sequence at pc={self.pc:#x}")
+        if opcode is Opcode.D_BR:
+            taken = True
+        else:
+            value = self._read_reg(inst.rs1, True)
+            taken = (value == 0) if opcode is Opcode.D_BEQ else (value != 0)
+        if not taken:
+            self._advance()
+            return
+        stats.dise_branch_flushes += 1
+        if timing is not None:
+            timing.dise_branch_taken()
+        self._exp_index += 1 + inst.imm
+        if self._exp_index >= len(self._expansion):
+            self._expansion = None
+            self.pc = self._trigger_pc + INSTRUCTION_BYTES

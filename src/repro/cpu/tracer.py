@@ -1,0 +1,120 @@
+"""Dynamic-instruction tracing with DISEPC annotations.
+
+A development and teaching aid: attach a :class:`Tracer` to a machine
+and every committed instruction is recorded as ``<PC:DISEPC>`` plus its
+disassembly — the exact pair the paper uses to describe replacement-
+sequence execution ("instructions are associated with a <PC:DISEPC>
+pair, where PC is the PC of the trigger and DISEPC is the index of the
+replacement instruction within its sequence (0 for unexpanded
+instructions)").
+
+The trace is a bounded ring buffer so it can stay attached to long
+runs; filters restrict recording to DISE-inserted instructions or to a
+PC window.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.machine import Machine
+from repro.isa.instruction import Instruction
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One committed instruction."""
+
+    sequence: int  # commit order
+    pc: int
+    disepc: int
+    text: str
+    is_dise: bool
+
+    def render(self) -> str:
+        """One formatted trace line."""
+        origin = "D" if self.is_dise else " "
+        return (f"{self.sequence:8d}  <{self.pc:#08x}:{self.disepc}> "
+                f"{origin} {self.text}")
+
+
+class Tracer:
+    """Records the machine's committed instruction stream."""
+
+    def __init__(self, machine: Machine, capacity: int = 4096,
+                 dise_only: bool = False,
+                 pc_range: Optional[tuple[int, int]] = None):
+        self.machine = machine
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.dise_only = dise_only
+        self.pc_range = pc_range
+        self.committed = 0
+        self._attached = False
+
+    # -- attachment ----------------------------------------------------------
+
+    def attach(self) -> "Tracer":
+        """Install this tracer as the machine's instruction observer."""
+        if self.machine.instruction_observer is not None:
+            raise RuntimeError("machine already has an instruction observer")
+        self.machine.instruction_observer = self._observe
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove this tracer from the machine."""
+        if self._attached:
+            self.machine.instruction_observer = None
+            self._attached = False
+
+    def __enter__(self) -> "Tracer":
+        return self.attach()
+
+    def __exit__(self, *exc_info) -> None:
+        self.detach()
+
+    # -- recording --------------------------------------------------------------
+
+    def _observe(self, pc: int, disepc: int, inst: Instruction,
+                 is_dise: bool) -> None:
+        self.committed += 1
+        if self.dise_only and not is_dise:
+            return
+        if self.pc_range is not None:
+            lo, hi = self.pc_range
+            if not lo <= pc < hi:
+                return
+        self.records.append(TraceRecord(self.committed, pc, disepc,
+                                        inst.disassemble(), is_dise))
+
+    # -- presentation ---------------------------------------------------------------
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Render the recorded stream (optionally only the last N lines)."""
+        records = list(self.records)
+        if last is not None:
+            records = records[-last:]
+        return "\n".join(record.render() for record in records)
+
+    def expansions(self) -> list[list[TraceRecord]]:
+        """Group DISE records into their replacement sequences."""
+        groups: list[list[TraceRecord]] = []
+        current: list[TraceRecord] = []
+        for record in self.records:
+            if not record.is_dise:
+                if current:
+                    groups.append(current)
+                    current = []
+                continue
+            if record.disepc == 0 and current:
+                groups.append(current)
+                current = []
+            current.append(record)
+        if current:
+            groups.append(current)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self.records)

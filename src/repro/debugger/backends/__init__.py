@@ -1,0 +1,55 @@
+"""Watchpoint/breakpoint backend implementations.
+
+The five implementations the paper compares (Section 5):
+
+=====================  ====================================================
+``single_step``        Statement-granularity stepping; the debugger checks
+                       everything at every statement.
+``virtual_memory``     mprotect-based: write-protect pages holding watched
+                       data; classify each fault.
+``hardware``           Hardware watchpoint registers (4, quad granularity),
+                       falling back to virtual memory beyond four.
+``binary_rewrite``     Static binary transformation: the check sequence is
+                       inlined at every store; code is fetched and occupies
+                       the I-cache.
+``dise``               DISE productions expand stores dynamically; a
+                       debugger-generated function evaluates expressions
+                       and conditions inside the application.
+=====================  ====================================================
+"""
+
+from repro.debugger.backends.base import DebuggerBackend
+from repro.debugger.backends.single_step import SingleStepBackend
+from repro.debugger.backends.virtual_memory import VirtualMemoryBackend
+from repro.debugger.backends.hardware import HardwareRegisterBackend
+from repro.debugger.backends.binary_rewrite import BinaryRewriteBackend
+from repro.debugger.backends.dise_backend import DiseBackend
+
+BACKENDS = {
+    SingleStepBackend.name: SingleStepBackend,
+    VirtualMemoryBackend.name: VirtualMemoryBackend,
+    HardwareRegisterBackend.name: HardwareRegisterBackend,
+    BinaryRewriteBackend.name: BinaryRewriteBackend,
+    DiseBackend.name: DiseBackend,
+}
+
+
+def backend_class(name: str) -> type[DebuggerBackend]:
+    """Look up a backend implementation by name."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; choose from {sorted(BACKENDS)}")
+
+
+__all__ = [
+    "DebuggerBackend",
+    "SingleStepBackend",
+    "VirtualMemoryBackend",
+    "HardwareRegisterBackend",
+    "BinaryRewriteBackend",
+    "DiseBackend",
+    "BACKENDS",
+    "backend_class",
+]

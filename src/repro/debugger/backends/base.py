@@ -1,0 +1,136 @@
+"""Backend base class.
+
+A backend realizes a set of watchpoints/breakpoints with a concrete
+mechanism.  It owns the :class:`~repro.cpu.machine.Machine` for the run
+(binary rewriting must transform the program before the machine loads
+it) and acts as the machine's trap handler — i.e. it *is* the debugger
+process: every trap the machine delivers crosses into it, and its job
+is to classify the crossing as a user transition or one of the spurious
+kinds (which the timing model then charges).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.config import MachineConfig, DEFAULT_CONFIG
+from repro.cpu.machine import Machine, TrapEvent
+from repro.cpu.stats import TransitionKind
+from repro.debugger.expressions import ProgramResolver
+from repro.debugger.transitions import WatchpointMonitor
+from repro.debugger.watchpoint import Breakpoint, Watchpoint
+from repro.isa.program import Program
+
+
+class DebuggerBackend:
+    """Base class for all watchpoint implementations."""
+
+    name = "abstract"
+    #: Backends that statically transform the program set this so the
+    #: session knows the original binary is left untouched or not.
+    transforms_program = False
+    #: Most backends realize breakpoints with the hardware breakpoint
+    #: registers (trap at fetch); DISE uses productions and
+    #: single-stepping checks statement addresses itself.
+    uses_breakpoint_registers = True
+
+    def __init__(
+        self,
+        program: Program,
+        watchpoints: Sequence[Watchpoint] = (),
+        breakpoints: Sequence[Breakpoint] = (),
+        config: Optional[MachineConfig] = None,
+        **options,
+    ):
+        self.original_program = program
+        self.watchpoints = list(watchpoints)
+        self.breakpoints = list(breakpoints)
+        self.config = config or DEFAULT_CONFIG
+        self.options = options
+
+        # Each backend instance models one debugged *process*: it works
+        # on a private image of the binary, so the on-disk program stays
+        # pristine and sessions can be relaunched.  The DISE backend
+        # only ever appends to its image; the rewriter transforms it.
+        self.program = self.transform_program(program.copy())
+        self.machine = Machine(self.program, self.config,
+                               trap_handler=self.handle_trap)
+        self.resolver = ProgramResolver(self.program)
+        self.monitor = WatchpointMonitor(self.watchpoints, self.resolver,
+                                         self.machine.memory)
+        self._breakpoint_pcs = {
+            bp.resolve_pc(self.program): bp for bp in self.breakpoints}
+        if self.breakpoints and self.uses_breakpoint_registers:
+            self.machine.breakpoint_registers.update(self._breakpoint_pcs)
+        self.prepare()
+
+    # -- extension points ------------------------------------------------------
+
+    def transform_program(self, program: Program) -> Program:
+        """Return the program the machine should load.
+
+        ``program`` is already a private copy of the session's binary;
+        the default keeps it unchanged.
+        """
+        return program
+
+    def prepare(self) -> None:
+        """Install the mechanism (protections, registers, productions)."""
+
+    def handle_trap(self, event: TrapEvent) -> TransitionKind:
+        """Classify a debugger transition."""
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------------
+
+    def classify_breakpoint(self, pc: int) -> TransitionKind:
+        """Classify a breakpoint hit at ``pc`` (evaluating its condition)."""
+        bp = self._breakpoint_pcs.get(pc)
+        if bp is None or not bp.enabled:
+            return TransitionKind.SPURIOUS_ADDRESS
+        if bp.condition is None:
+            return TransitionKind.USER
+        if bp.condition.evaluate(self.resolver, self.machine.memory):
+            return TransitionKind.USER
+        return TransitionKind.SPURIOUS_PREDICATE
+
+    def overlapping_watchpoints(
+            self, address: int, size: int,
+            candidates: Optional[Iterable[Watchpoint]] = None,
+    ) -> list[Watchpoint]:
+        """Watchpoints whose watched bytes overlap [address, address+size)."""
+        hits = []
+        end = address + size
+        for wp in (candidates if candidates is not None else self.watchpoints):
+            if not wp.enabled:
+                continue
+            for lo, length in wp.expression.addresses(self.resolver,
+                                                      self.machine.memory):
+                if address < lo + length and end > lo:
+                    hits.append(wp)
+                    break
+        return hits
+
+    def classify_store_hit(self, hits: Sequence[Watchpoint]) -> TransitionKind:
+        """Classify a store that overlapped watched data.
+
+        Evaluates each hit watchpoint's expression; a value change with a
+        true (or absent) predicate is a user transition.
+        """
+        if not hits:
+            return TransitionKind.SPURIOUS_ADDRESS
+        best = TransitionKind.SPURIOUS_VALUE
+        for wp in hits:
+            changed, predicate = self.monitor.check(wp)
+            if not changed:
+                continue
+            if predicate is None or predicate:
+                return TransitionKind.USER
+            best = TransitionKind.SPURIOUS_PREDICATE
+        return best
+
+    # -- run ------------------------------------------------------------------------
+
+    def run(self, max_app_instructions: Optional[int] = None):
+        """Run the debugged machine (delegates to :meth:`Machine.run`)."""
+        return self.machine.run(max_app_instructions)

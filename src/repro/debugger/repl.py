@@ -1,0 +1,335 @@
+"""A gdb-flavoured interactive shell over the debugging session.
+
+The paper is about "the breakpoint/watchpoint interface presented to
+the user by existing interactive debuggers"; this module provides that
+interface as a small command interpreter so a session *feels* like the
+tool being modeled::
+
+    (dise-db) watch hot if hot == 4096
+    Watchpoint 1: watch hot if (hot == 4096)
+    (dise-db) break loop_top
+    Breakpoint 2: break loop_top
+    (dise-db) run
+    Watchpoint 1 hit after 3,412 instructions (hot = 4096)
+    (dise-db) print hot + warm1
+    6096
+    (dise-db) info stats
+    ...
+
+Every command is a method (`do_<name>`); :meth:`DebuggerShell.execute`
+dispatches one line and returns the output text, which makes the shell
+fully scriptable and testable.  :meth:`interact` wraps it in a REPL.
+
+Execution stops at *user transitions* (watchpoint/breakpoint hits whose
+conditions pass) — exactly the events the paper's cost model treats as
+masked by user interaction.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable, Optional
+
+from repro.config import MachineConfig
+from repro.debugger.expressions import parse_expression
+from repro.debugger.session import DebugSession, run_undebugged
+from repro.errors import ReproError
+from repro.isa.program import Program
+
+_DEFAULT_STEP = 1_000_000
+
+
+class ShellError(ReproError):
+    """A user-facing command error (bad syntax, unknown name, ...)."""
+
+
+class DebuggerShell:
+    """Interpret gdb-like commands against a program."""
+
+    prompt = "(dise-db) "
+
+    def __init__(self, program: Program, backend: str = "dise",
+                 config: Optional[MachineConfig] = None, **backend_options):
+        self.session = DebugSession(program, backend=backend,
+                                    config=config, **backend_options)
+        self.program = program
+        self._backend_obj = None
+        self._instructions_run = 0
+        self._exited = False
+
+    # -- dispatch ----------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line; return its output."""
+        line = line.strip()
+        if not line:
+            return ""
+        parts = shlex.split(line)
+        name, args = parts[0], parts[1:]
+        handler: Optional[Callable] = getattr(self, f"do_{name}", None)
+        if handler is None:
+            handler = self._abbreviations().get(name)
+        if handler is None:
+            return f"Undefined command: {name!r}. Try 'help'."
+        try:
+            return handler(args) or ""
+        except ShellError as exc:
+            return str(exc)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _abbreviations(self) -> dict[str, Callable]:
+        return {
+            "b": self.do_break,
+            "c": self.do_continue,
+            "p": self.do_print,
+            "q": self.do_quit,
+            "r": self.do_run,
+            "w": self.do_watch,
+        }
+
+    @property
+    def exited(self) -> bool:
+        return self._exited
+
+    # -- breakpoint/watchpoint management ---------------------------------------
+
+    @staticmethod
+    def _split_condition(args: list[str]) -> tuple[str, Optional[str]]:
+        if "if" in args:
+            split = args.index("if")
+            return " ".join(args[:split]), " ".join(args[split + 1:])
+        return " ".join(args), None
+
+    def do_watch(self, args: list[str]) -> str:
+        """watch EXPR [if COND] — set a (conditional) watchpoint."""
+        if not args:
+            raise ShellError("usage: watch EXPR [if COND]")
+        expression, condition = self._split_condition(args)
+        wp = self.session.watch(expression, condition=condition)
+        self._invalidate()
+        return f"Watchpoint {wp.number}: {wp.describe()}"
+
+    def do_break(self, args: list[str]) -> str:
+        """break LOCATION [if COND] — set a (conditional) breakpoint."""
+        if not args:
+            raise ShellError("usage: break LOCATION [if COND]")
+        location, condition = self._split_condition(args)
+        target: object = location
+        if location.startswith("0x") or location.isdigit():
+            target = int(location, 0)
+        bp = self.session.break_at(target, condition=condition)
+        self._invalidate()
+        return f"Breakpoint {bp.number}: {bp.describe()}"
+
+    def do_delete(self, args: list[str]) -> str:
+        """delete N — remove watchpoint/breakpoint number N."""
+        if len(args) != 1 or not args[0].isdigit():
+            raise ShellError("usage: delete N")
+        number = int(args[0])
+        for point in self.session.watchpoints + self.session.breakpoints:
+            if point.number == number:
+                self.session.delete(point)
+                self._invalidate()
+                return f"Deleted {number}"
+        raise ShellError(f"no watchpoint or breakpoint number {number}")
+
+    def do_info(self, args: list[str]) -> str:
+        """info watchpoints|breakpoints|stats|backend"""
+        topic = args[0] if args else "watchpoints"
+        if topic.startswith("watch"):
+            if not self.session.watchpoints:
+                return "No watchpoints."
+            return "\n".join(f"{wp.number}: {wp.describe()}"
+                             f"{'' if wp.enabled else ' (disabled)'}"
+                             for wp in self.session.watchpoints)
+        if topic.startswith("break"):
+            if not self.session.breakpoints:
+                return "No breakpoints."
+            return "\n".join(f"{bp.number}: {bp.describe()}"
+                             for bp in self.session.breakpoints)
+        if topic == "stats":
+            if self._backend_obj is None:
+                return "The program is not being run."
+            return self._backend_obj.machine.stats.summary()
+        if topic == "backend":
+            return (f"backend: {self.session.backend_name} "
+                    f"options: {self.session.backend_options}")
+        raise ShellError(f"unknown info topic {topic!r}")
+
+    def do_backend(self, args: list[str]) -> str:
+        """backend NAME [key=value ...] — choose the implementation."""
+        if not args:
+            raise ShellError("usage: backend NAME [key=value ...]")
+        self.session.backend_name = args[0]
+        options = {}
+        for pair in args[1:]:
+            if "=" not in pair:
+                raise ShellError(f"bad option {pair!r}; use key=value")
+            key, value = pair.split("=", 1)
+            options[key] = _parse_option_value(value)
+        self.session.backend_options = options
+        self._invalidate()
+        return f"backend set to {args[0]}"
+
+    # -- execution -------------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._backend_obj = None
+        self._instructions_run = 0
+
+    def _ensure_backend(self):
+        if self._backend_obj is None:
+            self._backend_obj = self.session.build_backend()
+            self._backend_obj.machine.stop_on_user = True
+        return self._backend_obj
+
+    def do_run(self, args: list[str]) -> str:
+        """run [N] — (re)start and run up to N application instructions."""
+        self._invalidate()
+        return self.do_continue(args)
+
+    def do_continue(self, args: list[str]) -> str:
+        """continue [N] — resume until the next hit, halt, or N instrs."""
+        budget = _DEFAULT_STEP
+        if args:
+            if not args[0].isdigit():
+                raise ShellError("usage: continue [N]")
+            budget = int(args[0])
+        backend = self._ensure_backend()
+        machine = backend.machine
+        target = machine.stats.app_instructions + budget
+        result = machine.run(max_app_instructions=target)
+        self._instructions_run = machine.stats.app_instructions
+        if result.stopped_at_user:
+            return self._describe_stop(backend)
+        if result.halted:
+            return (f"Program exited normally after "
+                    f"{self._instructions_run:,} instructions.")
+        return (f"Ran {budget:,} instructions without a hit "
+                f"(total {self._instructions_run:,}).")
+
+    def _describe_stop(self, backend) -> str:
+        lines = [f"Stopped after {self._instructions_run:,} instructions "
+                 f"(pc={backend.machine.pc:#x})."]
+        for wp in self.session.watchpoints:
+            try:
+                value = wp.expression.evaluate(backend.resolver,
+                                               backend.machine.memory)
+            except ReproError:
+                continue
+            rendered = value if not isinstance(value, bytes) else \
+                f"<{len(value)} bytes>"
+            lines.append(f"  {wp.describe()}  value = {rendered}")
+        return "\n".join(lines)
+
+    # -- inspection -------------------------------------------------------------
+
+    def do_print(self, args: list[str]) -> str:
+        """print EXPR — evaluate an expression in the debuggee."""
+        if not args:
+            raise ShellError("usage: print EXPR")
+        backend = self._ensure_backend()
+        expr = parse_expression(" ".join(args))
+        value = expr.evaluate(backend.resolver, backend.machine.memory)
+        if isinstance(value, bytes):
+            return value.hex(" ")
+        return str(value)
+
+    def do_x(self, args: list[str]) -> str:
+        """x ADDR|SYMBOL [QUADS] — dump memory."""
+        if not args:
+            raise ShellError("usage: x ADDR|SYMBOL [QUADS]")
+        backend = self._ensure_backend()
+        try:
+            address = int(args[0], 0)
+        except ValueError:
+            address = backend.program.address_of(args[0])
+        count = int(args[1]) if len(args) > 1 else 4
+        memory = backend.machine.memory
+        lines = []
+        for i in range(count):
+            addr = address + 8 * i
+            lines.append(f"{addr:#010x}: {memory.read_int(addr, 8):#018x}")
+        return "\n".join(lines)
+
+    def do_overhead(self, args: list[str]) -> str:
+        """overhead — debugged vs undebugged cost so far."""
+        if self._backend_obj is None or not self._instructions_run:
+            return "The program is not being run."
+        baseline = run_undebugged(
+            self.program, self.session.config,
+            max_app_instructions=self._instructions_run)
+        debugged_cycles = self._backend_obj.machine.stats.cycles or \
+            self._backend_obj.machine.timing.total_cycles
+        ratio = debugged_cycles / baseline.stats.cycles
+        return (f"{ratio:.3f}x baseline over "
+                f"{self._instructions_run:,} instructions "
+                f"({self._backend_obj.machine.stats.spurious_transitions} "
+                f"spurious transitions)")
+
+    def do_help(self, args: list[str]) -> str:
+        """help — list commands."""
+        commands = sorted(name[3:] for name in dir(self)
+                          if name.startswith("do_"))
+        lines = []
+        for command in commands:
+            doc = (getattr(self, f"do_{command}").__doc__ or "").strip()
+            lines.append(f"  {doc.splitlines()[0] if doc else command}")
+        return "Commands:\n" + "\n".join(lines)
+
+    def do_quit(self, args: list[str]) -> str:
+        """quit — leave the shell."""
+        self._exited = True
+        return ""
+
+    # -- REPL ----------------------------------------------------------------------
+
+    def interact(self, input_fn=input, output_fn=print) -> None:
+        """Run a read-eval-print loop until quit/EOF."""
+        while not self._exited:
+            try:
+                line = input_fn(self.prompt)
+            except EOFError:
+                break
+            output = self.execute(line)
+            if output:
+                output_fn(output)
+
+
+def _parse_option_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``dise-db`` console script."""
+    import argparse
+
+    from repro.workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
+
+    parser = argparse.ArgumentParser(
+        prog="dise-db",
+        description="Interactive (gdb-flavoured) debugger over the "
+                    "simulated machine")
+    parser.add_argument("benchmark", nargs="?", default="crafty",
+                        choices=BENCHMARK_NAMES,
+                        help="synthetic benchmark to debug")
+    parser.add_argument("--backend", default="dise",
+                        help="watchpoint implementation")
+    args = parser.parse_args(argv)
+    shell = DebuggerShell(build_benchmark(args.benchmark),
+                          backend=args.backend)
+    print(f"Debugging {args.benchmark} with the {args.backend} backend. "
+          "Type 'help' for commands.")
+    shell.interact()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

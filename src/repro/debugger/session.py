@@ -1,0 +1,146 @@
+"""The user-facing debugging session.
+
+:class:`DebugSession` plays the role of the interactive debugger: the
+user sets (conditional) watchpoints and breakpoints against a loaded
+program, picks an implementation backend, and runs.  The session
+reports execution time, the transition breakdown, and the overhead
+versus an undebugged baseline.
+
+Example::
+
+    from repro.debugger import DebugSession
+    from repro.workloads import build_benchmark
+
+    program = build_benchmark("bzip2")
+    session = DebugSession(program, backend="dise")
+    session.watch("hot")                          # unconditional
+    session.watch("warm1", condition="warm1 == 12345")  # conditional
+    result = session.run(max_app_instructions=100_000)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.config import MachineConfig
+from repro.cpu.machine import RunResult
+from repro.cpu.stats import SimStats, TransitionKind
+from repro.debugger.backends import backend_class
+from repro.debugger.watchpoint import Breakpoint, Watchpoint
+from repro.errors import DebuggerError
+from repro.isa.program import Program
+
+
+@dataclass
+class SessionResult:
+    """Outcome of a debugging-session run."""
+
+    backend: str
+    run: RunResult
+    baseline: Optional[RunResult] = None
+
+    @property
+    def stats(self) -> SimStats:
+        return self.run.stats
+
+    @property
+    def cycles(self) -> int:
+        return self.run.stats.cycles
+
+    @property
+    def overhead(self) -> float:
+        """Execution time normalized to the baseline (paper's metric)."""
+        if self.baseline is None:
+            raise DebuggerError("run a baseline first (run_baseline=True)")
+        return self.run.overhead_vs(self.baseline)
+
+    @property
+    def spurious_transitions(self) -> int:
+        return self.stats.spurious_transitions
+
+    @property
+    def user_transitions(self) -> int:
+        return self.stats.user_transitions
+
+    def summary(self) -> str:
+        """Multi-line text rendering of the session outcome."""
+        lines = [f"backend: {self.backend}"]
+        if self.baseline is not None:
+            lines.append(f"overhead: {self.overhead:.3f}x baseline")
+        lines.append(self.stats.summary())
+        return "\n".join(lines)
+
+
+class DebugSession:
+    """Collects watchpoints/breakpoints; runs them under a backend."""
+
+    def __init__(self, program: Program, backend: str = "dise",
+                 config: Optional[MachineConfig] = None, **backend_options):
+        self.program = program
+        self.backend_name = backend
+        self.config = config
+        self.backend_options = backend_options
+        self.watchpoints: list[Watchpoint] = []
+        self.breakpoints: list[Breakpoint] = []
+        self._next_number = 1
+
+    # -- user commands -----------------------------------------------------
+
+    def watch(self, expression: str,
+              condition: Optional[str] = None) -> Watchpoint:
+        """Set a watchpoint on ``expression`` (optionally conditional)."""
+        wp = Watchpoint.parse(expression, condition,
+                              number=self._next_number)
+        self._next_number += 1
+        self.watchpoints.append(wp)
+        return wp
+
+    def break_at(self, location: Union[str, int],
+                 condition: Optional[str] = None) -> Breakpoint:
+        """Set a breakpoint at a label or absolute PC."""
+        bp = Breakpoint.parse(location, condition, number=self._next_number)
+        self._next_number += 1
+        self.breakpoints.append(bp)
+        return bp
+
+    def delete(self, point: Union[Watchpoint, Breakpoint]) -> None:
+        """Remove a previously set watchpoint or breakpoint."""
+        if isinstance(point, Watchpoint):
+            self.watchpoints.remove(point)
+        else:
+            self.breakpoints.remove(point)
+
+    # -- execution --------------------------------------------------------------
+
+    def build_backend(self):
+        """Instantiate the backend (installs the mechanism)."""
+        cls = backend_class(self.backend_name)
+        return cls(self.program, self.watchpoints, self.breakpoints,
+                   self.config, **self.backend_options)
+
+    def run(self, max_app_instructions: Optional[int] = None,
+            run_baseline: bool = False) -> SessionResult:
+        """Run the debugged program.
+
+        With ``run_baseline`` the same program is also run undebugged on
+        a fresh machine, enabling :attr:`SessionResult.overhead`.
+        """
+        backend = self.build_backend()
+        result = backend.run(max_app_instructions)
+        baseline = None
+        if run_baseline:
+            baseline = run_undebugged(self.program, self.config,
+                                      max_app_instructions)
+        self.last_backend = backend
+        return SessionResult(self.backend_name, result, baseline)
+
+
+def run_undebugged(program: Program, config: Optional[MachineConfig] = None,
+                   max_app_instructions: Optional[int] = None) -> RunResult:
+    """Run ``program`` with no debugger attached (the baseline)."""
+    from repro.cpu.machine import Machine
+
+    machine = Machine(program, config)
+    return machine.run(max_app_instructions)

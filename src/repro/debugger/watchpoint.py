@@ -1,0 +1,101 @@
+"""Watchpoint and breakpoint records.
+
+A :class:`Watchpoint` pairs a watched expression with an optional
+condition; a :class:`Breakpoint` pairs a code location with an optional
+condition.  Backends consume these records and realize them with their
+own mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.debugger.expressions import (Comparison, Expression,
+                                        parse_expression)
+from repro.errors import DebuggerError
+
+
+def _parse_condition(condition: Union[str, Comparison, None]) -> Optional[Comparison]:
+    if condition is None:
+        return None
+    if isinstance(condition, str):
+        parsed = parse_expression(condition)
+    else:
+        parsed = condition
+    if not isinstance(parsed, Comparison):
+        raise DebuggerError(
+            f"condition must be a comparison, got {parsed!r}")
+    return parsed
+
+
+@dataclass
+class Watchpoint:
+    """A (possibly conditional) data breakpoint."""
+
+    expression: Expression
+    condition: Optional[Comparison] = None
+    number: int = 0
+    enabled: bool = True
+
+    @classmethod
+    def parse(cls, expression: str,
+              condition: Union[str, Comparison, None] = None,
+              number: int = 0) -> "Watchpoint":
+        expr = parse_expression(expression)
+        if isinstance(expr, Comparison):
+            raise DebuggerError("watch a value expression, not a comparison; "
+                                "pass the comparison as the condition")
+        return cls(expr, _parse_condition(condition), number)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.condition is not None
+
+    @property
+    def is_static(self) -> bool:
+        return self.expression.is_static
+
+    @property
+    def is_range(self) -> bool:
+        return self.expression.is_range
+
+    def describe(self) -> str:
+        """gdb-style one-line description."""
+        text = f"watch {self.expression}"
+        if self.condition is not None:
+            text += f" if {self.condition}"
+        return text
+
+
+@dataclass
+class Breakpoint:
+    """A (possibly conditional) control breakpoint."""
+
+    location: Union[str, int]  # label name or absolute PC
+    condition: Optional[Comparison] = None
+    number: int = 0
+    enabled: bool = True
+
+    @classmethod
+    def parse(cls, location: Union[str, int],
+              condition: Union[str, Comparison, None] = None,
+              number: int = 0) -> "Breakpoint":
+        return cls(location, _parse_condition(condition), number)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.condition is not None
+
+    def resolve_pc(self, program) -> int:
+        """Resolve the location (label or PC) against ``program``."""
+        if isinstance(self.location, int):
+            return self.location
+        return program.pc_of_label(self.location)
+
+    def describe(self) -> str:
+        """gdb-style one-line description."""
+        text = f"break {self.location}"
+        if self.condition is not None:
+            text += f" if {self.condition}"
+        return text

@@ -1,0 +1,191 @@
+"""A library of application customization functions (ACFs).
+
+The paper stresses that DISE "is not specific to debugging" and cites
+its companion applications: profiling [6], security checking / return-
+address protection [9], code decompression [8], and memory fault
+isolation [23].  This module packages ready-made productions for the
+ones expressible in our ISA, both as further exercise of the DISE
+substrate and as examples of writing ACFs against the public API.
+
+All factories return :class:`~repro.dise.production.Production` objects
+(or small bundles thereof) ready for
+:meth:`~repro.dise.controller.DiseController.install`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dise.pattern import Pattern
+from repro.dise.production import Production
+from repro.dise.template import T, TemplateInstruction
+from repro.errors import DiseError
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import RA, dise_reg
+
+_DR_COUNT = dise_reg(0)
+_DR_ADDR = dise_reg(1)
+_DR_FLAG = dise_reg(2)
+_DR_SP = dise_reg(3)  # shadow-stack pointer
+
+
+def _t(opcode, **fields) -> TemplateInstruction:
+    return TemplateInstruction(opcode, **fields)
+
+
+def _original() -> TemplateInstruction:
+    return TemplateInstruction(whole=True)
+
+
+# -- profiling -------------------------------------------------------------
+
+
+def store_counter(counter_register: int = 0) -> Production:
+    """Count dynamic stores in a DISE register.
+
+    The classic one-line profiling ACF: every store gains one ALU
+    instruction incrementing DISE register ``counter_register`` —
+    invisible to the application, no memory traffic, no register
+    scavenging.
+    """
+    reg = dise_reg(counter_register)
+    return Production(
+        Pattern.stores(),
+        [_original(), _t(Opcode.ADDQ, rd=reg, rs1=reg, imm=1)],
+        name="acf-store-counter")
+
+
+def opclass_counter(opclass: OpClass,
+                    counter_register: int = 0) -> Production:
+    """Count committed instructions of one class in a DISE register."""
+    reg = dise_reg(counter_register)
+    return Production(
+        Pattern(opclass=opclass),
+        [_original(), _t(Opcode.ADDQ, rd=reg, rs1=reg, imm=1)],
+        name=f"acf-count-{opclass.name.lower()}")
+
+
+def load_address_tracer(trace_base: int, trace_quads: int,
+                        index_register: int = 0) -> Production:
+    """Record every load's effective address into a circular buffer.
+
+    Demonstrates replacement sequences with memory side effects: the
+    buffer lives in application memory (appended by the tool, like the
+    debugger's data region) and the cursor lives in a DISE register.
+    """
+    if trace_quads & (trace_quads - 1):
+        raise DiseError("trace buffer length must be a power of two")
+    cursor = dise_reg(index_register)
+    return Production(
+        Pattern.loads(),
+        [
+            _t(Opcode.LDA, rd=_DR_ADDR, rs1=T.RS1, imm=T.IMM),
+            _original(),
+            _t(Opcode.SLL, rd=_DR_FLAG, rs1=cursor, imm=3),
+            _t(Opcode.STQ, rd=_DR_ADDR, rs1=_DR_FLAG, imm=trace_base),
+            _t(Opcode.ADDQ, rd=cursor, rs1=cursor, imm=1),
+            _t(Opcode.AND, rd=cursor, rs1=cursor, imm=trace_quads - 1),
+        ],
+        name="acf-load-tracer")
+
+
+# -- security: return-address protection -------------------------------------
+
+
+@dataclass(frozen=True)
+class ShadowStack:
+    """Configuration of the return-address shadow stack.
+
+    The WASSA'04 companion paper ("Using DISE to protect return
+    addresses from attack") mirrors return addresses into a protected
+    region on call and checks them on return, catching stack smashing
+    before the corrupted return executes.
+    """
+
+    base: int  # shadow region base address (appended by the tool)
+    depth: int = 256  # entries
+
+    def productions(self, link_register: int = RA,
+                    error_pc: int | None = None) -> list[Production]:
+        """Productions for call (jsr) and return (ret) sites.
+
+        On ``jsr``: push the just-written return address onto the
+        shadow stack.  On ``ret``: pop and compare; on mismatch either
+        branch to ``error_pc`` or trap.
+        """
+        # The jsr itself must come last (a conventional control
+        # transfer ends the expansion), so the return address is
+        # materialized from the trigger's PC (T.PC directive).
+        push = Production(
+            Pattern(opcode=Opcode.JSR),
+            [
+                _t(Opcode.LDA, rd=_DR_ADDR, rs1=31, imm=T.PC),
+                _t(Opcode.ADDQ, rd=_DR_ADDR, rs1=_DR_ADDR, imm=4),
+                _t(Opcode.SLL, rd=_DR_FLAG, rs1=_DR_SP, imm=3),
+                _t(Opcode.STQ, rd=_DR_ADDR, rs1=_DR_FLAG, imm=self.base),
+                _t(Opcode.ADDQ, rd=_DR_SP, rs1=_DR_SP, imm=1),
+                _original(),
+            ],
+            name="acf-ras-push")
+        check_slots = [
+            _t(Opcode.SUBQ, rd=_DR_SP, rs1=_DR_SP, imm=1),
+            _t(Opcode.SLL, rd=_DR_ADDR, rs1=_DR_SP, imm=3),
+            _t(Opcode.LDQ, rd=_DR_ADDR, rs1=_DR_ADDR, imm=self.base),
+            _t(Opcode.CMPEQ, rd=_DR_FLAG, rs1=_DR_ADDR,
+               rs2=link_register),
+            _t(Opcode.XOR, rd=_DR_FLAG, rs1=_DR_FLAG, imm=1),
+        ]
+        if error_pc is not None:
+            check_slots.append(_t(Opcode.BNE, rs1=_DR_FLAG,
+                                  target=error_pc))
+        else:
+            check_slots.append(_t(Opcode.CTRAP, rs1=_DR_FLAG))
+        check_slots.append(_original())
+        pop_check = Production(Pattern(opcode=Opcode.RET), check_slots,
+                               name="acf-ras-check")
+        return [push, pop_check]
+
+
+# -- memory fault isolation ----------------------------------------------------
+
+
+def fault_isolation(segment_base: int, segment_bits: int,
+                    error_pc: int) -> Production:
+    """Software-based fault isolation for stores (Wahbe et al. [23]).
+
+    Generalizes the paper's Figure 2f: any store whose target falls in
+    the protected, power-of-two-aligned segment is diverted to the
+    error handler *before* it executes.
+    """
+    if segment_base & ((1 << segment_bits) - 1):
+        raise DiseError(
+            f"segment base {segment_base:#x} is not aligned to its "
+            f"2^{segment_bits}-byte size")
+    return Production(
+        Pattern.stores(),
+        [
+            _t(Opcode.LDA, rd=_DR_ADDR, rs1=T.RS1, imm=T.IMM),
+            _t(Opcode.SRL, rd=_DR_FLAG, rs1=_DR_ADDR, imm=segment_bits),
+            _t(Opcode.SUBQ, rd=_DR_FLAG, rs1=_DR_FLAG,
+               imm=segment_base >> segment_bits),
+            _t(Opcode.BEQ, rs1=_DR_FLAG, target=error_pc),
+            _original(),
+        ],
+        name="acf-fault-isolation")
+
+
+# -- composition ------------------------------------------------------------------
+
+
+def stack_offset_shim(offset: int = 8) -> Production:
+    """The paper's Figure 1 production, parameterized.
+
+    Adds ``offset`` to the address of every load that uses the stack
+    pointer as its base — the paper's illustrative (contrived) example.
+    """
+    from repro.isa.registers import SP
+    return Production(
+        Pattern.loads(base_register=SP),
+        [_t(Opcode.ADDQ, rd=_DR_COUNT, rs1=T.RS1, imm=offset),
+         _t(T.OP, rd=T.RD, rs1=_DR_COUNT, imm=T.IMM)],
+        name="acf-figure1")

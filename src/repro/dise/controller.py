@@ -1,0 +1,133 @@
+"""The DISE controller: capacity virtualization and access policy.
+
+"System-wise, the DISE engine is wrapped in two layers of abstraction.
+A physical DISE controller virtualizes the engine's internal format and
+capacity.  The operating system restricts access to the controller to
+enforce a simple safety policy: applications can create productions to
+apply to their own code streams without restriction, but only 'trusted'
+entities may create/modify productions that act on other applications."
+(paper Section 3)
+
+The controller therefore:
+
+* tracks pattern-table entries (default 32) and replacement-table
+  instructions (default 512) and rejects installs that exceed them;
+* enforces the ownership policy: an untrusted principal may only install
+  productions for its own process;
+* supports fast activate/deactivate, which is how the debugger enables
+  and disables watchpoints "without modifying the executable"
+  (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DiseConfig
+from repro.errors import DiseCapacityError, DisePermissionError
+from repro.dise.engine import DiseEngine
+from repro.dise.production import Production
+
+
+@dataclass
+class _Installed:
+    production: Production
+    principal: str
+    target_process: str
+    active: bool = True
+
+
+class DiseController:
+    """Mediates all production installation for one engine."""
+
+    def __init__(self, engine: DiseEngine, config: DiseConfig | None = None,
+                 process_name: str = "application"):
+        self.engine = engine
+        self.config = config or DiseConfig()
+        self.process_name = process_name
+        self.trusted_principals: set[str] = {"os", "debugger"}
+        self._installed: list[_Installed] = []
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def pattern_entries_used(self) -> int:
+        return len(self._installed)
+
+    @property
+    def replacement_slots_used(self) -> int:
+        return sum(len(entry.production) for entry in self._installed)
+
+    def _check_capacity(self, production: Production) -> None:
+        if self.pattern_entries_used + 1 > self.config.pattern_table_entries:
+            raise DiseCapacityError(
+                f"pattern table full "
+                f"({self.config.pattern_table_entries} entries)")
+        needed = self.replacement_slots_used + len(production)
+        if needed > self.config.replacement_table_instructions:
+            raise DiseCapacityError(
+                f"replacement table full: need {needed} of "
+                f"{self.config.replacement_table_instructions} instructions")
+
+    # -- policy ----------------------------------------------------------------
+
+    def _check_permission(self, principal: str, target_process: str) -> None:
+        if target_process == principal:
+            return  # own code stream: unrestricted
+        if principal not in self.trusted_principals:
+            raise DisePermissionError(
+                f"untrusted principal {principal!r} may not install "
+                f"productions for process {target_process!r}")
+
+    # -- install / remove --------------------------------------------------------
+
+    def install(self, production: Production, principal: str = "debugger",
+                target_process: str | None = None) -> Production:
+        """Install (and activate) a production; returns it for chaining."""
+        target = target_process or self.process_name
+        self._check_permission(principal, target)
+        self._check_capacity(production)
+        self._installed.append(_Installed(production, principal, target))
+        self.engine.add(production)
+        return production
+
+    def install_all(self, productions, principal: str = "debugger") -> None:
+        """Install several productions under one principal."""
+        for production in productions:
+            self.install(production, principal)
+
+    def uninstall(self, production: Production) -> None:
+        """Remove a production and free its table space."""
+        entry = self._find(production)
+        if entry.active:
+            self.engine.remove(production)
+        self._installed.remove(entry)
+
+    def deactivate(self, production: Production) -> None:
+        """Temporarily disable without freeing table space."""
+        entry = self._find(production)
+        if entry.active:
+            self.engine.remove(production)
+            entry.active = False
+
+    def activate(self, production: Production) -> None:
+        """Re-enable a previously deactivated production."""
+        entry = self._find(production)
+        if not entry.active:
+            self.engine.add(production)
+            entry.active = True
+
+    def uninstall_all(self) -> None:
+        """Remove every installed production."""
+        for entry in list(self._installed):
+            self.uninstall(entry.production)
+
+    def _find(self, production: Production) -> _Installed:
+        for entry in self._installed:
+            if entry.production is production:
+                return entry
+        raise KeyError(f"production {production.name!r} is not installed")
+
+    @property
+    def installed_productions(self) -> tuple[Production, ...]:
+        return tuple(entry.production for entry in self._installed)

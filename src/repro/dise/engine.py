@@ -1,0 +1,136 @@
+"""The DISE expansion engine.
+
+The engine sits between fetch and execute: "the DISE engine takes an
+unmodified application instruction stream produced by the fetch unit,
+inspects and potentially rewrites each instruction, and feeds the
+execution engine a new instruction stream enhanced with ACF
+functionality" (paper Section 3).
+
+:meth:`DiseEngine.expand` is called by the machine for every fetched
+instruction; it returns the instantiated replacement sequence of the
+most specific matching production, or ``None`` when no pattern matches
+(the instruction passes through unexpanded).  Matching is accelerated by
+bucketing patterns by PC, codeword, and opclass so the common case (an
+instruction that cannot match anything) is a couple of dict probes.
+
+The engine itself knows nothing about DISEPC control flow — branch,
+call, and return semantics of replacement sequences are interpreted by
+the machine (:mod:`repro.cpu.machine`), just as the hardware engine only
+emits instructions while the pipeline executes them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass
+from repro.dise.production import Production
+
+
+class DiseEngine:
+    """Pattern matching + parameterized replacement."""
+
+    def __init__(self):
+        self._productions: list[Production] = []
+        self._by_pc: dict[int, list[Production]] = {}
+        self._by_codeword: dict[int, list[Production]] = {}
+        self._by_opclass: dict[OpClass, list[Production]] = {}
+        self._generic: list[Production] = []
+        self.enabled = True
+        self.expansions = 0
+        self.instructions_inserted = 0
+
+    # -- production management (driven by the controller) -------------------
+
+    @property
+    def productions(self) -> tuple[Production, ...]:
+        return tuple(self._productions)
+
+    def add(self, production: Production) -> None:
+        """Install a production into the matching buckets."""
+        self._productions.append(production)
+        pattern = production.pattern
+        if pattern.pc is not None:
+            self._by_pc.setdefault(pattern.pc, []).append(production)
+        elif pattern.codeword is not None:
+            self._by_codeword.setdefault(pattern.codeword, []).append(production)
+        elif pattern.opclass is not None:
+            self._by_opclass.setdefault(pattern.opclass, []).append(production)
+        else:
+            self._generic.append(production)
+
+    def remove(self, production: Production) -> None:
+        """Withdraw a production from all buckets."""
+        self._productions.remove(production)
+        for bucket in (self._by_pc, self._by_codeword):
+            for plist in bucket.values():
+                if production in plist:
+                    plist.remove(production)
+        for plist in self._by_opclass.values():
+            if production in plist:
+                plist.remove(production)
+        if production in self._generic:
+            self._generic.remove(production)
+
+    def clear(self) -> None:
+        """Remove every production."""
+        self._productions.clear()
+        self._by_pc.clear()
+        self._by_codeword.clear()
+        self._by_opclass.clear()
+        self._generic.clear()
+
+    @property
+    def has_productions(self) -> bool:
+        return bool(self._productions)
+
+    # -- expansion -------------------------------------------------------------
+
+    def expand(self, inst: Instruction, pc: int) -> Optional[list[Instruction]]:
+        """Return the replacement sequence for ``inst``, or None.
+
+        Chooses the most specific matching pattern; ties break toward the
+        earliest-installed production (deterministic, like table order in
+        the hardware).
+        """
+        if not self.enabled or not self._productions:
+            return None
+        best: Optional[Production] = None
+        best_score = -1
+        candidates = self._by_pc.get(pc)
+        if candidates:
+            best, best_score = _best_match(candidates, inst, pc,
+                                           best, best_score)
+        if inst.opcode is Opcode.CODEWORD:
+            candidates = self._by_codeword.get(inst.imm)
+            if candidates:
+                best, best_score = _best_match(candidates, inst, pc,
+                                               best, best_score)
+        candidates = self._by_opclass.get(inst.info.opclass)
+        if candidates:
+            best, best_score = _best_match(candidates, inst, pc,
+                                           best, best_score)
+        if self._generic:
+            best, best_score = _best_match(self._generic, inst, pc,
+                                           best, best_score)
+        if best is None:
+            return None
+        self.expansions += 1
+        expansion = best.expand(inst, pc)
+        self.instructions_inserted += len(expansion) - 1
+        return expansion
+
+    def reset_stats(self) -> None:
+        """Zero the expansion counters."""
+        self.expansions = 0
+        self.instructions_inserted = 0
+
+
+def _best_match(candidates, inst, pc, best, best_score):
+    for production in candidates:
+        if production.pattern.specificity > best_score and \
+                production.pattern.matches(inst, pc):
+            best = production
+            best_score = production.pattern.specificity
+    return best, best_score

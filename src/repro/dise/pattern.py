@@ -1,0 +1,116 @@
+"""DISE pattern specifications.
+
+A pattern may specify any aspect of a *single* instruction: PC, opcode,
+opclass, registers, or codeword identifier (paper Section 3: "A pattern
+may specify any aspect of a single instruction: PC, opcode, register,
+etc.").  An instruction matching a pattern is called a *trigger*.
+
+When several installed patterns match the same instruction, "DISE
+semantics dictate that the most specific pattern overrides all other
+applicable patterns" (Section 4.2, pattern-matching optimizations) —
+:attr:`Pattern.specificity` provides the ordering.  The paper's example
+is a pair of store patterns: a generic one that expands stores into the
+watchpoint sequence and a more specific one (stores whose base register
+is the stack pointer) that expands to just the original store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A single-instruction match specification.
+
+    ``None`` fields are wildcards.  ``pc`` matches the trigger's fetch
+    address; ``codeword`` matches the identifier of a ``codeword``
+    instruction; register fields match operand register numbers.
+    """
+
+    opclass: Optional[OpClass] = None
+    opcode: Optional[Opcode] = None
+    pc: Optional[int] = None
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    codeword: Optional[int] = None
+
+    def matches(self, inst: Instruction, pc: int) -> bool:
+        """True if ``inst`` fetched at ``pc`` triggers this pattern."""
+        if self.pc is not None and pc != self.pc:
+            return False
+        if self.opclass is not None and inst.info.opclass is not self.opclass:
+            return False
+        if self.opcode is not None and inst.opcode is not self.opcode:
+            return False
+        if self.rd is not None and inst.rd != self.rd:
+            return False
+        if self.rs1 is not None and inst.rs1 != self.rs1:
+            return False
+        if self.rs2 is not None and inst.rs2 != self.rs2:
+            return False
+        if self.codeword is not None:
+            if inst.opcode is not Opcode.CODEWORD or inst.imm != self.codeword:
+                return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Number of constrained aspects; higher overrides lower."""
+        score = 0
+        # A PC constraint pins a single static instruction — weight it
+        # above any combination of field constraints.
+        if self.pc is not None:
+            score += 8
+        if self.codeword is not None:
+            score += 8
+        for field in (self.opclass, self.opcode, self.rd, self.rs1, self.rs2):
+            if field is not None:
+                score += 1
+        # A full opcode constraint implies the class; count it stronger.
+        if self.opcode is not None:
+            score += 1
+        return score
+
+    def describe(self) -> str:
+        """Human-readable form, in the paper's notation."""
+        parts = []
+        if self.opclass is not None:
+            parts.append(f"T.OPCLASS=={self.opclass.name.lower()}")
+        if self.opcode is not None:
+            parts.append(f"T.OPCODE=={self.opcode.name.lower()}")
+        if self.pc is not None:
+            parts.append(f"T.PC=={self.pc:#x}")
+        if self.rd is not None:
+            parts.append(f"T.RD==r{self.rd}")
+        if self.rs1 is not None:
+            parts.append(f"T.RS1==r{self.rs1}")
+        if self.rs2 is not None:
+            parts.append(f"T.RS2==r{self.rs2}")
+        if self.codeword is not None:
+            parts.append(f"T.CODEWORD=={self.codeword}")
+        return " & ".join(parts) if parts else "<any>"
+
+    # -- common constructors -------------------------------------------------
+
+    @classmethod
+    def stores(cls, base_register: Optional[int] = None) -> "Pattern":
+        """All stores, optionally restricted to one base register."""
+        return cls(opclass=OpClass.STORE, rs1=base_register)
+
+    @classmethod
+    def loads(cls, base_register: Optional[int] = None) -> "Pattern":
+        return cls(opclass=OpClass.LOAD, rs1=base_register)
+
+    @classmethod
+    def at_pc(cls, pc: int) -> "Pattern":
+        return cls(pc=pc)
+
+    @classmethod
+    def for_codeword(cls, identifier: int) -> "Pattern":
+        return cls(codeword=identifier)

@@ -1,0 +1,117 @@
+"""DISE productions: pattern => replacement sequence.
+
+A production pairs a :class:`~repro.dise.pattern.Pattern` with a
+parameterized replacement sequence.  At runtime the engine replaces each
+matching (trigger) instruction with the instantiated sequence.
+
+Validation enforces the DISE programming model:
+
+* only replacement instructions may reference DISE registers or use the
+  DISE-only opcodes (``d_beq``/``d_bne``/``d_br``/``d_call``/``d_ccall``,
+  ``ctrap``) — conversely productions may not contain
+  ``d_ret``/``d_mfr``/``d_mtr``, which are legal only inside DISE-called
+  functions;
+* DISE branch skip distances must stay inside the sequence ("DISE does
+  not support jumps to <newPC:nonzeroDISEPC>, preserving the abstraction
+  that expansions are self-contained within individual instructions").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import DiseError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, OpClass
+from repro.dise.pattern import Pattern
+from repro.dise.template import TemplateInstruction
+
+
+class Production:
+    """One rewriting rule."""
+
+    __slots__ = ("pattern", "replacement", "name", "owner")
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        replacement: Sequence[TemplateInstruction],
+        name: str = "production",
+        owner: str = "self",
+    ):
+        self.pattern = pattern
+        self.replacement = tuple(replacement)
+        self.name = name
+        self.owner = owner
+        self._validate()
+
+    def __len__(self) -> int:
+        return len(self.replacement)
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the single-slot ``T.INST`` production (used by the
+        stack-store pattern-matching optimization)."""
+        return len(self.replacement) == 1 and self.replacement[0].whole
+
+    def expand(self, trigger: Instruction, pc: int = 0) -> list[Instruction]:
+        """Instantiate the replacement sequence for ``trigger``
+        (fetched at ``pc``)."""
+        return [slot.instantiate(trigger, pc) for slot in self.replacement]
+
+    def _validate(self) -> None:
+        if not self.replacement:
+            raise DiseError(f"production {self.name!r} has an empty "
+                            "replacement sequence")
+        last = len(self.replacement) - 1
+        for index, slot in enumerate(self.replacement):
+            if slot.whole:
+                continue
+            opcode = slot.opcode
+            if opcode is None:
+                continue  # T.OP — resolved at expansion time
+            if not isinstance(opcode, Opcode):
+                continue
+            info = _info(opcode)
+            if info.dise_function_only:
+                raise DiseError(
+                    f"production {self.name!r} slot {index}: {info.mnemonic} "
+                    "is only legal inside DISE-called functions")
+            if info.opclass is OpClass.DISE_BRANCH:
+                skip = slot.imm
+                if not isinstance(skip, int) or skip < 0:
+                    raise DiseError(
+                        f"production {self.name!r} slot {index}: DISE branch "
+                        f"skip must be a non-negative literal, got {skip!r}")
+                if index + 1 + skip > last + 1:
+                    raise DiseError(
+                        f"production {self.name!r} slot {index}: DISE branch "
+                        f"skips past the end of the sequence")
+
+    def describe(self) -> str:
+        """Render in the paper's ``pattern => sequence`` notation."""
+        body = "\n    ".join(slot.describe() for slot in self.replacement)
+        return f"{self.pattern.describe()}\n  => {body}"
+
+    def __repr__(self) -> str:
+        return f"Production({self.name!r}, {len(self.replacement)} slots)"
+
+
+def _info(opcode: Opcode):
+    from repro.isa.opcodes import opcode_info
+    return opcode_info(opcode)
+
+
+def identity_production(pattern: Pattern, name: str = "identity") -> Production:
+    """A production that re-emits the trigger unchanged.
+
+    Used by the pattern-matching optimization of Section 4.2: a more
+    specific identity production (e.g. stores through ``sp``) overrides
+    the generic watchpoint production, so stack stores skip the check.
+    """
+    return Production(pattern, [TemplateInstruction(whole=True)], name=name)
+
+
+def total_replacement_slots(productions: Iterable[Production]) -> int:
+    """Total replacement-table instructions used by ``productions``."""
+    return sum(len(p) for p in productions)

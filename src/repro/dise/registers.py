@@ -1,0 +1,56 @@
+"""The DISE-private register file.
+
+DISE registers "can store temporary values within a replacement sequence
+or communicate values from one dynamic replacement sequence to a future
+one.  They give ACFs fast local and global storage without forcing them
+to save/restore or reserve application registers" (paper Section 3).
+
+The file is private: the functional executor only routes accesses here
+for DISE-inserted instructions and for ``d_mfr``/``d_mtr`` executed
+inside DISE-called functions.  Values are 64-bit.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DiseError
+
+MASK64 = (1 << 64) - 1
+
+
+class DiseRegisterFile:
+    """A small file of 64-bit DISE registers."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, count: int = 16):
+        if count <= 0:
+            raise DiseError(f"invalid DISE register count {count}")
+        self._values = [0] * count
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def read(self, index: int) -> int:
+        """Return the 64-bit value of DISE register ``index``."""
+        try:
+            return self._values[index]
+        except IndexError:
+            raise DiseError(f"DISE register dr{index} out of range "
+                            f"(file has {len(self._values)})")
+
+    def write(self, index: int, value: int) -> None:
+        """Set DISE register ``index`` (value truncated to 64 bits)."""
+        try:
+            self._values[index] = value & MASK64
+        except IndexError:
+            raise DiseError(f"DISE register dr{index} out of range "
+                            f"(file has {len(self._values)})")
+
+    def reset(self) -> None:
+        """Zero every register."""
+        for index in range(len(self._values)):
+            self._values[index] = 0
+
+    def snapshot(self) -> tuple[int, ...]:
+        """An immutable copy of all register values."""
+        return tuple(self._values)

@@ -1,0 +1,34 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.harness.experiment` -- single-cell experiment runner with
+  warm-up handling and baseline caching.
+* :mod:`repro.harness.tables` -- Table 1 (benchmark summary) and
+  Table 2 (watchpoint write frequencies).
+* :mod:`repro.harness.figures` -- Figures 3-9.
+* :mod:`repro.harness.report` -- text rendering of results.
+* :mod:`repro.harness.cli` -- the ``dise-repro`` command-line tool.
+"""
+
+from repro.harness.experiment import (ExperimentSettings, Cell,
+                                      run_baseline, run_cell,
+                                      clear_baseline_cache)
+from repro.harness.tables import table1, table2
+from repro.harness.figures import (figure3, figure4, figure5, figure6,
+                                   figure7, figure8, figure9)
+
+__all__ = [
+    "ExperimentSettings",
+    "Cell",
+    "run_baseline",
+    "run_cell",
+    "clear_baseline_cache",
+    "table1",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+]

@@ -1,0 +1,91 @@
+"""The ``dise-repro`` command-line tool.
+
+Regenerates any table or figure of the paper::
+
+    dise-repro table1
+    dise-repro fig3 --scale 2.0
+    dise-repro all
+
+``--scale`` multiplies the per-cell instruction budgets (default taken
+from the ``REPRO_SCALE`` environment variable, default 1.0).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiment import ExperimentSettings
+from repro.harness.figures import (figure3, figure4, figure5, figure6,
+                                   figure7, figure8, figure9, format_figure)
+from repro.harness.report import headline_summary
+from repro.harness.tables import (format_table1, format_table2, table1)
+
+_FIGURES = {
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+    "fig9": figure9,
+}
+
+_TARGETS = ("table1", "table2", *_FIGURES, "headline", "all")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and regenerate the requested exhibits."""
+    parser = argparse.ArgumentParser(
+        prog="dise-repro",
+        description="Regenerate tables/figures of 'Low-Overhead "
+                    "Interactive Debugging via Dynamic Instrumentation "
+                    "with DISE' (HPCA-11, 2005)")
+    parser.add_argument("target", choices=_TARGETS,
+                        help="which exhibit to regenerate")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="instruction-budget multiplier")
+    parser.add_argument("--chart", action="store_true",
+                        help="render figures as log-scale text bars")
+    parser.add_argument("--summary", action="store_true",
+                        help="append per-backend geomean summaries")
+    args = parser.parse_args(argv)
+    settings = ExperimentSettings.scaled(args.scale)
+
+    started = time.time()
+    targets = (["table1", *_FIGURES, "headline"] if args.target == "all"
+               else [args.target])
+    for target in targets:
+        _run_target(target, settings, chart=args.chart,
+                    summary=args.summary)
+    print(f"\n[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+def _run_target(target: str, settings: ExperimentSettings,
+                chart: bool = False, summary: bool = False) -> None:
+    if target in ("table1", "table2"):
+        rows = table1(settings)
+        print(format_table1(rows) if target == "table1"
+              else format_table2(rows))
+        return
+    if target == "headline":
+        print(headline_summary(figure3(settings)))
+        return
+    result = _FIGURES[target](settings)
+    if chart:
+        from repro.analysis import render_chart
+        print(render_chart(result))
+    else:
+        print(format_figure(result))
+    if summary:
+        from repro.analysis import summarize_figure
+        print()
+        print(summarize_figure(result, baseline_backend="dise"
+                               if any(c.backend == "dise"
+                                      for c in result.cells) else None))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Single-cell experiment runner.
+
+One *cell* is (benchmark, watchpoint kind, backend, conditional?,
+options) -> normalized execution time, following the paper's
+methodology:
+
+* each run first executes a warm-up interval (caches, TLBs, predictor
+  warm), then statistics reset and the measured interval runs;
+* every implementation executes the same number of *application*
+  instructions;
+* overhead is the measured cycle count normalized to an undebugged
+  baseline of the same benchmark (baselines are cached per settings).
+
+Unsupported combinations (e.g. hardware registers + INDIRECT) return a
+cell marked unsupported, mirroring the missing bars of Figures 3 and 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import MachineConfig, default_scale
+from repro.cpu.machine import Machine, RunResult
+from repro.debugger.session import DebugSession
+from repro.errors import UnsupportedWatchpointError
+from repro.workloads.benchmarks import (build_benchmark, watch_expression,
+                                        never_true_condition)
+
+_DEFAULT_MEASURE = 50_000
+_DEFAULT_WARMUP = 50_000
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Instruction budgets for one experiment family."""
+
+    measure_instructions: int = _DEFAULT_MEASURE
+    warmup_instructions: int = _DEFAULT_WARMUP
+
+    @classmethod
+    def scaled(cls, scale: Optional[float] = None) -> "ExperimentSettings":
+        factor = default_scale() if scale is None else scale
+        return cls(
+            measure_instructions=int(_DEFAULT_MEASURE * factor),
+            warmup_instructions=int(_DEFAULT_WARMUP * factor),
+        )
+
+
+@dataclass
+class Cell:
+    """One experiment cell's outcome."""
+
+    benchmark: str
+    kind: str
+    backend: str
+    overhead: Optional[float]  # None when unsupported
+    conditional: bool = False
+    user_transitions: int = 0
+    spurious_transitions: int = 0
+    unsupported_reason: str = ""
+    stats: object = None
+
+    @property
+    def supported(self) -> bool:
+        return self.overhead is not None
+
+
+_BASELINE_CACHE: dict[tuple, RunResult] = {}
+
+
+def clear_baseline_cache() -> None:
+    """Drop all cached baseline runs (used between tests)."""
+    _BASELINE_CACHE.clear()
+
+
+def run_baseline(benchmark: str,
+                 settings: Optional[ExperimentSettings] = None,
+                 config: Optional[MachineConfig] = None) -> RunResult:
+    """Undebugged run of ``benchmark`` (cached)."""
+    settings = settings or ExperimentSettings.scaled()
+    key = (benchmark, settings.measure_instructions,
+           settings.warmup_instructions, config)
+    cached = _BASELINE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    machine = Machine(build_benchmark(benchmark), config)
+    machine.run(settings.warmup_instructions)
+    machine.reset_stats()
+    result = machine.run(settings.measure_instructions)
+    _BASELINE_CACHE[key] = result
+    return result
+
+
+def run_cell(benchmark: str, kind: str, backend: str,
+             conditional: bool = False,
+             settings: Optional[ExperimentSettings] = None,
+             config: Optional[MachineConfig] = None,
+             watch_expressions: Optional[list[str]] = None,
+             **backend_options) -> Cell:
+    """Run one experiment cell and normalize against the baseline.
+
+    ``watch_expressions`` overrides the single standard expression (used
+    by the many-watchpoints experiment).
+    """
+    settings = settings or ExperimentSettings.scaled()
+    session = DebugSession(build_benchmark(benchmark), backend=backend,
+                           config=config, **backend_options)
+    try:
+        if watch_expressions is None:
+            condition = never_true_condition(kind) if conditional else None
+            session.watch(watch_expression(kind), condition=condition)
+        else:
+            for expression in watch_expressions:
+                condition = (f"{expression} == 0x0BADF00DDEADBEEF"
+                             if conditional else None)
+                session.watch(expression, condition=condition)
+        debugged = session.build_backend()
+    except UnsupportedWatchpointError as exc:
+        return Cell(benchmark, kind, backend, None, conditional,
+                    unsupported_reason=str(exc))
+
+    debugged.machine.run(settings.warmup_instructions)
+    debugged.machine.reset_stats()
+    result = debugged.machine.run(settings.measure_instructions)
+    baseline = run_baseline(benchmark, settings)
+    stats = result.stats
+    return Cell(
+        benchmark=benchmark,
+        kind=kind,
+        backend=backend,
+        overhead=result.overhead_vs(baseline),
+        conditional=conditional,
+        user_transitions=stats.user_transitions,
+        spurious_transitions=stats.spurious_transitions,
+        stats=stats,
+    )

@@ -1,0 +1,256 @@
+"""Reproductions of the paper's Figures 3-9.
+
+Each ``figureN`` function runs the corresponding experiment grid and
+returns a :class:`FigureResult`; ``format_figure(result)`` renders it as
+text.  Overheads are execution time normalized to the undebugged
+baseline, exactly as the paper plots them (log scale in Figures 3/4/6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.config import DEFAULT_CONFIG
+from repro.harness.experiment import Cell, ExperimentSettings, run_cell
+from repro.workloads.benchmarks import BENCHMARK_NAMES
+
+SCALAR_KINDS = ("HOT", "WARM1", "WARM2", "COLD")
+ALL_KINDS = SCALAR_KINDS + ("INDIRECT", "RANGE")
+COMPARED_BACKENDS = ("single_step", "virtual_memory", "hardware", "dise")
+
+# Paper Figure 6 configuration.
+FIG6_BENCHMARKS = ("crafty", "gcc", "vortex")
+FIG6_COUNTS = (1, 2, 3, 4, 5, 8, 16)
+# The many-watchpoint sets draw from the multi bank: plain scalars
+# whose writes always change values, so the hardware registers look as
+# good as they ever can below their capacity (matching the paper's
+# near-free hardware bars at 1-4 watchpoints) and the VM fallback's
+# page sharing dominates beyond it.
+FIG6_WATCH_ORDER = [f"multi{i}" for i in range(16)]
+
+# Paper Figure 7 configuration.
+FIG7_BENCHMARKS = ("bzip2", "mcf", "twolf")
+FIG7_VARIANTS = (
+    # (label, check, conditional_isa)
+    ("MA/EE +ccall", "match-address", True),
+    ("EE/-- +ctrap", "evaluate-expression", True),
+    ("MAV/-- +ctrap", "match-address-value", True),
+    ("MA/EE -ccall", "match-address", False),
+    ("EE/-- -ctrap", "evaluate-expression", False),
+    ("MAV/-- -ctrap", "match-address-value", False),
+)
+
+
+@dataclass
+class FigureResult:
+    """The outcome of one figure's experiment grid."""
+
+    name: str
+    description: str
+    cells: list[Cell]
+    row_keys: tuple[str, ...] = ()  # how to group rows when formatting
+    column_label: str = "backend"
+
+    def cell(self, **criteria) -> Optional[Cell]:
+        """First cell whose attributes match all ``criteria``."""
+        for cell in self.cells:
+            if all(getattr(cell, key) == value
+                   for key, value in criteria.items()):
+                return cell
+        return None
+
+    def overhead(self, **criteria) -> Optional[float]:
+        """Shorthand: the matching cell's overhead (None if absent)."""
+        cell = self.cell(**criteria)
+        return cell.overhead if cell else None
+
+
+def figure3(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES,
+            kinds: Sequence[str] = ALL_KINDS) -> FigureResult:
+    """Figure 3: four implementations of single unconditional
+    watchpoints across benchmarks and watchpoint kinds."""
+    cells = [
+        run_cell(bench, kind, backend, settings=settings)
+        for bench in benchmarks
+        for kind in kinds
+        for backend in COMPARED_BACKENDS
+    ]
+    return FigureResult(
+        "figure3",
+        "Comparison of four unconditional watchpoint implementations "
+        "(execution time normalized to baseline; log scale)",
+        cells,
+    )
+
+
+def figure4(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES,
+            kinds: Sequence[str] = ALL_KINDS) -> FigureResult:
+    """Figure 4: the same grid with a never-true condition attached."""
+    cells = [
+        run_cell(bench, kind, backend, conditional=True, settings=settings)
+        for bench in benchmarks
+        for kind in kinds
+        for backend in COMPARED_BACKENDS
+    ]
+    return FigureResult(
+        "figure4",
+        "Comparison of four conditional watchpoint implementations "
+        "(predicate never true)",
+        cells,
+    )
+
+
+def figure5(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES) -> FigureResult:
+    """Figure 5: DISE vs static binary rewriting on COLD watchpoints.
+
+    Binary rewriting's inlined checks inflate the static image and
+    degrade I-cache behaviour for large-footprint benchmarks.
+    """
+    cells = []
+    for bench in benchmarks:
+        cells.append(run_cell(bench, "COLD", "dise", settings=settings))
+        cells.append(run_cell(bench, "COLD", "binary_rewrite",
+                              settings=settings))
+    return FigureResult(
+        "figure5",
+        "DISE vs binary rewriting, COLD watchpoint (I-cache effects)",
+        cells,
+    )
+
+
+def figure6(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = FIG6_BENCHMARKS,
+            counts: Sequence[int] = FIG6_COUNTS) -> FigureResult:
+    """Figure 6: 1-16 watchpoints.
+
+    Hardware registers (VM fallback beyond four) vs three DISE
+    replacement-sequence strategies: serial address match, bytewise
+    Bloom, bitwise Bloom.
+    """
+    cells = []
+    for bench in benchmarks:
+        for count in counts:
+            expressions = FIG6_WATCH_ORDER[:count]
+            cells.append(run_cell(
+                bench, f"N={count}", "hardware", settings=settings,
+                watch_expressions=expressions))
+            for label, strategy in (("dise-serial", "serial"),
+                                    ("dise-bloom-byte", "bloom-byte"),
+                                    ("dise-bloom-bit", "bloom-bit")):
+                cell = run_cell(
+                    bench, f"N={count}", "dise", settings=settings,
+                    watch_expressions=expressions,
+                    multi_strategy=strategy)
+                cell.backend = label
+                cells.append(cell)
+    return FigureResult(
+        "figure6",
+        "Impact of the number of watchpoints (hardware+VM fallback vs "
+        "DISE serial / bytewise-Bloom / bitwise-Bloom)",
+        cells,
+    )
+
+
+def figure7(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = FIG7_BENCHMARKS,
+            kinds: Sequence[str] = SCALAR_KINDS) -> FigureResult:
+    """Figure 7: six DISE replacement-sequence organizations.
+
+    {Match-Address/Evaluate-Expression, Evaluate-Expression/--,
+    Match-Address-Value/--} x {with, without} the conditional
+    call/trap DISE-ISA extension.
+    """
+    cells = []
+    for bench in benchmarks:
+        for kind in kinds:
+            for label, check, cond_isa in FIG7_VARIANTS:
+                cell = run_cell(
+                    bench, kind, "dise", settings=settings,
+                    check=check, conditional_isa=cond_isa)
+                cell.backend = label
+                cells.append(cell)
+    return FigureResult(
+        "figure7",
+        "Alternate DISE implementations (top: with conditional "
+        "call/trap; bottom: without)",
+        cells,
+    )
+
+
+def figure8(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES,
+            kinds: Sequence[str] = SCALAR_KINDS) -> FigureResult:
+    """Figure 8: multithreaded execution of DISE-called functions."""
+    mt_config = DEFAULT_CONFIG.with_(multithreaded_dise_calls=True)
+    cells = []
+    for bench in benchmarks:
+        for kind in kinds:
+            base = run_cell(bench, kind, "dise", settings=settings)
+            base.backend = "dise"
+            cells.append(base)
+            mt = run_cell(bench, kind, "dise", settings=settings,
+                          config=mt_config)
+            mt.backend = "dise-mt"
+            cells.append(mt)
+    return FigureResult(
+        "figure8",
+        "DISE overhead with and without multithreaded function calls",
+        cells,
+    )
+
+
+def figure9(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES) -> FigureResult:
+    """Figure 9: cost of protecting the debugger's embedded structures
+    (COLD watchpoint; the Figure 2f store-checking production)."""
+    cells = []
+    for bench in benchmarks:
+        plain = run_cell(bench, "COLD", "dise", settings=settings)
+        plain.backend = "dise"
+        cells.append(plain)
+        protected = run_cell(bench, "COLD", "dise", settings=settings,
+                             protect=True)
+        protected.backend = "dise-protected"
+        cells.append(protected)
+    return FigureResult(
+        "figure9",
+        "Cost of protecting debugger structures (COLD watchpoint)",
+        cells,
+    )
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render a figure's cells as an aligned text table."""
+    backends = []
+    for cell in result.cells:
+        if cell.backend not in backends:
+            backends.append(cell.backend)
+    rows: dict[tuple[str, str], dict[str, Cell]] = {}
+    for cell in result.cells:
+        rows.setdefault((cell.benchmark, cell.kind), {})[cell.backend] = cell
+    width = max(len(b) for b in backends) + 2
+    lines = [result.name + ": " + result.description,
+             f"{'bench':8s} {'watch':10s}"
+             + "".join(f"{b:>{width}s}" for b in backends)]
+    for (bench, kind), by_backend in rows.items():
+        cells = []
+        for backend in backends:
+            cell = by_backend.get(backend)
+            if cell is None or cell.overhead is None:
+                cells.append(f"{'--':>{width}s}")
+            else:
+                cells.append(f"{_fmt(cell.overhead):>{width}s}")
+        lines.append(f"{bench:8s} {kind:10s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(overhead: float) -> str:
+    if overhead >= 1000:
+        return f"{overhead:,.0f}"
+    if overhead >= 10:
+        return f"{overhead:.1f}"
+    return f"{overhead:.2f}"

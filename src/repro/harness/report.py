@@ -1,0 +1,46 @@
+"""Text reporting helpers shared by the CLI and EXPERIMENTS.md tooling."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.harness.figures import FigureResult, format_figure
+from repro.harness.tables import (BenchmarkCharacterization, format_table1,
+                                  format_table2)
+
+
+def render(results: Iterable) -> str:
+    """Render a mixed list of figure/table results."""
+    parts = []
+    for result in results:
+        if isinstance(result, FigureResult):
+            parts.append(format_figure(result))
+        elif isinstance(result, list) and result and isinstance(
+                result[0], BenchmarkCharacterization):
+            parts.append(format_table1(result))
+            parts.append(format_table2(result))
+        else:
+            parts.append(str(result))
+    return "\n\n".join(parts)
+
+
+def headline_summary(fig3: FigureResult) -> str:
+    """The paper's abstract claims, checked against measured data.
+
+    * single-stepping slows programs by thousands to tens of thousands
+      of times;
+    * DISE "typically limits debugging overhead to 25% or less".
+    """
+    single_step = [c.overhead for c in fig3.cells
+                   if c.backend == "single_step" and c.overhead]
+    dise = [c.overhead for c in fig3.cells
+            if c.backend == "dise" and c.overhead]
+    dise_typical = sorted(dise)[len(dise) // 2] if dise else float("nan")
+    lines = [
+        "Headline claims vs measurement:",
+        f"  single-stepping slowdown: {min(single_step):,.0f}x - "
+        f"{max(single_step):,.0f}x (paper: 6,000x - 40,000x)",
+        f"  DISE overhead: median {dise_typical - 1:.1%}, max "
+        f"{max(dise) - 1:.1%} (paper: typically <= 25%)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""A programmatic code builder.
+
+:class:`CodeBuilder` offers one method per mnemonic (``addq``, ``ldq``,
+``beq``, ...) so generators can emit code without going through text.
+Registers may be given as names (``"r4"``, ``"sp"``, ``"dr0"``) or raw
+numbers.  Branch targets and data symbols are given as label strings and
+resolved by :meth:`repro.isa.program.Program.finalize`.
+
+Example::
+
+    b = CodeBuilder("counter-loop")
+    b.data_quad("counter", 0)
+    b.label("main")
+    b.stmt()
+    b.lda("r1", "counter")
+    b.ldq("r2", 0, "r1")
+    b.addq("r2", 1, "r2")
+    b.stq("r2", 0, "r1")
+    b.cmpeq("r2", 10, "r3")
+    b.beq("r3", "main")
+    b.halt()
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.errors import AssemblyError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, opcode_for_mnemonic, opcode_info
+from repro.isa.program import DataItem, Program
+from repro.isa.registers import ZERO_REG, parse_register
+
+RegLike = Union[int, str]
+TargetLike = Union[int, str]
+
+
+def _reg(value: RegLike) -> int:
+    if isinstance(value, int):
+        return value
+    return parse_register(value)
+
+
+def _reg_or_imm(value: Union[RegLike, int]) -> tuple[Optional[int], int]:
+    """Middle operand of operate format: register name/str, else immediate."""
+    if isinstance(value, str):
+        return parse_register(value), 0
+    return None, int(value)
+
+
+class CodeBuilder:
+    """Incrementally builds a :class:`Program`."""
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self.data_items: list[DataItem] = []
+        self.statement_starts: set[int] = set()
+        self._pending_statement = False
+
+    # -- structure ---------------------------------------------------------
+
+    def label(self, name: str) -> "CodeBuilder":
+        """Define a label at the next instruction (starts a statement)."""
+        if name in self.labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+        self._pending_statement = True
+        return self
+
+    def stmt(self) -> "CodeBuilder":
+        """Mark the next emitted instruction as a source-statement start."""
+        self._pending_statement = True
+        return self
+
+    def emit(self, inst: Instruction) -> "CodeBuilder":
+        """Append one prebuilt instruction."""
+        if self._pending_statement:
+            self.statement_starts.add(len(self.instructions))
+            self._pending_statement = False
+        self.instructions.append(inst)
+        return self
+
+    def extend(self, insts: Iterable[Instruction]) -> "CodeBuilder":
+        """Append several prebuilt instructions."""
+        for inst in insts:
+            self.emit(inst)
+        return self
+
+    @property
+    def here(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self.instructions)
+
+    def unique_label(self, prefix: str) -> str:
+        """Return a label name not yet used, derived from ``prefix``."""
+        candidate = f"{prefix}_{len(self.instructions)}"
+        suffix = 0
+        while candidate in self.labels:
+            suffix += 1
+            candidate = f"{prefix}_{len(self.instructions)}_{suffix}"
+        return candidate
+
+    # -- data segment --------------------------------------------------------
+
+    def data_quad(self, name: str, *values: int, align: int = 8) -> "CodeBuilder":
+        """Define a named block of 8-byte values."""
+        blob = b"".join((v & 0xFFFF_FFFF_FFFF_FFFF).to_bytes(8, "little")
+                        for v in values)
+        self.data_items.append(DataItem(name, max(len(blob), 8), blob or None,
+                                        align))
+        return self
+
+    def data_space(self, name: str, size: int, align: int = 8) -> "CodeBuilder":
+        """Define a named zero-initialized block."""
+        self.data_items.append(DataItem(name, size, None, align))
+        return self
+
+    def data_bytes(self, name: str, blob: bytes, align: int = 8) -> "CodeBuilder":
+        """Define a named block with explicit contents."""
+        self.data_items.append(DataItem(name, len(blob), blob, align))
+        return self
+
+    # -- instruction emitters ------------------------------------------------
+
+    def op(self, mnemonic: str, *operands) -> "CodeBuilder":
+        """Generic emitter: dispatch on the opcode's format."""
+        opcode = opcode_for_mnemonic(mnemonic)
+        return self.emit(self._make(opcode, operands))
+
+    def __getattr__(self, mnemonic: str):
+        # Builder methods are generated from mnemonics; "and_" avoids the
+        # Python keyword.
+        lookup = mnemonic.rstrip("_")
+        try:
+            opcode = opcode_for_mnemonic(lookup)
+        except KeyError:
+            raise AttributeError(mnemonic)
+
+        def emitter(*operands) -> "CodeBuilder":
+            return self.emit(self._make(opcode, operands))
+
+        emitter.__name__ = lookup
+        return emitter
+
+    def _make(self, opcode: Opcode, ops: tuple) -> Instruction:
+        fmt = opcode_info(opcode).format
+        if fmt is Format.OPERATE:
+            if opcode is Opcode.MOV:
+                rs1, rd = ops
+                return Instruction(opcode, rd=_reg(rd), rs1=_reg(rs1))
+            rs1, middle, rd = ops
+            rs2, imm = _reg_or_imm(middle)
+            return Instruction(opcode, rd=_reg(rd), rs1=_reg(rs1),
+                               rs2=rs2, imm=imm)
+        if fmt is Format.MEMORY:
+            if len(ops) == 2:  # (rd, symbol) absolute form
+                rd, symbol = ops
+                return Instruction(opcode, rd=_reg(rd), rs1=ZERO_REG,
+                                   imm=symbol)
+            rd, disp, base = ops
+            return Instruction(opcode, rd=_reg(rd), rs1=_reg(base), imm=disp)
+        if fmt is Format.BRANCH:
+            rs1, target = ops
+            return Instruction(opcode, rs1=_reg(rs1), target=target)
+        if fmt is Format.JUMP:
+            if opcode is Opcode.BR:
+                (target,) = ops
+                return Instruction(opcode, target=target)
+            if opcode is Opcode.JSR:
+                rd, target = ops
+                return Instruction(opcode, rd=_reg(rd), target=target)
+            (rs1,) = ops
+            return Instruction(opcode, rs1=_reg(rs1))
+        if fmt is Format.CTRAP:
+            (rs1,) = ops
+            return Instruction(opcode, rs1=_reg(rs1))
+        if fmt is Format.CODEWORD:
+            (imm,) = ops
+            return Instruction(opcode, imm=int(imm))
+        if fmt is Format.DISE_BRANCH:
+            if opcode is Opcode.D_BR:
+                (skip,) = ops
+                return Instruction(opcode, imm=int(skip))
+            rs1, skip = ops
+            return Instruction(opcode, rs1=_reg(rs1), imm=int(skip))
+        if fmt is Format.DISE_CALL:
+            if opcode is Opcode.D_CCALL:
+                rs1, target = ops
+                return Instruction(opcode, rs1=_reg(rs1), target=target)
+            (target,) = ops
+            return Instruction(opcode, target=target)
+        if fmt is Format.DISE_MOVE:
+            first, index = ops
+            if opcode is Opcode.D_MFR:
+                return Instruction(opcode, rd=_reg(first), imm=int(index))
+            return Instruction(opcode, rs1=_reg(first), imm=int(index))
+        if ops:
+            raise AssemblyError(
+                f"{opcode_info(opcode).mnemonic} takes no operands")
+        return Instruction(opcode)
+
+    # -- completion --------------------------------------------------------
+
+    def build(self, entry: Union[str, int, None] = None) -> Program:
+        """Finalize into a :class:`Program`."""
+        if entry is None:
+            entry = "main" if "main" in self.labels else 0
+        program = Program(
+            self.instructions,
+            labels=self.labels,
+            data_items=self.data_items,
+            statement_starts=self.statement_starts,
+            entry=entry,
+            name=self.name,
+        )
+        return program.finalize()

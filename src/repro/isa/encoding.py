@@ -1,0 +1,88 @@
+"""Binary encoding and decoding of instructions.
+
+Instructions encode to a fixed 16-byte little-endian record::
+
+    bytes 0-1   opcode
+    bytes 2-3   rd   (0xFFFF when absent)
+    bytes 4-5   rs1  (0xFFFF when absent)
+    bytes 6-7   rs2  (0xFFFF when absent)
+    bytes 8-15  imm or resolved target (signed 64-bit)
+
+Formats with a branch/call target store the resolved target in the
+immediate slot; symbolic (unresolved) operands cannot be encoded.  The
+encoding exists to make programs serializable and to provide a strict
+round-trip invariant for property-based testing; the simulator itself
+executes :class:`Instruction` objects directly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, opcode_info
+
+INSTRUCTION_RECORD_BYTES = 16
+_STRUCT = struct.Struct("<HHHHq")
+_ABSENT = 0xFFFF
+
+_TARGET_FORMATS = frozenset(
+    {Format.BRANCH, Format.JUMP, Format.DISE_CALL})
+
+
+def encode_instruction(inst: Instruction) -> bytes:
+    """Encode ``inst`` into its 16-byte record."""
+    fmt = inst.info.format
+    if fmt in _TARGET_FORMATS and inst.target is not None:
+        if isinstance(inst.target, str):
+            raise EncodingError(
+                f"cannot encode unresolved target {inst.target!r}")
+        payload = inst.target
+    else:
+        if isinstance(inst.imm, str):
+            raise EncodingError(f"cannot encode unresolved symbol {inst.imm!r}")
+        payload = inst.imm
+    return _STRUCT.pack(
+        int(inst.opcode),
+        _ABSENT if inst.rd is None else inst.rd,
+        _ABSENT if inst.rs1 is None else inst.rs1,
+        _ABSENT if inst.rs2 is None else inst.rs2,
+        payload,
+    )
+
+
+def decode_instruction(record: bytes) -> Instruction:
+    """Decode a 16-byte record back into an :class:`Instruction`."""
+    if len(record) != INSTRUCTION_RECORD_BYTES:
+        raise EncodingError(
+            f"expected {INSTRUCTION_RECORD_BYTES} bytes, got {len(record)}")
+    raw_op, rd, rs1, rs2, payload = _STRUCT.unpack(record)
+    try:
+        opcode = Opcode(raw_op)
+    except ValueError:
+        raise EncodingError(f"unknown opcode value {raw_op}")
+    fmt = opcode_info(opcode).format
+    kwargs = dict(
+        rd=None if rd == _ABSENT else rd,
+        rs1=None if rs1 == _ABSENT else rs1,
+        rs2=None if rs2 == _ABSENT else rs2,
+    )
+    if fmt in _TARGET_FORMATS:
+        return Instruction(opcode, target=payload, **kwargs)
+    return Instruction(opcode, imm=payload, **kwargs)
+
+
+def encode_program_text(instructions) -> bytes:
+    """Encode a sequence of instructions into a contiguous blob."""
+    return b"".join(encode_instruction(inst) for inst in instructions)
+
+
+def decode_program_text(blob: bytes) -> list[Instruction]:
+    """Decode a blob produced by :func:`encode_program_text`."""
+    if len(blob) % INSTRUCTION_RECORD_BYTES:
+        raise EncodingError("blob length is not a multiple of the record size")
+    return [
+        decode_instruction(blob[offset:offset + INSTRUCTION_RECORD_BYTES])
+        for offset in range(0, len(blob), INSTRUCTION_RECORD_BYTES)
+    ]

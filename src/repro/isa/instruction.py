@@ -1,0 +1,154 @@
+"""The :class:`Instruction` record and its disassembly.
+
+Instructions are plain records: an opcode plus register/immediate/target
+operands.  Field use by format (see :class:`repro.isa.opcodes.Format`):
+
+==============  ======================================================
+Format          Operand fields
+==============  ======================================================
+OPERATE         ``rs1``, (``rs2`` or ``imm``), ``rd``
+MEMORY          ``rd`` (data reg; written by loads, read by stores),
+                ``imm`` (displacement), ``rs1`` (base register)
+BRANCH          ``rs1`` (condition), ``target``
+JUMP            ``br target`` / ``jsr rd, target`` / ``jmp (rs1)`` /
+                ``ret rs1``
+CTRAP           ``rs1``
+CODEWORD        ``imm`` (codeword identifier)
+DISE_BRANCH     ``rs1`` (absent for ``d_br``), ``imm`` (skip distance)
+DISE_CALL       ``rs1`` (``d_ccall`` only), ``target``
+DISE_MOVE       ``d_mfr rd, imm`` / ``d_mtr rs1, imm``
+                (``imm`` is the DISE register index)
+MISC, DISE_RET  none
+==============  ======================================================
+
+``target`` may be a label string before assembly resolution, or an
+absolute PC afterwards.  Instructions should be treated as immutable
+once built; the assembler mutates ``target`` during its second pass
+only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.isa.opcodes import Format, Opcode, OpClass, OpInfo, opcode_info
+from repro.isa.registers import register_name
+
+TargetType = Union[int, str, None]
+
+
+class Instruction:
+    """One machine instruction."""
+
+    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "info")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        rd: Optional[int] = None,
+        rs1: Optional[int] = None,
+        rs2: Optional[int] = None,
+        imm: int = 0,
+        target: TargetType = None,
+    ):
+        self.opcode = opcode
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        self.target = target
+        self.info: OpInfo = opcode_info(opcode)
+
+    # -- convenience predicates (delegate to static metadata) ------------
+
+    @property
+    def opclass(self) -> OpClass:
+        return self.info.opclass
+
+    @property
+    def is_store(self) -> bool:
+        return self.info.opclass is OpClass.STORE
+
+    @property
+    def is_load(self) -> bool:
+        return self.info.opclass is OpClass.LOAD
+
+    @property
+    def is_control(self) -> bool:
+        return self.info.is_control
+
+    @property
+    def mem_size(self) -> int:
+        return self.info.mem_size
+
+    def copy(self) -> "Instruction":
+        """Return a shallow copy (used by rewriting and templates)."""
+        return Instruction(self.opcode, self.rd, self.rs1, self.rs2,
+                           self.imm, self.target)
+
+    # -- equality / hashing / display ------------------------------------
+
+    def _key(self):
+        return (self.opcode, self.rd, self.rs1, self.rs2, self.imm, self.target)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Instruction) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return f"Instruction({self.disassemble()})"
+
+    def disassemble(self) -> str:
+        """Render the instruction as assembly text.
+
+        The output is accepted by :func:`repro.isa.assembler.assemble`,
+        giving a round-trip property exercised by the test suite.
+        """
+        info = self.info
+        mn = info.mnemonic
+        fmt = info.format
+        if fmt is Format.OPERATE:
+            if self.opcode is Opcode.MOV:
+                return f"{mn} {register_name(self.rs1)}, {register_name(self.rd)}"
+            second = register_name(self.rs2) if self.rs2 is not None else str(self.imm)
+            return (f"{mn} {register_name(self.rs1)}, {second}, "
+                    f"{register_name(self.rd)}")
+        if fmt is Format.MEMORY:
+            return f"{mn} {register_name(self.rd)}, {self.imm}({register_name(self.rs1)})"
+        if fmt is Format.BRANCH:
+            return f"{mn} {register_name(self.rs1)}, {_target_str(self.target)}"
+        if fmt is Format.JUMP:
+            if self.opcode is Opcode.BR:
+                return f"{mn} {_target_str(self.target)}"
+            if self.opcode is Opcode.JSR:
+                return f"{mn} {register_name(self.rd)}, {_target_str(self.target)}"
+            # jmp / ret: indirect through rs1
+            return f"{mn} ({register_name(self.rs1)})"
+        if fmt is Format.CTRAP:
+            return f"{mn} {register_name(self.rs1)}"
+        if fmt is Format.CODEWORD:
+            return f"{mn} {self.imm}"
+        if fmt is Format.DISE_BRANCH:
+            if self.opcode is Opcode.D_BR:
+                return f"{mn} +{self.imm}"
+            return f"{mn} {register_name(self.rs1)}, +{self.imm}"
+        if fmt is Format.DISE_CALL:
+            if self.opcode is Opcode.D_CCALL:
+                return f"{mn} {register_name(self.rs1)}, {_target_str(self.target)}"
+            return f"{mn} {_target_str(self.target)}"
+        if fmt is Format.DISE_MOVE:
+            if self.opcode is Opcode.D_MFR:
+                return f"{mn} {register_name(self.rd)}, {self.imm}"
+            return f"{mn} {register_name(self.rs1)}, {self.imm}"
+        # MISC / DISE_RET
+        return mn
+
+
+def _target_str(target: TargetType) -> str:
+    if target is None:
+        return "<unresolved>"
+    if isinstance(target, str):
+        return target
+    return f"{target:#x}"

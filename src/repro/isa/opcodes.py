@@ -1,0 +1,241 @@
+"""Opcode and operand-class definitions for the Alpha-like ISA.
+
+Each opcode carries static metadata (:class:`OpInfo`) describing its
+assembly format, operand usage, and memory behaviour.  The metadata drives
+the assembler, the disassembler, the functional executor's dispatch, and
+the DISE pattern matcher (which matches on :class:`OpClass`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum, unique
+
+
+@unique
+class OpClass(IntEnum):
+    """Coarse instruction classes; DISE patterns match on these."""
+
+    ALU = 0
+    LOAD = 1
+    STORE = 2
+    BRANCH = 3  # conditional, PC-relative
+    JUMP = 4  # unconditional direct/indirect, calls, returns
+    TRAP = 5
+    NOP = 6
+    HALT = 7
+    CODEWORD = 8
+    DISE_BRANCH = 9  # changes DISEPC only
+    DISE_CALL = 10  # d_call / d_ccall
+    DISE_RET = 11
+    DISE_MOVE = 12  # d_mfr / d_mtr
+
+
+@unique
+class Format(Enum):
+    """Assembly/operand format of an opcode."""
+
+    OPERATE = "operate"  # op rs1, rs2_or_imm, rd
+    MEMORY = "memory"  # op rd, imm(rs1)        (rd is data reg for stores)
+    BRANCH = "branch"  # op rs1, target
+    JUMP = "jump"  # br target | jsr rd, target | jmp (rs1) | ret rs1
+    MISC = "misc"  # nop, trap, halt
+    CTRAP = "ctrap"  # ctrap rs1
+    CODEWORD = "codeword"  # codeword imm
+    DISE_BRANCH = "dise_branch"  # d_beq rs1, +imm | d_br +imm
+    DISE_CALL = "dise_call"  # d_call target | d_ccall rs1, target
+    DISE_RET = "dise_ret"  # d_ret
+    DISE_MOVE = "dise_move"  # d_mfr rd, imm | d_mtr rs1, imm
+
+
+@unique
+class Opcode(IntEnum):
+    """All opcodes of the simulated ISA."""
+
+    # Memory format.
+    LDQ = 0  # load 8 bytes
+    LDL = 1  # load 4 bytes
+    LDW = 2  # load 2 bytes
+    LDB = 3  # load 1 byte
+    STQ = 4  # store 8 bytes
+    STL = 5  # store 4 bytes
+    STW = 6  # store 2 bytes
+    STB = 7  # store 1 byte
+    LDA = 8  # load address: rd = rs1 + imm (ALU class; no memory access)
+
+    # Operate format.
+    ADDQ = 16
+    SUBQ = 17
+    MULQ = 18
+    AND = 19
+    BIS = 20  # bitwise or
+    XOR = 21
+    BIC = 22  # bitwise and-not
+    SLL = 23
+    SRL = 24
+    SRA = 25
+    CMPEQ = 26
+    CMPLT = 27
+    CMPLE = 28
+    CMPULT = 29
+    CMPULE = 30
+    MOV = 31  # rd = rs1
+
+    # Control.
+    BEQ = 40
+    BNE = 41
+    BLT = 42
+    BGE = 43
+    BLE = 44
+    BGT = 45
+    BR = 46  # unconditional, PC-relative/label
+    JSR = 47  # jump to subroutine: rd = return address
+    JMP = 48  # indirect jump through rs1
+    RET = 49  # return through rs1
+
+    # Misc / system.
+    NOP = 56
+    TRAP = 57  # trap to the debugger
+    HALT = 58
+    CTRAP = 59  # conditional trap: trap if rs1 != 0 (DISE-ISA extension)
+    CODEWORD = 60  # reserved opcode; exists only to match a DISE pattern
+
+    # DISE-only control (legal only inside replacement sequences).
+    D_BEQ = 64  # skip imm replacement instructions if rs1 == 0
+    D_BNE = 65  # skip imm replacement instructions if rs1 != 0
+    D_BR = 66  # unconditional DISEPC skip
+    D_CALL = 67  # call a conventional function from a replacement sequence
+    D_CCALL = 68  # conditional d_call: call if rs1 != 0
+
+    # DISE-function instructions (legal only inside DISE-called functions).
+    D_RET = 72  # return from a DISE-called function, re-enable expansion
+    D_MFR = 73  # rd = dise_reg[imm]
+    D_MTR = 74  # dise_reg[imm] = rs1
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one opcode."""
+
+    mnemonic: str
+    opclass: OpClass
+    format: Format
+    mem_size: int = 0  # bytes accessed (loads/stores only)
+    writes_rd: bool = False
+    reads_rs1: bool = False
+    reads_rs2: bool = False
+    reads_rd: bool = False  # stores read the data register held in rd
+    dise_only: bool = False  # legal only inside replacement sequences
+    dise_function_only: bool = False  # legal only inside DISE-called functions
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_control(self) -> bool:
+        return self.opclass in (OpClass.BRANCH, OpClass.JUMP)
+
+
+def _mem(mnemonic: str, opclass: OpClass, size: int, *, store: bool) -> OpInfo:
+    if store:
+        return OpInfo(mnemonic, opclass, Format.MEMORY, mem_size=size,
+                      reads_rs1=True, reads_rd=True)
+    return OpInfo(mnemonic, opclass, Format.MEMORY, mem_size=size,
+                  writes_rd=True, reads_rs1=True)
+
+
+def _op(mnemonic: str) -> OpInfo:
+    return OpInfo(mnemonic, OpClass.ALU, Format.OPERATE,
+                  writes_rd=True, reads_rs1=True, reads_rs2=True)
+
+
+_INFO: dict[Opcode, OpInfo] = {
+    Opcode.LDQ: _mem("ldq", OpClass.LOAD, 8, store=False),
+    Opcode.LDL: _mem("ldl", OpClass.LOAD, 4, store=False),
+    Opcode.LDW: _mem("ldw", OpClass.LOAD, 2, store=False),
+    Opcode.LDB: _mem("ldb", OpClass.LOAD, 1, store=False),
+    Opcode.STQ: _mem("stq", OpClass.STORE, 8, store=True),
+    Opcode.STL: _mem("stl", OpClass.STORE, 4, store=True),
+    Opcode.STW: _mem("stw", OpClass.STORE, 2, store=True),
+    Opcode.STB: _mem("stb", OpClass.STORE, 1, store=True),
+    Opcode.LDA: OpInfo("lda", OpClass.ALU, Format.MEMORY,
+                       writes_rd=True, reads_rs1=True),
+    Opcode.ADDQ: _op("addq"),
+    Opcode.SUBQ: _op("subq"),
+    Opcode.MULQ: _op("mulq"),
+    Opcode.AND: _op("and"),
+    Opcode.BIS: _op("bis"),
+    Opcode.XOR: _op("xor"),
+    Opcode.BIC: _op("bic"),
+    Opcode.SLL: _op("sll"),
+    Opcode.SRL: _op("srl"),
+    Opcode.SRA: _op("sra"),
+    Opcode.CMPEQ: _op("cmpeq"),
+    Opcode.CMPLT: _op("cmplt"),
+    Opcode.CMPLE: _op("cmple"),
+    Opcode.CMPULT: _op("cmpult"),
+    Opcode.CMPULE: _op("cmpule"),
+    Opcode.MOV: OpInfo("mov", OpClass.ALU, Format.OPERATE,
+                       writes_rd=True, reads_rs1=True),
+    Opcode.BEQ: OpInfo("beq", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BNE: OpInfo("bne", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BLT: OpInfo("blt", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BGE: OpInfo("bge", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BLE: OpInfo("ble", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BGT: OpInfo("bgt", OpClass.BRANCH, Format.BRANCH, reads_rs1=True),
+    Opcode.BR: OpInfo("br", OpClass.JUMP, Format.JUMP),
+    Opcode.JSR: OpInfo("jsr", OpClass.JUMP, Format.JUMP, writes_rd=True),
+    Opcode.JMP: OpInfo("jmp", OpClass.JUMP, Format.JUMP, reads_rs1=True),
+    Opcode.RET: OpInfo("ret", OpClass.JUMP, Format.JUMP, reads_rs1=True),
+    Opcode.NOP: OpInfo("nop", OpClass.NOP, Format.MISC),
+    Opcode.TRAP: OpInfo("trap", OpClass.TRAP, Format.MISC),
+    Opcode.HALT: OpInfo("halt", OpClass.HALT, Format.MISC),
+    Opcode.CTRAP: OpInfo("ctrap", OpClass.TRAP, Format.CTRAP, reads_rs1=True),
+    Opcode.CODEWORD: OpInfo("codeword", OpClass.CODEWORD, Format.CODEWORD),
+    Opcode.D_BEQ: OpInfo("d_beq", OpClass.DISE_BRANCH, Format.DISE_BRANCH,
+                         reads_rs1=True, dise_only=True),
+    Opcode.D_BNE: OpInfo("d_bne", OpClass.DISE_BRANCH, Format.DISE_BRANCH,
+                         reads_rs1=True, dise_only=True),
+    Opcode.D_BR: OpInfo("d_br", OpClass.DISE_BRANCH, Format.DISE_BRANCH,
+                        dise_only=True),
+    Opcode.D_CALL: OpInfo("d_call", OpClass.DISE_CALL, Format.DISE_CALL,
+                          dise_only=True),
+    Opcode.D_CCALL: OpInfo("d_ccall", OpClass.DISE_CALL, Format.DISE_CALL,
+                           reads_rs1=True, dise_only=True),
+    Opcode.D_RET: OpInfo("d_ret", OpClass.DISE_RET, Format.DISE_RET,
+                         dise_function_only=True),
+    Opcode.D_MFR: OpInfo("d_mfr", OpClass.DISE_MOVE, Format.DISE_MOVE,
+                         writes_rd=True, dise_function_only=True),
+    Opcode.D_MTR: OpInfo("d_mtr", OpClass.DISE_MOVE, Format.DISE_MOVE,
+                         reads_rs1=True, dise_function_only=True),
+}
+
+_BY_MNEMONIC: dict[str, Opcode] = {info.mnemonic: op for op, info in _INFO.items()}
+
+
+def opcode_info(opcode: Opcode) -> OpInfo:
+    """Return the static metadata for ``opcode``."""
+    return _INFO[opcode]
+
+
+def opcode_for_mnemonic(mnemonic: str) -> Opcode:
+    """Look up an opcode by its assembly mnemonic.
+
+    Raises :class:`KeyError` if the mnemonic is unknown.
+    """
+    return _BY_MNEMONIC[mnemonic]
+
+
+def all_mnemonics() -> tuple[str, ...]:
+    """Return all known mnemonics (useful for tooling and tests)."""
+    return tuple(sorted(_BY_MNEMONIC))
+
+
+# Store opcode for a given access size, used by code generators.
+STORE_FOR_SIZE = {8: Opcode.STQ, 4: Opcode.STL, 2: Opcode.STW, 1: Opcode.STB}
+LOAD_FOR_SIZE = {8: Opcode.LDQ, 4: Opcode.LDL, 2: Opcode.LDW, 1: Opcode.LDB}

@@ -1,0 +1,74 @@
+"""Register naming for the Alpha-like ISA plus the DISE register space.
+
+General-purpose registers are ``r0``..``r31``.  Following Alpha
+conventions, ``r30`` is the stack pointer (``sp``), ``r26`` the return
+address (``ra``), ``r29`` the global pointer (``gp``), and ``r31`` reads
+as zero and ignores writes.
+
+DISE registers (``dr0``..``drN``) live in a separate, DISE-private space
+(paper Section 3: "dr0 is a DISE register accessible only to replacement
+instructions").  They are encoded as register indices at
+``DISE_REG_BASE + k`` so a single integer identifies any register; the
+functional executor enforces that only DISE-inserted instructions (and
+``d_mfr``/``d_mtr`` in DISE-called functions) may touch them.
+"""
+
+from __future__ import annotations
+
+NUM_GPRS = 32
+ZERO_REG = 31  # reads as zero, writes discarded
+SP = 30  # stack pointer
+GP = 29  # global pointer
+RA = 26  # conventional return-address register
+
+DISE_REG_BASE = 64
+
+_ALIASES = {"sp": SP, "gp": GP, "ra": RA, "zero": ZERO_REG}
+_ALIAS_NAMES = {SP: "sp", GP: "gp", RA: "ra"}
+
+
+def dise_reg(index: int) -> int:
+    """Return the encoded register number of DISE register ``index``."""
+    if index < 0:
+        raise ValueError(f"negative DISE register index {index}")
+    return DISE_REG_BASE + index
+
+
+def is_dise_reg(reg: int) -> bool:
+    """True if ``reg`` encodes a DISE register."""
+    return reg >= DISE_REG_BASE
+
+
+def dise_reg_index(reg: int) -> int:
+    """Return the index within the DISE register file for ``reg``."""
+    if not is_dise_reg(reg):
+        raise ValueError(f"register {reg} is not a DISE register")
+    return reg - DISE_REG_BASE
+
+
+def register_name(reg: int) -> str:
+    """Render a register number as its canonical assembly name."""
+    if reg is None:
+        return "<none>"
+    if is_dise_reg(reg):
+        return f"dr{reg - DISE_REG_BASE}"
+    if reg in _ALIAS_NAMES:
+        return _ALIAS_NAMES[reg]
+    return f"r{reg}"
+
+
+def parse_register(text: str) -> int:
+    """Parse a register name (``r5``, ``sp``, ``dr0``, ...) to its number.
+
+    Raises :class:`ValueError` on unknown names.
+    """
+    name = text.strip().lower()
+    if name in _ALIASES:
+        return _ALIASES[name]
+    if name.startswith("dr") and name[2:].isdigit():
+        return dise_reg(int(name[2:]))
+    if name.startswith("r") and name[1:].isdigit():
+        num = int(name[1:])
+        if 0 <= num < NUM_GPRS:
+            return num
+    raise ValueError(f"unknown register name: {text!r}")

@@ -1,0 +1,25 @@
+"""Memory-system substrates.
+
+* :mod:`repro.memory.main_memory` -- sparse paged byte-addressable memory.
+* :mod:`repro.memory.pagetable` -- page-granularity protection and fault
+  delivery (the substrate for the virtual-memory watchpoint backend).
+* :mod:`repro.memory.cache` -- set-associative caches and the two-level
+  hierarchy used by the timing model.
+* :mod:`repro.memory.tlb` -- translation lookaside buffers.
+"""
+
+from repro.memory.main_memory import MainMemory
+from repro.memory.pagetable import PageTable, PAGE_READ, PAGE_WRITE
+from repro.memory.cache import SetAssociativeCache, CacheHierarchy, AccessLevel
+from repro.memory.tlb import Tlb
+
+__all__ = [
+    "MainMemory",
+    "PageTable",
+    "PAGE_READ",
+    "PAGE_WRITE",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "AccessLevel",
+    "Tlb",
+]

@@ -1,0 +1,98 @@
+"""Sparse, paged, byte-addressable main memory.
+
+Storage is allocated lazily in fixed-size pages (bytearrays) so that a
+64-bit address space costs only what the program touches.  Accesses that
+cross a page boundary take a slower correct path; the common aligned case
+is a direct slice of one page.
+
+Integers are stored little-endian.  Loads return unsigned values; the
+functional executor applies sign interpretation where an opcode requires
+it (comparisons use two's-complement views of the 64-bit value).
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryError_
+
+PAGE_BYTES = 4096
+_PAGE_SHIFT = 12
+_PAGE_MASK = PAGE_BYTES - 1
+
+MASK64 = (1 << 64) - 1
+
+
+class MainMemory:
+    """Byte-addressable memory backed by lazily allocated pages."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, page_number: int) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_BYTES)
+            self._pages[page_number] = page
+        return page
+
+    # -- integer access ----------------------------------------------------
+
+    def read_int(self, address: int, size: int) -> int:
+        """Read ``size`` bytes at ``address`` as an unsigned integer."""
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_BYTES:
+            page = self._page(address >> _PAGE_SHIFT)
+            return int.from_bytes(page[offset:offset + size], "little")
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write_int(self, address: int, size: int, value: int) -> None:
+        """Write the low ``size`` bytes of ``value`` at ``address``."""
+        value &= (1 << (8 * size)) - 1
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_BYTES:
+            page = self._page(address >> _PAGE_SHIFT)
+            page[offset:offset + size] = value.to_bytes(size, "little")
+            return
+        self.write_bytes(address, value.to_bytes(size, "little"))
+
+    # -- bulk access ---------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes starting at ``address``."""
+        if length < 0:
+            raise MemoryError_(f"negative read length {length}")
+        chunks = []
+        remaining = length
+        cursor = address
+        while remaining:
+            offset = cursor & _PAGE_MASK
+            take = min(remaining, PAGE_BYTES - offset)
+            page = self._page(cursor >> _PAGE_SHIFT)
+            chunks.append(bytes(page[offset:offset + take]))
+            cursor += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write raw ``data`` starting at ``address``."""
+        cursor = address
+        view = memoryview(data)
+        while view:
+            offset = cursor & _PAGE_MASK
+            take = min(len(view), PAGE_BYTES - offset)
+            page = self._page(cursor >> _PAGE_SHIFT)
+            page[offset:offset + take] = view[:take]
+            cursor += take
+            view = view[take:]
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages that have been touched."""
+        return len(self._pages)
+
+    def clear(self) -> None:
+        """Release every resident page."""
+        self._pages.clear()

@@ -1,0 +1,72 @@
+"""Translation lookaside buffers.
+
+The simulated machine has 64-entry 4-way instruction and data TLBs
+(paper Section 5).  Like the caches, TLBs here are tag-only classifiers:
+a miss charges a refill penalty in the timing model.  Translation itself
+is identity (the simulator runs a single flat address space), which is
+faithful to the paper's user-level SimpleScalar setup.
+"""
+
+from __future__ import annotations
+
+from repro.config import TlbConfig
+
+
+class Tlb:
+    """A set-associative TLB with LRU replacement."""
+
+    __slots__ = ("name", "config", "_sets", "_set_mask", "_page_shift",
+                 "hits", "misses")
+
+    def __init__(self, config: TlbConfig, name: str = "tlb"):
+        self.name = name
+        self.config = config
+        num_sets = config.num_sets
+        if num_sets & (num_sets - 1):
+            raise ValueError(
+                f"{name}: number of sets {num_sets} is not a power of two")
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._set_mask = num_sets - 1
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Probe for the page of ``address``; fill on miss.  True on hit."""
+        page = address >> self._page_shift
+        ways = self._sets[page & self._set_mask]
+        if ways and ways[0] == page:
+            self.hits += 1
+            return True
+        try:
+            ways.remove(page)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, page)
+            if len(ways) > self.config.associativity:
+                ways.pop()
+            return False
+        self.hits += 1
+        ways.insert(0, page)
+        return True
+
+    def reset(self) -> None:
+        """Empty the TLB and zero the counters."""
+        for ways in self._sets:
+            ways.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss counters without disturbing TLB contents."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0

@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for the paper's SPEC2000 functions.
+
+* :mod:`repro.workloads.profiles` -- per-benchmark statistical profiles
+  (store density, IPC class, code footprint, watchpoint write
+  frequencies, silent-store and page-sharing behaviour) targeting the
+  paper's Tables 1 and 2.
+* :mod:`repro.workloads.synthetic` -- the generator that turns a
+  profile into a runnable program with the named watch targets
+  (``hot``, ``warm1``, ``warm2``, ``cold``, ``*hot_ptr``,
+  ``range_arr``).
+* :mod:`repro.workloads.benchmarks` -- the six named benchmarks and the
+  standard watchpoint expressions.
+"""
+
+from repro.workloads.profiles import (BenchmarkProfile, WatchTargetProfile,
+                                      PROFILES, profile_for)
+from repro.workloads.synthetic import SyntheticWorkload, generate_program
+from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
+                                        build_benchmark,
+                                        watch_expression,
+                                        never_true_condition)
+
+__all__ = [
+    "BenchmarkProfile",
+    "WatchTargetProfile",
+    "PROFILES",
+    "profile_for",
+    "SyntheticWorkload",
+    "generate_program",
+    "BENCHMARK_NAMES",
+    "WATCHPOINT_KINDS",
+    "build_benchmark",
+    "watch_expression",
+    "never_true_condition",
+]

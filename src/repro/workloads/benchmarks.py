@@ -1,0 +1,73 @@
+"""The six named benchmarks and the standard watchpoint set.
+
+The paper selects, per benchmark, six watchpoints: four scalars ranging
+from frequently written (HOT) to rarely written (COLD), a pointer
+dereference (INDIRECT — same storage as HOT, reached through a
+pointer), and a non-scalar (RANGE).  This module maps those names onto
+the synthetic programs' watch targets.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import WorkloadError
+from repro.isa.program import Program
+from repro.workloads.profiles import PROFILES, profile_for
+from repro.workloads.synthetic import generate_program
+
+BENCHMARK_NAMES: tuple[str, ...] = tuple(sorted(PROFILES))
+
+WATCHPOINT_KINDS: tuple[str, ...] = (
+    "HOT", "WARM1", "WARM2", "COLD", "INDIRECT", "RANGE")
+
+_EXPRESSIONS = {
+    "HOT": "hot",
+    "WARM1": "warm1",
+    "WARM2": "warm2",
+    "COLD": "cold",
+    "INDIRECT": "*hot_ptr",
+    # The whole array (a typical structure/array watch).
+    "RANGE": "range_arr[0:]",
+}
+
+# A constant no watched expression ever reaches: the paper's Figure 4
+# predicate "compares the value of the watched expression to a constant
+# it never matches".
+NEVER_VALUE = 0x0BAD_F00D_DEAD_BEEF
+
+
+def build_benchmark(name: str) -> Program:
+    """Generate (fresh) the synthetic program for benchmark ``name``."""
+    return generate_program(profile_for(name))
+
+
+@lru_cache(maxsize=None)
+def _cached_benchmark(name: str) -> Program:
+    return build_benchmark(name)
+
+
+def shared_benchmark(name: str) -> Program:
+    """A cached instance, for read-only uses (expression resolution).
+
+    Runs mutate machine memory, not the program, and backends that
+    transform the program copy it first — but callers that append to
+    the program (a DISE/rewrite session) should use
+    :func:`build_benchmark` for a private instance.
+    """
+    return _cached_benchmark(name)
+
+
+def watch_expression(kind: str) -> str:
+    """The watched-expression text for a watchpoint kind."""
+    try:
+        return _EXPRESSIONS[kind.upper()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown watchpoint kind {kind!r}; choose from "
+            f"{WATCHPOINT_KINDS}")
+
+
+def never_true_condition(kind: str) -> str:
+    """A predicate on the watched expression that is never true."""
+    return f"{watch_expression(kind)} == {NEVER_VALUE}"

@@ -1,0 +1,430 @@
+"""The synthetic workload generator.
+
+Turns a :class:`~repro.workloads.profiles.BenchmarkProfile` into a
+runnable :class:`~repro.isa.program.Program` whose dynamic behaviour
+matches the profile:
+
+* the loop body is replicated ``segments`` times (distinct code at
+  distinct PCs — the static footprint knob);
+* each segment carries a filler mix (ALU ops, cache-friendly loads,
+  strided miss loads over a large array, scratch stores) plus *event
+  blocks* for each watch target and page neighbour;
+* events fire at the profile's per-100K-store frequencies, either as
+  unconditional copies (fast events) or behind countdown registers
+  (rare events), with deterministic staggered phases;
+* silent stores are produced by gating the value increment of a watch
+  target behind its own countdown.
+
+Watch targets and their addresses:
+
+==============  ========================================================
+``hot``         heap quad on its own page (+ ``hot_nbr`` neighbour);
+                written *through a pointer* held in ``hot_ptr`` so the
+                same storage is reachable as the INDIRECT expression
+                ``*hot_ptr``
+``warm1``       heap quad on its own page (+ ``warm1_nbr``)
+``warm2``       stack local at ``16(sp)``
+``cold``        stack local at ``24(sp)`` (same page as ``warm2`` and
+                the stack scratch slot — realistic frame layout)
+``range_arr``   a ``range_quads``-quad array (+ ``range_nbr``)
+==============  ========================================================
+
+Registers r27/r28 are never used, providing the dead registers the
+binary-rewriting backend scavenges (a stand-in for its liveness
+analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.isa.builder import CodeBuilder
+from repro.isa.program import Program, STACK_TOP, Symbol
+from repro.workloads.profiles import BenchmarkProfile, WatchTargetProfile
+
+# -- register plan -------------------------------------------------------------
+R_RANGE_NBR_CD = 1  # countdown: range neighbour
+R_LOAD_TARGET = 2  # plain-load destination
+R_ALU_A, R_ALU_B, R_ALU_C = 3, 4, 5  # ALU filler chain
+R_TMP1, R_TMP2 = 6, 7
+R_MISS_BASE = 8
+R_RANGE_BASE = 9
+R_HOT_PTR = 10  # pointer through which `hot` is written
+R_HOT_VAL = 11
+R_WARM1_VAL = 12
+R_ITER = 13
+R_MISS_OFF = 14
+R_RANGE_IDX = 15
+# Countdown registers (events slower than once per segment).
+R_CD = {
+    "hot": 16, "hot_change": 17, "warm1": 18, "warm1_change": 19,
+    "warm2": 20, "cold": 21, "range": 22, "hot_nbr": 23,
+    "warm1_nbr": 24, "stack_scratch": 25,
+    # The generated code makes no calls, so the conventional
+    # return-address register is free for the multi-bank events.
+    "multi": 26, "multi_nbr": 0,
+}
+
+MULTI_COUNT = 16  # watchable-scalar bank for the Figure 6 experiment
+MULTI_WRITE_FREQ = 2500.0  # aggregate writes to the bank per 100K stores
+MULTI_NBR_FREQ = 1500.0  # unwatched same-page writes per 100K stores
+
+WARM2_OFFSET = 16  # sp-relative
+COLD_OFFSET = 24
+STACK_SCRATCH_OFFSET = 32
+
+LOOP_LIMIT = 1 << 40
+
+
+@dataclass
+class _Event:
+    """One gated action inside a segment."""
+
+    name: str
+    rate_per_segment: float  # expected firings per segment
+    stores_per_firing: int = 1
+
+    @property
+    def copies(self) -> int:
+        """Unconditional emissions per segment (fast events)."""
+        return max(1, round(self.rate_per_segment)) \
+            if self.rate_per_segment >= 0.75 else 0
+
+    @property
+    def period(self) -> int:
+        """Countdown period in segments (slow events)."""
+        if self.rate_per_segment <= 0 or self.copies:
+            return 0
+        return max(2, round(1.0 / self.rate_per_segment))
+
+
+class SyntheticWorkload:
+    """A generated benchmark: program + metadata."""
+
+    def __init__(self, profile: BenchmarkProfile):
+        self.profile = profile
+        self.program = generate_program(profile)
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+
+def generate_program(profile: BenchmarkProfile) -> Program:
+    """Generate the benchmark program for ``profile``."""
+    if profile.event_store_fraction >= 0.98:
+        raise WorkloadError(
+            f"{profile.name}: event stores consume "
+            f"{profile.event_store_fraction:.0%} of all stores; the "
+            "profile leaves no room for scratch stores")
+
+    builder = _WorkloadBuilder(profile)
+    return builder.build()
+
+
+class _WorkloadBuilder:
+    """Emits the program for one profile."""
+
+    def __init__(self, profile: BenchmarkProfile):
+        self.profile = profile
+        self.b = CodeBuilder(profile.name)
+        # The profile fixes total stores per segment; scratch stores are
+        # whatever the event stores leave over.
+        self.stores_per_segment = profile.stores_per_segment
+        self.scratch_stores = max(1, round(
+            profile.stores_per_segment
+            * (1.0 - profile.event_store_fraction)))
+        self.events = self._plan_events()
+
+    # -- planning ----------------------------------------------------------------
+
+    def _rate(self, freq_per_100k: float) -> float:
+        return freq_per_100k / 100_000.0 * self.stores_per_segment
+
+    def _plan_events(self) -> dict[str, _Event]:
+        p = self.profile
+        events = {
+            "hot": _Event("hot", self._rate(p.hot.write_freq)),
+            "warm1": _Event("warm1", self._rate(p.warm1.write_freq)),
+            "warm2": _Event("warm2", self._rate(p.warm2.write_freq)),
+            "cold": _Event("cold", self._rate(p.cold.write_freq)),
+            "range": _Event("range", self._rate(p.range_.write_freq)),
+            "hot_nbr": _Event("hot_nbr", self._rate(p.hot.neighbor_freq)),
+            "warm1_nbr": _Event("warm1_nbr",
+                                self._rate(p.warm1.neighbor_freq)),
+            "range_nbr": _Event("range_nbr",
+                                self._rate(p.range_.neighbor_freq)),
+            "stack_scratch": _Event("stack_scratch",
+                                    self._rate(p.stack_scratch_freq)),
+            "multi": _Event("multi", self._rate(MULTI_WRITE_FREQ)),
+            "multi_nbr": _Event("multi_nbr", self._rate(MULTI_NBR_FREQ)),
+        }
+        return events
+
+    @staticmethod
+    def _change_period(target: WatchTargetProfile) -> int:
+        """Countdown period (in writes) of the value-change sub-event."""
+        if target.silent_fraction <= 0.0:
+            return 1  # every write changes the value
+        return max(2, round(1.0 / (1.0 - target.silent_fraction)))
+
+    # -- data segment -------------------------------------------------------------
+
+    def _emit_data(self) -> None:
+        b = self.b
+        p = self.profile
+        # Each heap target owns a page; its unwatched neighbour sits at
+        # a realistic distance within that page (so shrinking the page
+        # size — the paper's unshown ablation — actually separates
+        # them: 512B pages split hot from hot_nbr, 2KB pages split
+        # warm1 from warm1_nbr).
+        b.data_quad("hot", 1000, align=4096)
+        b.data_space("hot_pad", 504)
+        b.data_quad("hot_nbr", 0)
+        b.data_quad("warm1", 2000, align=4096)
+        b.data_space("warm1_pad_a", 64)
+        b.data_quad("warm1_nbr_a", 0)  # +72: shares even 128B pages
+        b.data_space("warm1_pad_b", 440)
+        b.data_quad("warm1_nbr_b", 0)  # +520: split off by 512B pages
+        b.data_space("warm1_pad_c", 1528)
+        b.data_quad("warm1_nbr_c", 0)  # +2056: split off by 2KB pages
+        b.data_quad("hot_ptr", 0, align=4096)  # patched to &hot below
+        b.data_space("small_arr", 64)
+        b.data_space("range_arr", p.range_quads * 8, align=4096)
+        b.data_quad("range_nbr", 0)
+        # A bank of individually watchable scalars sharing one page,
+        # used by the many-watchpoints experiment (Figure 6): watching
+        # a few of them leaves the others as unwatched same-page
+        # traffic, which is what makes the VM fallback collapse.
+        for index in range(MULTI_COUNT):
+            b.data_quad(f"multi{index}", 0,
+                        align=4096 if index == 0 else 8)
+        b.data_quad("multi_nbr", 0)
+        b.data_space("scratch", 64, align=4096)
+        b.data_space("missarr", p.miss_array_bytes, align=4096)
+
+    # -- program ------------------------------------------------------------------
+
+    def build(self) -> Program:
+        self._emit_data()
+        self._emit_setup()
+        self.b.label("loop_top")
+        for segment in range(self.profile.segments):
+            self._emit_segment(segment)
+        self._emit_loop_tail()
+        program = self.b.build(entry="main")
+        self._patch_pointer(program)
+        self._register_stack_symbols(program)
+        return program
+
+    def _emit_setup(self) -> None:
+        b = self.b
+        b.label("main")
+        b.stmt()
+        b.lda(R_MISS_BASE, "missarr")
+        b.lda(R_RANGE_BASE, "range_arr")
+        b.ldq(R_HOT_PTR, "hot_ptr")
+        b.ldq(R_HOT_VAL, "hot")
+        b.ldq(R_WARM1_VAL, "warm1")
+        b.lda(R_ITER, 0, "zero")
+        b.lda(R_MISS_OFF, 0, "zero")
+        b.lda(R_RANGE_IDX, 0, "zero")
+        b.lda(R_ALU_A, 1, "zero")
+        b.lda(R_ALU_B, 2, "zero")
+        b.lda(R_ALU_C, 3, "zero")
+        # Stagger countdown phases deterministically.
+        for stagger, (name, event) in enumerate(self.events.items()):
+            if event.period:
+                reg = self._countdown_reg(name)
+                initial = 1 + (7 * (stagger + 1)) % event.period
+                b.lda(reg, initial, "zero")
+        for name, target in (("hot_change", self.profile.hot),
+                             ("warm1_change", self.profile.warm1)):
+            period = self._change_period(target)
+            if period > 1:
+                b.lda(R_CD[name], period, "zero")
+
+    def _countdown_reg(self, name: str) -> int:
+        if name == "range_nbr":
+            return R_RANGE_NBR_CD
+        return R_CD[name]
+
+    def _emit_loop_tail(self) -> None:
+        b = self.b
+        b.stmt()
+        b.addq(R_ITER, 1, R_ITER)
+        b.cmpult(R_ITER, LOOP_LIMIT, R_TMP1)
+        b.bne(R_TMP1, "loop_top")
+        b.halt()
+
+    # -- segments ----------------------------------------------------------------
+
+    def _emit_segment(self, segment: int) -> None:
+        self._current_segment = segment
+        p = self.profile
+        self._emit_alu(p.alu_ops)
+        self._emit_plain_loads(p.plain_loads)
+        self._emit_miss_loads(p.miss_loads)
+        self._emit_scratch_stores(self.scratch_stores)
+        for name in ("hot", "warm1", "warm2", "cold", "range",
+                     "hot_nbr", "warm1_nbr", "range_nbr", "stack_scratch",
+                     "multi", "multi_nbr"):
+            self._emit_event(name, segment)
+
+    def _emit_alu(self, count: int) -> None:
+        b = self.b
+        for i in range(count):
+            if i % 4 == 0:
+                b.stmt()
+            op = i % 3
+            if op == 0:
+                b.addq(R_ALU_A, 1, R_ALU_A)
+            elif op == 1:
+                b.xor(R_ALU_B, f"r{R_ALU_A}", R_ALU_B)
+            else:
+                b.sll(R_ALU_C, 1, R_ALU_C)
+
+    def _emit_plain_loads(self, count: int) -> None:
+        b = self.b
+        for i in range(count):
+            if i % 4 == 0:
+                b.stmt()
+            b.ldq(R_LOAD_TARGET, "small_arr")  # cache-resident load
+            b.addq(R_LOAD_TARGET, 1, R_ALU_A)
+
+    def _emit_miss_loads(self, count: int) -> None:
+        b = self.b
+        p = self.profile
+        mask = p.miss_array_bytes - 1
+        for _ in range(count):
+            b.stmt()
+            b.addq(R_MISS_OFF, p.miss_stride, R_MISS_OFF)
+            b.and_(R_MISS_OFF, mask, R_MISS_OFF)
+            b.addq(R_MISS_BASE, f"r{R_MISS_OFF}", R_TMP1)
+            b.ldq(R_TMP2, 0, R_TMP1)
+
+    def _emit_scratch_stores(self, count: int) -> None:
+        # Scratch stores address the dedicated scratch page absolutely;
+        # they are the "unwatched bulk" of the store stream.
+        b = self.b
+        for i in range(count):
+            if i % 2 == 0:
+                b.stmt()
+            b.stq(R_ITER, "scratch")
+
+    # -- events ------------------------------------------------------------------
+
+    def _emit_event(self, name: str, segment: int) -> None:
+        event = self.events[name]
+        action = getattr(self, f"_action_{name}")
+        if event.copies:
+            for _ in range(event.copies):
+                self.b.stmt()
+                action()
+            return
+        if not event.period:
+            return
+        b = self.b
+        reg = self._countdown_reg(name)
+        skip = b.unique_label(f"skip_{name}_{segment}")
+        b.stmt()
+        b.subq(reg, 1, reg)
+        b.bne(reg, skip)
+        b.lda(reg, event.period, "zero")
+        action()
+        b.label(skip)
+
+    def _gated_change(self, countdown_name: str, period: int,
+                      value_reg: int) -> None:
+        """Increment ``value_reg`` once every ``period`` firings."""
+        b = self.b
+        if period <= 1:
+            b.addq(value_reg, 1, value_reg)
+            return
+        reg = R_CD[countdown_name]
+        skip = b.unique_label(f"skip_{countdown_name}")
+        b.subq(reg, 1, reg)
+        b.bne(reg, skip)
+        b.lda(reg, period, "zero")
+        b.addq(value_reg, 1, value_reg)
+        b.label(skip)
+
+    def _action_hot(self) -> None:
+        # `hot` is written through the pointer (same storage as the
+        # INDIRECT expression *hot_ptr).
+        self._gated_change("hot_change",
+                           self._change_period(self.profile.hot), R_HOT_VAL)
+        self.b.stq(R_HOT_VAL, 0, R_HOT_PTR)
+
+    def _action_warm1(self) -> None:
+        self._gated_change("warm1_change",
+                           self._change_period(self.profile.warm1),
+                           R_WARM1_VAL)
+        self.b.stq(R_WARM1_VAL, "warm1")
+
+    def _action_warm2(self) -> None:
+        b = self.b
+        b.ldq(R_TMP1, WARM2_OFFSET, "sp")
+        b.addq(R_TMP1, 1, R_TMP1)
+        b.stq(R_TMP1, WARM2_OFFSET, "sp")
+
+    def _action_cold(self) -> None:
+        b = self.b
+        b.ldq(R_TMP1, COLD_OFFSET, "sp")
+        b.addq(R_TMP1, 1, R_TMP1)
+        b.stq(R_TMP1, COLD_OFFSET, "sp")
+
+    def _action_range(self) -> None:
+        b = self.b
+        p = self.profile
+        b.sll(R_RANGE_IDX, 3, R_TMP1)
+        b.addq(R_RANGE_BASE, f"r{R_TMP1}", R_TMP1)
+        b.ldq(R_TMP2, 0, R_TMP1)
+        b.addq(R_TMP2, 1, R_TMP2)
+        b.stq(R_TMP2, 0, R_TMP1)
+        b.addq(R_RANGE_IDX, 1, R_RANGE_IDX)
+        b.and_(R_RANGE_IDX, p.range_quads - 1, R_RANGE_IDX)
+
+    def _action_hot_nbr(self) -> None:
+        self.b.stq(R_ITER, "hot_nbr")
+
+    def _action_warm1_nbr(self) -> None:
+        # Rotate across three intra-page distances so the page-size
+        # ablation sees a gradual curve, as on a real data page.
+        suffix = "abc"[self._current_segment % 3]
+        self.b.stq(R_ITER, f"warm1_nbr_{suffix}")
+
+    def _action_range_nbr(self) -> None:
+        self.b.stq(R_ITER, "range_nbr")
+
+    def _action_stack_scratch(self) -> None:
+        self.b.stq(R_ITER, STACK_SCRATCH_OFFSET, "sp")
+
+    def _action_multi(self) -> None:
+        # Rotate through the bank across segments so several elements
+        # see traffic regardless of which are being watched.
+        element = (self._current_segment * 7 + 3) % MULTI_COUNT
+        self.b.stq(R_ITER, f"multi{element}")
+
+    def _action_multi_nbr(self) -> None:
+        self.b.stq(R_ITER, "multi_nbr")
+
+    # -- post-processing ------------------------------------------------------------
+
+    def _patch_pointer(self, program: Program) -> None:
+        """Point hot_ptr at hot before the program is loaded."""
+        hot_addr = program.address_of("hot")
+        for item in program.data_items:
+            if item.name == "hot_ptr":
+                item.init = hot_addr.to_bytes(8, "little")
+                return
+        raise WorkloadError("hot_ptr data item missing")
+
+    @staticmethod
+    def _register_stack_symbols(program: Program) -> None:
+        """Expose the stack locals as named symbols for the debugger."""
+        program.symbols["warm2"] = Symbol("warm2", STACK_TOP + WARM2_OFFSET,
+                                          8, "data")
+        program.symbols["cold"] = Symbol("cold", STACK_TOP + COLD_OFFSET,
+                                         8, "data")

@@ -1,0 +1,114 @@
+"""Instruction semantics: ALU operations and branch conditions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.functional import (MASK64, alu_result, branch_taken,
+                                  to_signed, to_unsigned)
+from repro.errors import SimulationError
+from repro.isa.opcodes import Opcode
+
+u64 = st.integers(min_value=0, max_value=MASK64)
+
+
+def test_sign_conversion():
+    assert to_signed(MASK64) == -1
+    assert to_signed(1 << 63) == -(1 << 63)
+    assert to_signed(5) == 5
+    assert to_unsigned(-1) == MASK64
+    assert to_unsigned(1 << 64) == 0
+
+
+@pytest.mark.parametrize("op,a,b,expected", [
+    (Opcode.ADDQ, 2, 3, 5),
+    (Opcode.ADDQ, MASK64, 1, 0),  # wraparound
+    (Opcode.SUBQ, 3, 5, MASK64 - 1),
+    (Opcode.MULQ, 1 << 40, 1 << 40, 0),  # overflow wraps
+    (Opcode.AND, 0b1100, 0b1010, 0b1000),
+    (Opcode.BIS, 0b1100, 0b1010, 0b1110),
+    (Opcode.XOR, 0b1100, 0b1010, 0b0110),
+    (Opcode.BIC, 0b1111, 0b0101, 0b1010),
+    (Opcode.SLL, 1, 63, 1 << 63),
+    (Opcode.SRL, 1 << 63, 63, 1),
+    (Opcode.SRA, 1 << 63, 63, MASK64),  # sign-extending
+    (Opcode.CMPEQ, 4, 4, 1),
+    (Opcode.CMPEQ, 4, 5, 0),
+    (Opcode.CMPLT, to_unsigned(-1), 0, 1),  # signed compare
+    (Opcode.CMPLT, 0, to_unsigned(-1), 0),
+    (Opcode.CMPLE, 4, 4, 1),
+    (Opcode.CMPULT, 0, to_unsigned(-1), 1),  # unsigned compare
+    (Opcode.CMPULE, to_unsigned(-1), to_unsigned(-1), 1),
+])
+def test_alu_cases(op, a, b, expected):
+    assert alu_result(op, a, b) == expected
+
+
+def test_shift_amount_masked():
+    assert alu_result(Opcode.SLL, 1, 64) == 1  # 64 & 63 == 0
+    assert alu_result(Opcode.SRL, 8, 65) == 4
+
+
+def test_non_alu_opcode_rejected():
+    with pytest.raises(SimulationError):
+        alu_result(Opcode.LDQ, 1, 2)
+
+
+@pytest.mark.parametrize("op,value,expected", [
+    (Opcode.BEQ, 0, True),
+    (Opcode.BEQ, 1, False),
+    (Opcode.BNE, 1, True),
+    (Opcode.BLT, to_unsigned(-5), True),
+    (Opcode.BLT, 5, False),
+    (Opcode.BGE, 0, True),
+    (Opcode.BGE, to_unsigned(-1), False),
+    (Opcode.BLE, 0, True),
+    (Opcode.BGT, 1, True),
+    (Opcode.BGT, 0, False),
+])
+def test_branch_conditions(op, value, expected):
+    assert branch_taken(op, value) is expected
+
+
+def test_branch_rejects_non_branch():
+    with pytest.raises(SimulationError):
+        branch_taken(Opcode.ADDQ, 0)
+
+
+@given(a=u64, b=u64)
+def test_addq_matches_python_semantics(a, b):
+    assert alu_result(Opcode.ADDQ, a, b) == (a + b) % (1 << 64)
+
+
+@given(a=u64, b=u64)
+def test_subq_matches_python_semantics(a, b):
+    assert alu_result(Opcode.SUBQ, a, b) == (a - b) % (1 << 64)
+
+
+@given(a=u64, b=u64)
+def test_cmplt_is_signed(a, b):
+    assert alu_result(Opcode.CMPLT, a, b) == (
+        1 if to_signed(a) < to_signed(b) else 0)
+
+
+@given(a=u64, b=u64)
+def test_cmpult_is_unsigned(a, b):
+    assert alu_result(Opcode.CMPULT, a, b) == (1 if a < b else 0)
+
+
+@given(a=u64)
+def test_xor_self_is_zero(a):
+    assert alu_result(Opcode.XOR, a, a) == 0
+
+
+@given(a=u64, shift=st.integers(min_value=0, max_value=63))
+def test_srl_sll_relationship(a, shift):
+    shifted = alu_result(Opcode.SLL, a, shift)
+    # Shifting back recovers the bits that were not pushed out.
+    kept = (a << shift & MASK64) >> shift
+    assert alu_result(Opcode.SRL, shifted, shift) == kept
+
+
+@given(a=u64)
+def test_sra_preserves_sign(a):
+    result = alu_result(Opcode.SRA, a, 63)
+    assert result == (MASK64 if a >> 63 else 0)

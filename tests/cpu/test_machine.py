@@ -1,0 +1,308 @@
+"""Machine execution: semantics, control flow, substrates, traps."""
+
+import pytest
+
+from repro.cpu.machine import Machine, TrapEvent, TrapKind
+from repro.cpu.stats import TransitionKind
+from repro.errors import SimulationError
+from repro.isa import assemble
+from repro.isa.program import STACK_TOP
+
+
+def _run(source, **kwargs):
+    program = assemble(source)
+    machine = Machine(program, **kwargs)
+    result = machine.run()
+    return machine, result
+
+
+def test_arithmetic_and_halt():
+    machine, result = _run("""
+    main:
+        lda r1, 10
+        addq r1, 32, r2
+        mulq r2, r1, r3
+        halt
+    """)
+    assert machine.regs[3] == 420
+    assert result.halted
+
+
+def test_zero_register_semantics():
+    machine, _ = _run("""
+    main:
+        lda r31, 42
+        addq r31, 1, r1
+        halt
+    """)
+    assert machine.regs[1] == 1  # r31 reads as zero, writes discarded
+
+
+def test_memory_roundtrip():
+    machine, _ = _run("""
+    .data
+    var: .quad 0
+    .text
+    main:
+        lda r1, var
+        lda r2, 0x1234
+        stq r2, 0(r1)
+        ldq r3, 0(r1)
+        halt
+    """)
+    assert machine.regs[3] == 0x1234
+
+
+def test_sub_quad_stores():
+    machine, _ = _run("""
+    .data
+    var: .quad 0
+    .text
+    main:
+        lda r1, var
+        lda r2, 0x11223344
+        stl r2, 0(r1)
+        stb r2, 6(r1)
+        ldq r3, 0(r1)
+        halt
+    """)
+    assert machine.regs[3] == 0x0044_0000_11223344
+
+
+def test_loop_execution(count_loop_program):
+    machine = Machine(count_loop_program)
+    machine.run()
+    address = count_loop_program.address_of("counter")
+    assert machine.memory.read_int(address, 8) == 100
+
+
+def test_stack_pointer_initialized():
+    machine, _ = _run("""
+    main:
+        stq r1, 0(sp)
+        halt
+    """)
+    assert machine.regs[30] == STACK_TOP
+
+
+def test_jsr_ret():
+    machine, _ = _run("""
+    main:
+        jsr ra, helper
+        addq r1, 1, r1
+        halt
+    helper:
+        lda r1, 41
+        ret (ra)
+    """)
+    assert machine.regs[1] == 42
+
+
+def test_indirect_jump():
+    machine, _ = _run("""
+    main:
+        lda r5, target
+        jmp (r5)
+        lda r1, 1
+        halt
+    target:
+        lda r1, 2
+        halt
+    """)
+    assert machine.regs[1] == 2
+
+
+def test_run_limit_counts_app_instructions(count_loop_program):
+    machine = Machine(count_loop_program)
+    result = machine.run(max_app_instructions=50)
+    assert result.stats.app_instructions == 50
+    assert not result.halted
+
+
+def test_run_can_resume(count_loop_program):
+    machine = Machine(count_loop_program)
+    machine.run(max_app_instructions=50)
+    result = machine.run()  # continue to completion
+    assert result.halted
+
+
+def test_fetch_outside_text_raises():
+    program = assemble("main:\n    jmp (r9)\n    halt")
+    machine = Machine(program)
+    machine.regs[9] = 0x40  # below TEXT_BASE
+    with pytest.raises(SimulationError):
+        machine.run()
+
+
+def test_dise_register_access_from_app_code_rejected():
+    program = assemble("main:\n    addq dr0, 1, r1\n    halt")
+    machine = Machine(program)
+    with pytest.raises(SimulationError):
+        machine.run()
+
+
+def test_nops_elided_for_free():
+    machine, result = _run("main:\n    nop\n    nop\n    halt")
+    assert result.stats.nops_elided == 2
+    assert result.stats.app_instructions == 1  # just the halt
+
+
+def test_trap_instruction_delivers_event():
+    events = []
+
+    def handler(event):
+        events.append(event)
+        return TransitionKind.USER
+
+    program = assemble("main:\n    trap\n    halt")
+    machine = Machine(program, trap_handler=handler)
+    machine.run()
+    assert len(events) == 1
+    assert events[0].kind is TrapKind.TRAP
+    assert machine.stats.transitions[TransitionKind.USER] == 1
+
+
+def test_trap_without_handler_costs_nothing():
+    machine, result = _run("main:\n    trap\n    halt")
+    assert result.stats.transitions[TransitionKind.NONE] == 1
+
+
+def test_spurious_transition_charged():
+    def handler(event):
+        return TransitionKind.SPURIOUS_ADDRESS
+
+    program = assemble("main:\n    trap\n    halt")
+    machine = Machine(program, trap_handler=handler)
+    result = machine.run()
+    assert result.stats.cycles > 100_000
+
+
+def test_hw_watchpoint_range_traps_on_overlap():
+    events = []
+
+    def handler(event):
+        events.append(event)
+        return TransitionKind.USER
+
+    program = assemble("""
+    .data
+    var: .quad 0
+    pad: .quad 0
+    .text
+    main:
+        lda r1, var
+        stq r2, 0(r1)
+        stq r2, 8(r1)   ; outside the watched quad
+        halt
+    """)
+    machine = Machine(program, trap_handler=handler)
+    base = program.address_of("var")
+    machine.hw_watch_ranges.append((base, base + 8))
+    machine.run()
+    assert len(events) == 1
+    assert events[0].kind is TrapKind.HW_WATCHPOINT
+    assert events[0].address == base
+
+
+def test_breakpoint_register_traps_at_fetch():
+    events = []
+
+    def handler(event):
+        events.append(event.kind)
+        return TransitionKind.USER
+
+    program = assemble("main:\n    nop\n    addq r1, 1, r1\n    halt")
+    machine = Machine(program, trap_handler=handler)
+    machine.breakpoint_registers.add(program.pc_of_index(1))
+    machine.run()
+    assert events == [TrapKind.BREAKPOINT]
+
+
+def test_single_step_traps_each_statement():
+    events = []
+
+    def handler(event):
+        events.append(event.pc)
+        return TransitionKind.SPURIOUS_ADDRESS
+
+    program = assemble("""
+    main:
+        nop
+        .stmt
+        addq r1, 1, r1
+        .stmt
+        halt
+    """)
+    machine = Machine(program, trap_handler=handler)
+    machine.single_step = True
+    machine.run()
+    assert len(events) == 3  # main label + two .stmt markers
+
+
+def test_page_fault_on_protected_store():
+    from repro.memory.pagetable import PAGE_READ
+    events = []
+
+    def handler(event):
+        events.append(event)
+        return TransitionKind.SPURIOUS_ADDRESS
+
+    program = assemble("""
+    .data
+    var: .quad 0
+    .text
+    main:
+        lda r1, var
+        lda r2, 7
+        stq r2, 0(r1)
+        halt
+    """)
+    machine = Machine(program, trap_handler=handler)
+    machine.pagetable.mprotect(program.address_of("var"), 8, PAGE_READ)
+    machine.run()
+    assert len(events) == 1
+    assert events[0].kind is TrapKind.PAGE_FAULT
+    # The store is still performed (the debugger emulates it).
+    assert machine.memory.read_int(program.address_of("var"), 8) == 7
+
+
+def test_store_observer_sees_old_and_new():
+    observed = []
+
+    program = assemble("""
+    .data
+    var: .quad 5
+    .text
+    main:
+        lda r1, var
+        lda r2, 9
+        stq r2, 0(r1)
+        halt
+    """)
+    machine = Machine(program)
+    machine.store_observer = lambda a, s, new, old: observed.append(
+        (s, new, old))
+    machine.run()
+    assert observed == [(8, 9, 5)]
+
+
+def test_reset_stats_preserves_architecture(count_loop_program):
+    machine = Machine(count_loop_program)
+    machine.run(max_app_instructions=100)
+    pc_before = machine.pc
+    machine.reset_stats()
+    assert machine.stats.app_instructions == 0
+    assert machine.pc == pc_before
+
+
+def test_ipc_reported(count_loop_program):
+    machine = Machine(count_loop_program)
+    result = machine.run()
+    assert 0.5 < result.stats.ipc <= 4.0
+
+
+def test_functional_only_mode(count_loop_program):
+    machine = Machine(count_loop_program, detailed_timing=False)
+    result = machine.run()
+    assert result.halted
+    assert result.stats.cycles == result.stats.total_instructions

@@ -1,0 +1,83 @@
+"""Interactive execution: stop-on-user-transition and resumption."""
+
+from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
+from repro.isa import assemble
+
+SOURCE = """
+.data
+var: .quad 0
+.text
+main:
+    lda r1, var
+    lda r2, 0
+loop:
+    addq r2, 1, r2
+    stq r2, 0(r1)
+    trap
+    cmpult r2, 5, r3
+    bne r3, loop
+    halt
+"""
+
+
+def _machine(kind=TransitionKind.USER):
+    program = assemble(SOURCE)
+    machine = Machine(program, trap_handler=lambda event: kind,
+                      detailed_timing=False)
+    machine.stop_on_user = True
+    return program, machine
+
+
+def test_stops_at_first_user_transition():
+    program, machine = _machine()
+    result = machine.run()
+    assert result.stopped_at_user
+    assert not result.halted
+    assert machine.memory.read_int(program.address_of("var"), 8) == 1
+
+
+def test_resume_reaches_next_stop():
+    program, machine = _machine()
+    machine.run()
+    result = machine.run()
+    assert result.stopped_at_user
+    assert machine.memory.read_int(program.address_of("var"), 8) == 2
+
+
+def test_resume_to_completion():
+    program, machine = _machine()
+    hits = 0
+    while True:
+        result = machine.run()
+        if result.halted:
+            break
+        hits += 1
+        assert hits < 10  # safety
+    assert hits == 5
+    assert machine.memory.read_int(program.address_of("var"), 8) == 5
+
+
+def test_spurious_transitions_do_not_stop():
+    program, machine = _machine(kind=TransitionKind.SPURIOUS_ADDRESS)
+    result = machine.run()
+    assert result.halted
+    assert not result.stopped_at_user
+
+
+def test_stop_flag_off_by_default():
+    program = assemble(SOURCE)
+    machine = Machine(program,
+                      trap_handler=lambda event: TransitionKind.USER,
+                      detailed_timing=False)
+    result = machine.run()
+    assert result.halted
+
+
+def test_limit_and_stop_interact():
+    program, machine = _machine()
+    result = machine.run(max_app_instructions=2)  # before the first trap
+    assert not result.stopped_at_user
+    assert machine.stats.app_instructions == 2
+    result = machine.run(max_app_instructions=100)
+    assert result.stopped_at_user

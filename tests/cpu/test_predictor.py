@@ -1,0 +1,80 @@
+"""Branch predictor behaviour."""
+
+import pytest
+
+from repro.cpu.predictor import BranchPredictor
+
+
+def test_learns_always_taken_loop():
+    predictor = BranchPredictor(entries=1024, btb_entries=64)
+    misses = sum(
+        0 if predictor.predict_and_update(0x1000, True) else 1
+        for _ in range(100))
+    assert misses <= 2  # warm-up only
+
+
+def test_learns_alternating_pattern_via_gshare():
+    predictor = BranchPredictor(entries=1024, btb_entries=64)
+    outcomes = [bool(i % 2) for i in range(400)]
+    correct = sum(
+        1 if predictor.predict_and_update(0x2000, taken) else 0
+        for taken in outcomes)
+    # History-based prediction should capture a strict alternation.
+    assert correct > 350
+
+
+def test_counts_lookups_and_mispredictions():
+    predictor = BranchPredictor(entries=256, btb_entries=64)
+    predictor.predict_and_update(0x10, True)
+    predictor.predict_and_update(0x10, True)
+    assert predictor.lookups == 2
+    assert 0.0 <= predictor.misprediction_rate <= 1.0
+
+
+def test_return_address_stack():
+    predictor = BranchPredictor()
+    predictor.push_return(0x100)
+    predictor.push_return(0x200)
+    assert predictor.predict_return(0x200)
+    assert predictor.predict_return(0x100)
+    assert not predictor.predict_return(0x300)  # stack empty -> miss
+
+
+def test_ras_depth_bound():
+    predictor = BranchPredictor(ras_depth=2)
+    for addr in (0x1, 0x2, 0x3):
+        predictor.push_return(addr)
+    assert predictor.predict_return(0x3)
+    assert predictor.predict_return(0x2)
+    assert not predictor.predict_return(0x1)  # evicted
+
+
+def test_indirect_btb_learns_target():
+    predictor = BranchPredictor()
+    assert not predictor.predict_indirect(0x50, 0x9000)  # cold
+    assert predictor.predict_indirect(0x50, 0x9000)
+    assert not predictor.predict_indirect(0x50, 0xA000)  # target changed
+
+
+def test_reset():
+    predictor = BranchPredictor(entries=256, btb_entries=64)
+    for _ in range(50):
+        predictor.predict_and_update(0x10, True)
+    predictor.reset()
+    assert predictor.lookups == 0
+
+
+def test_reset_counters_keeps_learning():
+    predictor = BranchPredictor(entries=256, btb_entries=64)
+    for _ in range(50):
+        predictor.predict_and_update(0x10, True)
+    predictor.reset_counters()
+    assert predictor.predict_and_update(0x10, True)
+    assert predictor.lookups == 1
+
+
+def test_geometry_validation():
+    with pytest.raises(ValueError):
+        BranchPredictor(entries=1000)
+    with pytest.raises(ValueError):
+        BranchPredictor(btb_entries=100)

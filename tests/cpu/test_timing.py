@@ -1,0 +1,142 @@
+"""Timing model: width, ports, penalties, debugger-transition costs."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.cpu.timing import TimingModel
+
+
+def _model(**overrides) -> TimingModel:
+    return TimingModel(MachineConfig().with_(**overrides))
+
+
+def test_commit_width():
+    model = _model()
+    for _ in range(8):  # two full cycles at width 4
+        model.commit()
+    assert model.total_cycles == 2
+
+
+def test_partial_cycle_counts():
+    model = _model()
+    model.commit()
+    assert model.total_cycles == 1
+
+
+def test_load_port_limit_advances_cycle():
+    model = _model()
+    # Warm the line first so only port pressure is measured.
+    model.load(0x0)
+    model.reset_counters()
+    for _ in range(6):  # 2 ports per cycle -> crosses 2 cycle boundaries
+        model.load(0x0)
+    assert model.total_cycles >= 2
+
+
+def test_store_port_limit():
+    model = _model()
+    model.store(0x0)
+    model.reset_counters()
+    for _ in range(3):  # 1 port per cycle
+        model.store(0x0)
+    assert model.total_cycles >= 2
+
+
+def test_flush_penalty():
+    model = _model()
+    model.flush()
+    assert model.total_cycles == MachineConfig().pipeline.flush_penalty
+    assert model.flushes == 1
+
+
+def test_load_miss_costs_more_than_hit():
+    cold = _model()
+    cold.load(0x100000)  # memory miss
+    cold_cycles = cold.cycles
+    warm = _model()
+    warm.load(0x100000)
+    warm.reset_counters()
+    warm.load(0x100000)  # L1 hit
+    assert cold_cycles > warm.cycles
+
+
+def test_fetch_charges_once_per_line():
+    model = _model()
+    model.fetch(0x1000)
+    misses = model.caches.l1i.misses
+    model.fetch(0x1004)  # same 64-byte line: no new probe
+    assert model.caches.l1i.misses == misses
+    model.fetch(0x1040)  # next line
+    assert model.caches.l1i.misses == misses + 1
+
+
+def test_redirect_forces_line_reprobe():
+    model = _model()
+    model.fetch(0x1000)
+    accesses = model.caches.l1i.accesses
+    model.redirect_fetch()
+    model.fetch(0x1000)
+    assert model.caches.l1i.accesses == accesses + 1
+
+
+def test_spurious_transition_cost():
+    model = _model()
+    model.debugger_transition(spurious=True)
+    config = MachineConfig()
+    expected = (config.debug_costs.spurious_transition_cycles
+                + config.pipeline.flush_penalty)
+    assert model.total_cycles == expected
+
+
+def test_user_transition_free():
+    model = _model()
+    model.debugger_transition(spurious=False)
+    assert model.total_cycles == 0
+
+
+def test_dise_branch_flushes():
+    model = _model()
+    model.dise_branch_taken()
+    assert model.flushes == 1
+
+
+def test_dise_call_and_return_flush_without_mt():
+    model = _model()
+    suppressed = model.dise_call()
+    model.dise_return()
+    assert not suppressed
+    assert model.flushes == 2
+
+
+def test_multithreading_suppresses_call_flushes():
+    model = _model(multithreaded_dise_calls=True)
+    suppressed = model.dise_call()
+    assert suppressed
+    assert model.offthread
+    # Off-thread commits consume no main-thread slots.
+    for _ in range(20):
+        model.commit()
+    assert model.total_cycles == 0
+    model.dise_return()
+    assert not model.offthread
+    assert model.flushes == 0
+
+
+def test_mispredicted_branch_flushes():
+    model = _model()
+    # A cold predictor eventually mispredicts some outcome; force it by
+    # training taken then flipping.
+    for _ in range(10):
+        model.conditional_branch(0x1000, True)
+    flushes = model.flushes
+    model.conditional_branch(0x1000, False)
+    assert model.flushes == flushes + 1
+
+
+def test_reset_counters():
+    model = _model()
+    model.commit()
+    model.flush()
+    model.reset_counters()
+    assert model.total_cycles == 0
+    assert model.flushes == 0

@@ -1,0 +1,115 @@
+"""The execution tracer."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.tracer import Tracer
+from repro.dise.pattern import Pattern
+from repro.dise.production import Production
+from repro.dise.template import original, template
+from repro.isa import assemble
+from repro.isa.opcodes import Opcode
+
+SOURCE = """
+main:
+    lda r1, 5
+    stq r1, 0(sp)
+    addq r1, 1, r1
+    halt
+"""
+
+
+def _traced_machine(*productions, **tracer_kwargs):
+    program = assemble(SOURCE)
+    machine = Machine(program, detailed_timing=False)
+    for production in productions:
+        machine.dise_controller.install(production)
+    tracer = Tracer(machine, **tracer_kwargs).attach()
+    return machine, tracer
+
+
+def test_records_every_committed_instruction():
+    machine, tracer = _traced_machine()
+    machine.run()
+    assert tracer.committed == 4
+    assert len(tracer) == 4
+    assert tracer.records[0].text.startswith("lda")
+    assert all(record.disepc == 0 for record in tracer.records)
+
+
+def test_dise_annotations():
+    production = Production(
+        Pattern.stores(),
+        [original(), template(Opcode.ADDQ, rd=64, rs1=64, imm=1)],
+        name="count")
+    machine, tracer = _traced_machine(production)
+    machine.run()
+    dise_records = [r for r in tracer.records if r.is_dise]
+    assert len(dise_records) == 2  # T.INST slot + inserted add
+    assert [r.disepc for r in dise_records] == [0, 1]
+    # All slots share the trigger's PC.
+    assert len({r.pc for r in dise_records}) == 1
+
+
+def test_dise_only_filter():
+    production = Production(
+        Pattern.stores(),
+        [original(), template(Opcode.NOP)], name="pad")
+    machine, tracer = _traced_machine(production, dise_only=True)
+    machine.config = machine.config.with_(free_nops=False)
+    machine.run()
+    assert all(record.is_dise for record in tracer.records)
+
+
+def test_pc_range_filter():
+    program = assemble(SOURCE)
+    machine = Machine(program, detailed_timing=False)
+    window = (program.pc_of_index(1), program.pc_of_index(2))
+    tracer = Tracer(machine, pc_range=window).attach()
+    machine.run()
+    assert len(tracer) == 1
+    assert tracer.records[0].text.startswith("stq")
+
+
+def test_ring_buffer_capacity():
+    machine, tracer = _traced_machine(capacity=2)
+    machine.run()
+    assert len(tracer) == 2
+    assert tracer.records[0].text.startswith("addq")
+
+
+def test_render():
+    machine, tracer = _traced_machine()
+    machine.run()
+    text = tracer.render(last=2)
+    assert "halt" in text
+    assert "<0x" in text
+
+
+def test_expansion_grouping():
+    production = Production(
+        Pattern.stores(),
+        [original(), template(Opcode.ADDQ, rd=64, rs1=64, imm=1)],
+        name="count")
+    machine, tracer = _traced_machine(production)
+    machine.run()
+    groups = tracer.expansions()
+    assert len(groups) == 1
+    assert len(groups[0]) == 2
+
+
+def test_context_manager_detaches():
+    program = assemble(SOURCE)
+    machine = Machine(program, detailed_timing=False)
+    with Tracer(machine) as tracer:
+        machine.run(max_app_instructions=1)
+    assert machine.instruction_observer is None
+    assert len(tracer) == 1
+
+
+def test_double_attach_rejected():
+    program = assemble(SOURCE)
+    machine = Machine(program, detailed_timing=False)
+    Tracer(machine).attach()
+    with pytest.raises(RuntimeError):
+        Tracer(machine).attach()

@@ -1,0 +1,142 @@
+"""Static binary-rewriting backend: semantics preservation and costs."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.errors import UnsupportedWatchpointError
+from repro.isa import assemble
+from repro.isa.opcodes import OpClass
+from tests.conftest import make_watch_loop
+
+
+def _backend(program=None, expressions=("hot",), **options):
+    session = DebugSession(program or make_watch_loop(20),
+                           backend="binary_rewrite", **options)
+    for expression in expressions:
+        session.watch(expression)
+    return session.build_backend()
+
+
+def test_original_program_untouched():
+    program = make_watch_loop(20)
+    before = [inst.disassemble() for inst in program.instructions]
+    _backend(program)
+    after = [inst.disassemble() for inst in program.instructions]
+    assert before == after
+
+
+def test_semantics_preserved():
+    """The rewritten program computes exactly what the original does."""
+    program = make_watch_loop(20)
+    reference = Machine(program.copy())
+    reference.run()
+    backend = _backend(program)
+    backend.run()
+    for symbol in ("hot", "other"):
+        assert backend.machine.memory.read_int(
+            backend.program.address_of(symbol), 8) == \
+            reference.memory.read_int(program.address_of(symbol), 8)
+
+
+def test_code_bloat_reported():
+    backend = _backend()
+    assert backend.rewrite_sites > 0
+    assert backend.inserted_instructions > 0
+    assert len(backend.program) > len(backend.original_program)
+
+
+def test_every_store_instrumented():
+    backend = _backend()
+    app_stores = sum(
+        1 for inst in backend.original_program.instructions
+        if inst.info.opclass is OpClass.STORE)
+    assert backend.rewrite_sites == app_stores
+
+
+def test_branch_retargeting():
+    """Loops still terminate and counters still match after rewriting."""
+    backend = _backend(make_watch_loop(33))
+    result = backend.run()
+    assert result.halted
+    hot = backend.machine.memory.read_int(
+        backend.program.address_of("hot"), 8)
+    assert hot == 101
+
+
+def test_zero_spurious_transitions():
+    backend = _backend()
+    result = backend.run()
+    assert result.stats.spurious_transitions == 0
+    assert result.stats.user_transitions == 1
+
+
+def test_conditional_compiled_into_handler():
+    session = DebugSession(make_watch_loop(15), backend="binary_rewrite")
+    session.watch("hot", condition="hot == 123456789")
+    backend = session.build_backend()
+    result = backend.run()
+    assert result.stats.user_transitions == 0
+    assert result.stats.spurious_transitions == 0  # predicate tested in-app
+
+
+def test_indirect_rejected():
+    session = DebugSession(make_watch_loop(), backend="binary_rewrite")
+    session.watch("*hot_ptr")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_range_watch():
+    backend = _backend(expressions=("arr[0:]",))
+    result = backend.run()
+    assert result.stats.user_transitions > 0
+    assert result.stats.spurious_transitions == 0
+
+
+def test_spill_mode_adds_saves():
+    lean = _backend()
+    fat = _backend(spill_mode=True)
+    assert fat.inserted_instructions > lean.inserted_instructions
+    result = fat.run()
+    assert result.halted
+    assert result.stats.user_transitions == 1
+
+
+def test_spill_mode_preserves_semantics():
+    program = make_watch_loop(12)
+    reference = Machine(program.copy())
+    reference.run()
+    backend = _backend(program, spill_mode=True)
+    backend.run()
+    assert backend.machine.memory.read_int(
+        backend.program.address_of("hot"), 8) == \
+        reference.memory.read_int(program.address_of("hot"), 8)
+
+
+def test_scavenged_register_conflict_detected():
+    from repro.errors import DebuggerError
+    program = assemble("""
+    .data
+    x: .quad 0
+    .text
+    main:
+        lda r27, x
+        stq r1, 0(r27)   ; store uses the scavenged base register
+        halt
+    """)
+    session = DebugSession(program, backend="binary_rewrite")
+    session.watch("x")
+    with pytest.raises(DebuggerError):
+        session.build_backend()
+
+
+def test_statement_markers_remapped():
+    program = make_watch_loop(10)
+    backend = _backend(program)
+    rewritten = backend.program
+    # Statement starts must land on real instruction indices.
+    assert all(0 <= idx < len(rewritten)
+               for idx in rewritten.statement_starts)
+    assert len(rewritten.statement_starts) == len(program.statement_starts)

@@ -1,0 +1,67 @@
+"""Breakpoints under every backend.
+
+Unconditional breakpoints have a cheap implementation everywhere (the
+paper: static transformation or breakpoint registers are near-ideal);
+conditional breakpoints split the field exactly like conditional
+watchpoints do.
+"""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.debugger.backends import BACKENDS
+from tests.conftest import make_watch_loop
+
+ALL = tuple(BACKENDS)
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_unconditional_breakpoint_hits_every_pass(backend):
+    session = DebugSession(make_watch_loop(12), backend=backend)
+    session.break_at("loop")
+    result = session.build_backend().run()
+    assert result.stats.user_transitions >= 12
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_conditional_breakpoint_true_once(backend):
+    # `other` holds 3 exactly once per loop body execution window.
+    session = DebugSession(make_watch_loop(12), backend=backend)
+    session.break_at("loop", condition="other == 3")
+    result = session.build_backend().run()
+    assert result.stats.user_transitions == 1
+
+
+@pytest.mark.parametrize("backend,expect_spurious", [
+    ("virtual_memory", True),   # breakpoint registers trap, then the
+    ("hardware", True),         # debugger evaluates the predicate
+    ("dise", False),            # predicate compiled into the sequence
+])
+def test_conditional_breakpoint_spurious_split(backend, expect_spurious):
+    session = DebugSession(make_watch_loop(12), backend=backend)
+    session.break_at("loop", condition="other == 99999")
+    result = session.build_backend().run()
+    assert result.stats.user_transitions == 0
+    assert (result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE]
+            > 0) is expect_spurious
+
+
+@pytest.mark.parametrize("backend", ("virtual_memory", "hardware"))
+def test_register_breakpoints_do_not_perturb_results(backend):
+    session = DebugSession(make_watch_loop(12), backend=backend)
+    session.break_at("loop")
+    debugged = session.build_backend()
+    debugged.run()
+    assert debugged.machine.memory.read_int(
+        debugged.program.address_of("hot"), 8) == 101
+
+
+def test_breakpoint_and_watchpoint_together():
+    session = DebugSession(make_watch_loop(12), backend="dise")
+    session.break_at("loop", condition="other == 5")
+    session.watch("hot")
+    result = session.build_backend().run()
+    # One conditional breakpoint hit + one watchpoint value change.
+    assert result.stats.user_transitions == 2
+    assert result.stats.spurious_transitions == 0

@@ -1,0 +1,216 @@
+"""Debugger code generation: region layout, sequences, handlers."""
+
+import pytest
+
+from repro.debugger.backends.codegen import (BLOOM_BYTES, DebugCodeGenerator,
+                                             ENTRY_BYTES, SAVE_AREA_BYTES)
+from repro.debugger.expressions import ProgramResolver
+from repro.debugger.watchpoint import Watchpoint
+from repro.dise.template import TemplateInstruction
+from repro.errors import DebuggerError
+from repro.isa import assemble
+from repro.isa.opcodes import Opcode
+
+
+def _program():
+    return assemble("""
+    .data
+    x:   .quad 3
+    y:   .quad 4
+    p:   .quad 0
+    arr: .space 64
+    .text
+    main: halt
+    """)
+
+
+def _gen(expressions, program=None):
+    program = program or _program()
+    resolver = ProgramResolver(program)
+    watchpoints = [Watchpoint.parse(e) for e in expressions]
+    return DebugCodeGenerator(program, watchpoints, resolver), program
+
+
+class TestAnalysis:
+    def test_entry_kinds(self):
+        gen, _ = _gen(["x", "*p", "arr[0:]", "x + y"])
+        kinds = [entry.kind for entry in gen.entries]
+        assert kinds == ["scalar", "indirect", "range", "complex"]
+
+    def test_indirect_gets_dar_register(self):
+        gen, _ = _gen(["*p", "x"])
+        assert gen.entries[0].dar_index >= 4
+        assert gen.entries[1].dar_index == -1
+
+    def test_range_extent(self):
+        gen, program = _gen(["arr[8:24]"])
+        entry = gen.entries[0]
+        assert entry.range_lo == program.address_of("arr") + 8
+        assert entry.range_hi == program.address_of("arr") + 24
+
+
+class TestRegionLayout:
+    def test_power_of_two_size_and_alignment(self):
+        gen, program = _gen(["x", "y"])
+        size = gen.plan_region()
+        assert size & (size - 1) == 0
+        base = gen.install_region()
+        assert base % size == 0
+        assert program.symbol("__dbg_region").size == size
+
+    def test_entries_after_save_area(self):
+        gen, _ = _gen(["x", "y"])
+        gen.plan_region()
+        assert gen.entries[0].offset == SAVE_AREA_BYTES
+        assert gen.entries[1].offset == SAVE_AREA_BYTES + ENTRY_BYTES
+
+    def test_initial_previous_values(self):
+        gen, program = _gen(["x"])
+        gen.plan_region()
+        gen.install_region()
+        blob_item = next(i for i in program.data_items
+                         if i.name == "__dbg_region")
+        offset = gen.entries[0].offset + 8
+        assert int.from_bytes(blob_item.init[offset:offset + 8],
+                              "little") == 3
+
+    def test_range_mirror_initialized(self):
+        gen, program = _gen(["arr[0:16]"])
+        gen.plan_region()
+        gen.install_region()
+        entry = gen.entries[0]
+        assert entry.mirror_offset >= SAVE_AREA_BYTES + ENTRY_BYTES
+
+    def test_bloom_filled_for_watched_quads(self):
+        gen, program = _gen(["x"])
+        gen.plan_region(use_bloom=True)
+        blob = gen._initial_blob(None)
+        quad = program.address_of("x") >> 3
+        assert blob[gen._bloom_offset + (quad & (BLOOM_BYTES - 1))] == 1
+
+    def test_bitwise_bloom_fill(self):
+        gen, program = _gen(["x"])
+        gen.plan_region(use_bloom=True, bitwise=True)
+        blob = gen._initial_blob(None)
+        bit = (program.address_of("x") >> 3) & (BLOOM_BYTES * 8 - 1)
+        assert blob[gen._bloom_offset + (bit >> 3)] & (1 << (bit & 7))
+
+
+class TestSequences:
+    def _prepared(self, expressions, **plan):
+        gen, program = _gen(expressions)
+        gen.plan_region(**plan)
+        gen.install_region()
+        gen.install_handler()
+        return gen
+
+    def test_match_address_shape(self):
+        gen = self._prepared(["x"])
+        seq = gen.seq_match_address()
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert seq[0].whole  # T.INST first
+        assert Opcode.LDA in opcodes
+        assert Opcode.BIC in opcodes
+        assert Opcode.CMPEQ in opcodes
+        assert Opcode.D_CCALL in opcodes
+
+    def test_match_address_without_conditional_isa(self):
+        gen = self._prepared(["x"])
+        seq = gen.seq_match_address(conditional_isa=False)
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert Opcode.D_BEQ in opcodes
+        assert Opcode.D_CALL in opcodes
+        assert Opcode.D_CCALL not in opcodes
+
+    def test_serial_matching_grows_linearly(self):
+        one = self._prepared(["x"]).seq_match_address()
+        two = self._prepared(["x", "y"]).seq_match_address()
+        assert len(two) == len(one) + 2  # one cmpeq + one d_ccall
+
+    def test_protect_prefix(self):
+        gen = self._prepared(["x"])
+        gen.install_error_handler()
+        seq = gen.seq_match_address(protect=True)
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert Opcode.SRL in opcodes
+        assert Opcode.SUBQ in opcodes
+        assert Opcode.BEQ in opcodes
+        # The original store comes after the check (fault isolation).
+        whole_index = next(i for i, s in enumerate(seq) if s.whole)
+        assert whole_index == 4
+
+    def test_protect_requires_error_handler(self):
+        gen = self._prepared(["x"])
+        with pytest.raises(DebuggerError):
+            gen.seq_match_address(protect=True)
+
+    def test_bloom_sequences(self):
+        gen = self._prepared(["x"], use_bloom=True)
+        byte_seq = gen.seq_bloom(bytewise=True)
+        gen_bit = self._prepared(["x"], use_bloom=True, bitwise=True)
+        bit_seq = gen_bit.seq_bloom(bytewise=False)
+        assert len(bit_seq) > len(byte_seq)  # extra bit manipulation
+        assert any(s.opcode is Opcode.LDB for s in byte_seq if not s.whole)
+
+    def test_bloom_requires_matching_plan(self):
+        gen = self._prepared(["x"])  # no bloom planned
+        with pytest.raises(DebuggerError):
+            gen.seq_bloom()
+
+    def test_evaluate_expression_contains_load(self):
+        gen = self._prepared(["x"])
+        seq = gen.seq_evaluate_expression()
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert Opcode.LDQ in opcodes
+        assert Opcode.CTRAP in opcodes
+
+    def test_evaluate_expression_flushing_variant(self):
+        gen = self._prepared(["x"])
+        seq = gen.seq_evaluate_expression(conditional_isa=False)
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert Opcode.D_BNE in opcodes
+        assert Opcode.TRAP in opcodes
+
+    def test_match_address_value_has_no_load_or_call(self):
+        gen = self._prepared(["x"])
+        seq = gen.seq_match_address_value()
+        opcodes = [s.opcode for s in seq if not s.whole]
+        assert Opcode.LDQ not in opcodes
+        assert Opcode.D_CCALL not in opcodes
+        assert Opcode.CTRAP in opcodes
+
+    def test_handler_required_before_sequences(self):
+        gen, _ = _gen(["x"])
+        gen.plan_region()
+        gen.install_region()
+        with pytest.raises(DebuggerError):
+            gen.seq_match_address()
+
+
+class TestHandler:
+    def test_handler_appended_with_prolog_epilog(self):
+        gen, program = _gen(["x"])
+        gen.plan_region()
+        gen.install_region()
+        pc = gen.install_handler()
+        assert pc == program.pc_of_label("__dbg_handler")
+        index = program.labels["__dbg_handler"]
+        body = program.instructions[index:]
+        assert body[0].opcode is Opcode.STQ  # register spill
+        assert body[-1].opcode is Opcode.D_RET
+
+    def test_conventional_flavour_returns_via_link(self):
+        gen, program = _gen(["x"])
+        gen.plan_region()
+        gen.install_region()
+        gen.install_handler(flavor="conventional")
+        index = program.labels["__dbg_handler"]
+        assert program.instructions[-1].opcode is Opcode.RET
+
+    def test_error_handler(self):
+        gen, program = _gen(["x"])
+        gen.plan_region()
+        gen.install_region()
+        pc = gen.install_error_handler()
+        index = program.index_of_pc(pc)
+        assert program.instructions[index].opcode is Opcode.TRAP

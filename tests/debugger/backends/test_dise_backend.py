@@ -1,0 +1,278 @@
+"""DISE backend: all variants and their transition behaviour."""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.errors import DebuggerError, UnsupportedWatchpointError
+from repro.isa import assemble
+from tests.conftest import make_watch_loop
+
+
+def _run(expressions=("hot",), condition=None, iters=25, **options):
+    session = DebugSession(make_watch_loop(iters), backend="dise", **options)
+    for expression in expressions:
+        session.watch(expression, condition=condition)
+    backend = session.build_backend()
+    result = backend.run()
+    return backend, result
+
+
+def test_no_spurious_transitions_ever():
+    backend, result = _run()
+    assert result.stats.spurious_transitions == 0
+    assert result.stats.user_transitions == 1
+
+
+def test_program_not_statically_modified():
+    program = make_watch_loop(10)
+    length_before = len(program)
+    session = DebugSession(program, backend="dise")
+    session.watch("hot")
+    backend = session.build_backend()
+    # The session binary is untouched; the process image (a private
+    # copy) gains only *appended* code/data — existing instructions
+    # are byte-for-byte identical, unlike binary rewriting.
+    assert len(program) == length_before
+    assert backend.program.instructions[:length_before] == \
+        program.instructions
+    assert len(backend.program) > length_before  # the appended handler
+
+
+def test_stores_expanded_dynamically():
+    backend, result = _run()
+    assert result.stats.dise_expansions == result.stats.stores - \
+        _function_stores(result)
+    assert result.stats.dise_instructions > 0
+
+
+def _function_stores(result):
+    # Stores executed inside the DISE-called function (prolog spills and
+    # previous-value updates) are not expanded.
+    return result.stats.stores - result.stats.dise_expansions
+
+
+def test_conditional_evaluated_in_application():
+    backend, result = _run(condition="hot == 31337313373133")
+    assert result.stats.user_transitions == 0
+    assert result.stats.spurious_transitions == 0
+
+
+def test_true_condition_traps():
+    # hot counts 100 -> 101 at the end; watch for exactly that value.
+    backend, result = _run(condition="hot == 101")
+    assert result.stats.user_transitions == 1
+
+
+def test_indirect_watchpoint():
+    backend, result = _run(expressions=("*hot_ptr",))
+    # The pointer store retargets the watch; the final value change
+    # traps.  No spurious transitions in between.
+    assert result.stats.spurious_transitions == 0
+    assert result.stats.user_transitions >= 1
+
+
+def test_indirect_retargets_dar_register():
+    program = assemble("""
+    .data
+    a: .quad 5
+    b: .quad 6
+    p: .quad 0
+    .text
+    main:
+        lda r1, a
+        lda r2, p
+        stq r1, 0(r2)     ; p = &a
+        lda r1, b
+        stq r1, 0(r2)     ; p = &b  (watch must follow)
+        lda r3, 9
+        stq r3, 0(r1)     ; write *p (b): must trap
+        halt
+    """)
+    session = DebugSession(program, backend="dise")
+    session.watch("*p")
+    backend = session.build_backend()
+    result = backend.run()
+    entry = backend.codegen.entries[0]
+    assert backend.machine.dise_regs.read(entry.dar_index) == \
+        program.address_of("b") & ~7
+    assert result.stats.user_transitions >= 1
+
+
+def test_range_watchpoint():
+    backend, result = _run(expressions=("arr[0:]",), iters=16)
+    # arr stores cycle values 0..7; every write that changes the quad
+    # traps, silent rewrites do not.
+    assert result.stats.spurious_transitions == 0
+    assert result.stats.user_transitions > 0
+
+
+def test_evaluate_expression_variant():
+    backend, result = _run(check="evaluate-expression")
+    assert result.stats.user_transitions == 1
+    assert result.stats.spurious_transitions == 0
+    # No function calls in this organization.
+    assert result.stats.function_instructions == 0
+
+
+def test_evaluate_expression_rejects_ranges():
+    session = DebugSession(make_watch_loop(), backend="dise",
+                           check="evaluate-expression")
+    session.watch("arr[0:]")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_match_address_value_variant():
+    backend, result = _run(check="match-address-value")
+    assert result.stats.user_transitions == 1
+    assert result.stats.function_instructions == 0
+    # The sequence has no loads at all (the paper's key point).
+    assert result.stats.dise_branch_flushes == 0
+
+
+def test_match_address_value_requires_scalars():
+    session = DebugSession(make_watch_loop(), backend="dise",
+                           check="match-address-value")
+    session.watch("arr[0:]")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_without_conditional_isa_flushes():
+    lean, lean_result = _run(conditional_isa=True)
+    flushy, flushy_result = _run(conditional_isa=False)
+    assert flushy_result.stats.dise_branch_flushes > \
+        lean_result.stats.dise_branch_flushes
+    assert flushy_result.stats.cycles > lean_result.stats.cycles
+    # Semantics identical regardless.
+    assert flushy_result.stats.user_transitions == \
+        lean_result.stats.user_transitions == 1
+
+
+def test_bloom_byte_strategy():
+    backend, result = _run(expressions=("hot", "other"),
+                           multi_strategy="bloom-byte")
+    assert backend.codegen.uses_bloom
+    assert result.stats.spurious_transitions == 0
+    # `other` changes every iteration.
+    assert result.stats.user_transitions >= 25
+
+
+def test_bloom_bit_strategy():
+    backend, result = _run(multi_strategy="bloom-bit")
+    assert backend.codegen.bloom_bitwise
+    assert result.stats.user_transitions == 1
+
+
+def test_auto_strategy_switches_to_bloom():
+    program = assemble("""
+    .data
+    a: .quad 0
+    b: .quad 0
+    c: .quad 0
+    d: .quad 0
+    e: .quad 0
+    f: .quad 0
+    .text
+    main:
+        lda r1, a
+        stq r2, 0(r1)
+        halt
+    """)
+    session = DebugSession(program, backend="dise")
+    for name in "abcdef":
+        session.watch(name)
+    backend = session.build_backend()
+    assert backend.codegen.uses_bloom
+
+
+def test_protection_production():
+    backend, result = _run(protect=True)
+    assert backend.codegen.error_pc is not None
+    assert result.stats.user_transitions == 1
+    assert backend._error_traps == 0  # well-behaved program
+
+
+def test_protection_catches_wild_store():
+    program = make_watch_loop(5)
+    session = DebugSession(program, backend="dise", protect=True)
+    session.watch("hot")
+    backend = session.build_backend()
+    # Simulate a wild pointer: store straight into the debugger region
+    # (patching the process image the machine actually runs).
+    region = backend.codegen.data_base
+    machine = backend.machine
+    machine.regs[9] = region
+    from repro.isa.instruction import Instruction
+    from repro.isa.opcodes import Opcode
+    image = backend.program
+    index = image.index_of_pc(image.pc_of_label("loop"))
+    image.instructions[index] = Instruction(Opcode.STQ, rd=9, rs1=9,
+                                            imm=0)
+    result = backend.run()
+    assert backend._error_traps == 1
+
+
+def test_stack_prune_rejected_when_watching_locals():
+    program = make_watch_loop(5)
+    program.symbols["stack_var"] = type(
+        program.symbol("hot"))("stack_var", 0x7FFF_F010, 8, "data")
+    session = DebugSession(program, backend="dise",
+                           prune_stack_stores=True)
+    session.watch("stack_var")
+    with pytest.raises(DebuggerError):
+        session.build_backend()
+
+
+def test_stack_prune_installs_identity():
+    session = DebugSession(make_watch_loop(10), backend="dise",
+                           prune_stack_stores=True)
+    session.watch("hot")
+    backend = session.build_backend()
+    names = [p.name for p in backend.machine.dise_engine.productions]
+    assert "stack-store-identity" in names
+
+
+def test_breakpoint_pc_pattern():
+    session = DebugSession(make_watch_loop(8), backend="dise")
+    session.break_at("loop")
+    backend = session.build_backend()
+    result = backend.run()
+    assert result.stats.user_transitions >= 8
+    assert result.stats.spurious_transitions == 0
+
+
+def test_breakpoint_codeword_flavour():
+    program = make_watch_loop(8)
+    session = DebugSession(program, backend="dise",
+                           breakpoint_codewords=True)
+    session.break_at("loop")
+    backend = session.build_backend()
+    result = backend.run()
+    assert result.stats.user_transitions >= 8
+    # The codeword flavour patches the process image's text (the
+    # session binary itself stays pristine).
+    from repro.isa.opcodes import Opcode
+    image = backend.program
+    index = image.index_of_pc(image.pc_of_label("loop"))
+    assert image.instructions[index].opcode is Opcode.CODEWORD
+    orig_index = program.index_of_pc(program.pc_of_label("loop"))
+    assert program.instructions[orig_index].opcode is not Opcode.CODEWORD
+
+
+def test_conditional_breakpoint_inline():
+    session = DebugSession(make_watch_loop(8), backend="dise")
+    session.break_at("loop", condition="other == 3")
+    backend = session.build_backend()
+    result = backend.run()
+    # `other` holds 3 exactly once per loop pass.
+    assert result.stats.user_transitions == 1
+    assert result.stats.spurious_transitions == 0
+
+
+def test_complex_expression_watch():
+    backend, result = _run(expressions=("hot + other",))
+    # `other` changes every iteration, so the sum changes too.
+    assert result.stats.user_transitions >= 25
+    assert result.stats.spurious_transitions == 0

@@ -1,0 +1,91 @@
+"""Hardware watchpoint-register backend."""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.errors import UnsupportedWatchpointError
+from repro.isa import assemble
+from tests.conftest import make_watch_loop
+
+
+def test_register_watch_classification():
+    session = DebugSession(make_watch_loop(25), backend="hardware")
+    session.watch("hot")
+    result = session.run()
+    stats = result.stats
+    # No page-sharing problem: only silent stores are spurious.
+    assert stats.transitions[TransitionKind.SPURIOUS_ADDRESS] == 0
+    assert stats.transitions[TransitionKind.SPURIOUS_VALUE] == 25
+    assert stats.user_transitions == 1
+
+
+def test_quad_granularity_partial_watch():
+    """Watching one byte traps on stores to the rest of its quad."""
+    program = assemble("""
+    .data
+    pair: .byte 1
+          .byte 2
+    .text
+    main:
+        lda r1, pair
+        lda r2, 9
+        stb r2, 1(r1)    ; other byte of the same quad
+        halt
+    """)
+    session = DebugSession(program, backend="hardware")
+    session.watch("pair")  # symbol covers both bytes; watch first only
+    backend = session.build_backend()
+    # Narrow the watch manually to the first byte.
+    backend._register_ranges = [(program.address_of("pair"),
+                                 program.address_of("pair") + 1,
+                                 backend.watchpoints[0])]
+    backend.run()
+    stats = backend.machine.stats
+    assert stats.transitions[TransitionKind.SPURIOUS_ADDRESS] == 1
+
+
+def test_indirect_rejected():
+    session = DebugSession(make_watch_loop(), backend="hardware")
+    session.watch("*hot_ptr")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_range_rejected():
+    session = DebugSession(make_watch_loop(), backend="hardware")
+    session.watch("arr[0:]")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_fallback_to_vm_beyond_register_count():
+    program = assemble("""
+    .data
+    a: .quad 0
+    b: .quad 0
+    c: .quad 0
+    .text
+    main:
+        lda r1, a
+        lda r2, 5
+        stq r2, 0(r1)    ; a: register watch
+        stq r2, 16(r1)   ; c: VM fallback (same page as a/b)
+        halt
+    """)
+    session = DebugSession(program, backend="hardware", num_registers=2)
+    session.watch("a")
+    session.watch("b")
+    session.watch("c")  # exceeds the two registers
+    backend = session.build_backend()
+    assert backend.registers_used == 2
+    assert backend.machine.pagetable.any_protected
+    backend.run()
+    assert backend.machine.stats.user_transitions == 2  # a and c changed
+
+
+def test_conditional():
+    session = DebugSession(make_watch_loop(10), backend="hardware")
+    session.watch("hot", condition="hot == 77777777")
+    result = session.run()
+    assert result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1

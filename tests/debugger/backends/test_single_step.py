@@ -1,0 +1,40 @@
+"""Single-stepping backend."""
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from tests.conftest import make_watch_loop
+
+
+def _run(condition=None):
+    session = DebugSession(make_watch_loop(20), backend="single_step")
+    session.watch("hot", condition=condition)
+    return session.run(run_baseline=True)
+
+
+def test_traps_every_statement():
+    result = _run()
+    stats = result.stats
+    # Every statement is a debugger transition; only the final value
+    # change is masked by user interaction.
+    total = stats.spurious_transitions + stats.user_transitions
+    assert total > 50
+    assert stats.user_transitions == 1
+
+
+def test_enormous_overhead():
+    result = _run()
+    assert result.overhead > 1000
+
+
+def test_conditional_adds_predicate_transitions():
+    result = _run(condition="hot == 12345678")
+    stats = result.stats
+    assert stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1
+    assert stats.user_transitions == 0
+
+
+def test_breakpoint_via_stepping():
+    session = DebugSession(make_watch_loop(10), backend="single_step")
+    session.break_at("loop")
+    result = session.run()
+    assert result.user_transitions > 0

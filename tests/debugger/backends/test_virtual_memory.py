@@ -1,0 +1,65 @@
+"""Virtual-memory (mprotect) backend."""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.errors import UnsupportedWatchpointError
+from tests.conftest import make_watch_loop
+
+
+def test_page_protection_installed():
+    session = DebugSession(make_watch_loop(), backend="virtual_memory")
+    session.watch("hot")
+    backend = session.build_backend()
+    assert backend.machine.pagetable.any_protected
+    program = backend.program
+    page = backend.machine.pagetable.page_number(program.address_of("hot"))
+    assert page in backend.machine.pagetable.protected_pages
+
+
+def test_transition_classification():
+    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session.watch("hot")
+    result = session.run()
+    stats = result.stats
+    # `other` and `arr` share the data page with `hot` -> spurious
+    # address transitions; silent stores to hot -> spurious value.
+    assert stats.transitions[TransitionKind.SPURIOUS_ADDRESS] > 0
+    assert stats.transitions[TransitionKind.SPURIOUS_VALUE] == 30
+    assert stats.user_transitions == 1
+
+
+def test_conditional_predicate_transitions():
+    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session.watch("hot", condition="hot == 424242424242")
+    result = session.run()
+    assert result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1
+    assert result.user_transitions == 0
+
+
+def test_indirect_rejected():
+    session = DebugSession(make_watch_loop(), backend="virtual_memory")
+    session.watch("*hot_ptr")
+    with pytest.raises(UnsupportedWatchpointError):
+        session.build_backend()
+
+
+def test_range_supported():
+    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session.watch("arr[0:]")
+    result = session.run()
+    # Every arr store is a watched write that changes content.
+    assert result.user_transitions > 0
+
+
+def test_unwatched_program_unperturbed():
+    """The application's results are unchanged under VM watching."""
+    program = make_watch_loop(25)
+    session = DebugSession(program, backend="virtual_memory")
+    session.watch("hot")
+    backend = session.build_backend()
+    backend.run()
+    hot = backend.machine.memory.read_int(
+        backend.program.address_of("hot"), 8)
+    assert hot == 101  # initial 100 + the single real change

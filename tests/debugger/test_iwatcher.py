@@ -1,0 +1,120 @@
+"""The iWatcher-style programmatic interface."""
+
+import pytest
+
+from repro.debugger.iwatcher import AccessRecord, IWatcher
+from repro.errors import DebuggerError
+from repro.isa import assemble
+
+APP = """
+.data
+var:   .quad 5
+buf:   .space 64
+other: .quad 0
+.text
+main:
+    lda r1, var
+    lda r2, buf
+    lda r3, other
+    lda r4, 0
+loop:
+    stq r4, 0(r3)        ; unwatched
+    stq r4, 8(r2)        ; inside buf
+    addq r4, 1, r4
+    cmpeq r4, 10, r5
+    beq r5, loop
+    lda r6, 5
+    stq r6, 0(r1)        ; silent write to var (value already 5)
+    lda r6, 9
+    stq r6, 0(r1)        ; changing write to var
+    halt
+"""
+
+
+def _watcher():
+    return IWatcher(assemble(APP))
+
+
+def test_callback_receives_access_records():
+    watcher = _watcher()
+    records = []
+    watcher.watch_symbol("var", records.append)
+    watcher.run()
+    assert len(records) == 2  # both writes, silent or not
+    record = records[-1]
+    assert isinstance(record, AccessRecord)
+    assert record.value == 9
+    assert record.size == 8
+    assert record.address == watcher.program.address_of("var")
+
+
+def test_region_watch_counts_buffer_writes():
+    watcher = _watcher()
+    hits = []
+    watcher.watch_symbol("buf", hits.append)
+    watcher.run()
+    assert len(hits) == 10
+    assert all(h.region_size == 64 for h in hits)
+
+
+def test_only_on_change_prunes_silent_stores():
+    watcher = _watcher()
+    records = []
+    watcher.watch_symbol("var", records.append, only_on_change=True)
+    watcher.run()
+    assert len(records) == 1
+    assert records[0].value == 9
+    assert watcher.total_suppressed == 1
+
+
+def test_multiple_regions():
+    watcher = _watcher()
+    var_hits, buf_hits = [], []
+    watcher.watch_symbol("var", var_hits.append)
+    watcher.watch_symbol("buf", buf_hits.append)
+    watcher.run()
+    assert len(var_hits) == 2
+    assert len(buf_hits) == 10
+    assert watcher.total_invocations == 12
+
+
+def test_unwatch():
+    watcher = _watcher()
+    hits = []
+    base = watcher.program.address_of("buf")
+    watcher.watch(base, 64, hits.append)
+    watcher.unwatch(base)
+    watcher.run()
+    assert not hits
+    assert not watcher.machine.dise_engine.has_productions
+
+
+def test_unwatched_stores_never_reach_callbacks():
+    watcher = _watcher()
+    hits = []
+    watcher.watch_symbol("var", hits.append)
+    watcher.run()
+    addresses = {h.address for h in hits}
+    assert addresses == {watcher.program.address_of("var")}
+
+
+def test_empty_region_rejected():
+    watcher = _watcher()
+    with pytest.raises(DebuggerError):
+        watcher.watch(0x1000, 0, lambda record: None)
+
+
+def test_callback_invocations_are_masked_transitions():
+    watcher = _watcher()
+    watcher.watch_symbol("buf", lambda record: None)
+    result = watcher.run()
+    assert result.stats.user_transitions == 10
+    assert result.stats.spurious_transitions == 0
+
+
+def test_application_results_unperturbed():
+    watcher = _watcher()
+    watcher.watch_symbol("var", lambda record: None)
+    watcher.run()
+    assert watcher.machine.memory.read_int(
+        watcher.program.address_of("var"), 8) == 9

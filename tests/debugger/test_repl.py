@@ -1,0 +1,156 @@
+"""The gdb-flavoured interactive shell."""
+
+import pytest
+
+from repro.debugger.repl import DebuggerShell
+from repro.isa import assemble
+from tests.conftest import WATCH_LOOP, make_watch_loop
+
+
+def _shell(backend="dise", iters=30):
+    return DebuggerShell(make_watch_loop(iters), backend=backend)
+
+
+def test_watch_command():
+    shell = _shell()
+    out = shell.execute("watch hot")
+    assert out == "Watchpoint 1: watch hot"
+    out = shell.execute("watch warm1? nope")  # bad expression
+    assert "error" in out or "Undefined" in out or "cannot" in out
+
+
+def test_watch_with_condition():
+    shell = _shell()
+    out = shell.execute("watch hot if hot == 101")
+    assert "if (hot == 101)" in out
+
+
+def test_break_command():
+    shell = _shell()
+    out = shell.execute("break loop")
+    assert out.startswith("Breakpoint 1")
+    out = shell.execute("b 0x1004")
+    assert "0x1004" in out or out.startswith("Breakpoint 2")
+
+
+def test_run_stops_at_watchpoint_hit():
+    shell = _shell()
+    shell.execute("watch hot")
+    out = shell.execute("run")
+    assert "Stopped after" in out
+    assert "value = 101" in out
+
+
+def test_run_to_exit_without_hits():
+    shell = _shell()
+    shell.execute("watch hot if hot == 987654321")
+    out = shell.execute("run")
+    assert "exited normally" in out
+
+
+def test_continue_resumes():
+    shell = _shell()
+    shell.execute("watch other")  # changes every iteration
+    first = shell.execute("run")
+    assert "Stopped after" in first
+    second = shell.execute("continue")
+    assert "Stopped after" in second
+
+
+def test_continue_budget():
+    shell = _shell()
+    out = shell.execute("continue 50")
+    assert "Ran 50 instructions" in out
+
+
+def test_print_and_x():
+    shell = _shell()
+    shell.execute("run 100")
+    assert shell.execute("print hot").isdigit()
+    assert shell.execute("p hot + other").isdigit()
+    dump = shell.execute("x hot 2")
+    assert dump.count("\n") == 1
+    assert "0x" in dump
+
+
+def test_info_commands():
+    shell = _shell()
+    assert shell.execute("info watchpoints") == "No watchpoints."
+    shell.execute("watch hot")
+    assert "watch hot" in shell.execute("info watchpoints")
+    shell.execute("break loop")
+    assert "break loop" in shell.execute("info breakpoints")
+    assert "not being run" in shell.execute("info stats")
+    shell.execute("run 100")
+    assert "instructions (app)" in shell.execute("info stats")
+    assert "backend: dise" in shell.execute("info backend")
+
+
+def test_delete():
+    shell = _shell()
+    shell.execute("watch hot")
+    assert shell.execute("delete 1") == "Deleted 1"
+    assert shell.execute("info watchpoints") == "No watchpoints."
+    assert "no watchpoint" in shell.execute("delete 9")
+
+
+def test_backend_switch():
+    shell = _shell()
+    out = shell.execute("backend hardware num_registers=2")
+    assert "backend set to hardware" in out
+    assert shell.session.backend_options == {"num_registers": 2}
+    shell.execute("watch hot")
+    out = shell.execute("run")
+    assert "Stopped after" in out or "exited" in out
+
+
+def test_overhead_command():
+    shell = _shell()
+    shell.execute("watch hot if hot == 987654321")
+    shell.execute("run")
+    out = shell.execute("overhead")
+    assert "x baseline" in out
+    assert "0 spurious" in out
+
+
+def test_unknown_command():
+    shell = _shell()
+    assert "Undefined command" in shell.execute("frobnicate")
+
+
+def test_help_lists_commands():
+    text = _shell().execute("help")
+    for command in ("watch", "break", "run", "print", "overhead"):
+        assert command in text
+
+
+def test_quit_and_interact():
+    shell = _shell()
+    lines = iter(["watch hot", "quit"])
+    outputs = []
+    shell.interact(input_fn=lambda prompt: next(lines),
+                   output_fn=outputs.append)
+    assert shell.exited
+    assert any("Watchpoint 1" in text for text in outputs)
+
+
+def test_interact_handles_eof():
+    shell = _shell()
+
+    def raise_eof(prompt):
+        raise EOFError
+
+    shell.interact(input_fn=raise_eof, output_fn=lambda text: None)
+
+
+def test_empty_line_is_noop():
+    assert _shell().execute("   ") == ""
+
+
+def test_adding_watchpoint_resets_run():
+    shell = _shell()
+    shell.execute("watch hot")
+    shell.execute("run 100")
+    shell.execute("watch other")  # invalidates the running machine
+    out = shell.execute("continue 100")
+    assert "Stopped after" in out or "Ran" in out

@@ -1,0 +1,79 @@
+"""DebugSession facade."""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.debugger.backends import BACKENDS, backend_class
+from repro.errors import DebuggerError
+from tests.conftest import make_watch_loop
+
+
+def test_backend_registry():
+    assert set(BACKENDS) == {"single_step", "virtual_memory", "hardware",
+                             "binary_rewrite", "dise"}
+    assert backend_class("dise").name == "dise"
+    with pytest.raises(KeyError):
+        backend_class("gdb")
+
+
+def test_watch_and_run_with_baseline():
+    session = DebugSession(make_watch_loop(), backend="dise")
+    session.watch("hot")
+    result = session.run(run_baseline=True)
+    assert result.backend == "dise"
+    assert result.overhead > 1.0
+    assert result.user_transitions == 1
+    assert result.spurious_transitions == 0
+
+
+def test_overhead_requires_baseline():
+    session = DebugSession(make_watch_loop(), backend="dise")
+    session.watch("hot")
+    result = session.run()
+    with pytest.raises(DebuggerError):
+        _ = result.overhead
+
+
+def test_conditional_watch():
+    session = DebugSession(make_watch_loop(), backend="hardware")
+    session.watch("hot", condition="hot == 999999999")
+    result = session.run()
+    assert result.user_transitions == 0
+    assert result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1
+
+
+def test_numbering_and_delete():
+    session = DebugSession(make_watch_loop())
+    wp1 = session.watch("hot")
+    wp2 = session.watch("other")
+    assert (wp1.number, wp2.number) == (1, 2)
+    session.delete(wp1)
+    assert session.watchpoints == [wp2]
+
+
+def test_breakpoints():
+    session = DebugSession(make_watch_loop(), backend="dise")
+    bp = session.break_at("loop")
+    result = session.run(max_app_instructions=2000)
+    assert result.user_transitions > 0
+    session.delete(bp)
+    assert session.breakpoints == []
+
+
+def test_summary_renders():
+    session = DebugSession(make_watch_loop(), backend="dise")
+    session.watch("hot")
+    result = session.run(run_baseline=True)
+    text = result.summary()
+    assert "backend: dise" in text
+    assert "overhead" in text
+
+
+def test_multiple_watchpoints_one_session():
+    session = DebugSession(make_watch_loop(), backend="dise")
+    session.watch("hot")
+    session.watch("other")
+    result = session.run()
+    # `other` changes every iteration: many user transitions.
+    assert result.user_transitions > 10

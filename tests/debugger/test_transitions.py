@@ -1,0 +1,102 @@
+"""Transition classification and debugger-side monitoring."""
+
+import pytest
+
+from repro.cpu.stats import TransitionKind
+from repro.debugger.expressions import ProgramResolver
+from repro.debugger.transitions import WatchpointMonitor, classify
+from repro.debugger.watchpoint import Watchpoint
+from repro.isa import assemble
+from repro.memory.main_memory import MainMemory
+
+
+def test_classify_matrix():
+    assert classify(False, False, None) is TransitionKind.SPURIOUS_ADDRESS
+    assert classify(True, False, None) is TransitionKind.SPURIOUS_VALUE
+    assert classify(True, True, None) is TransitionKind.USER
+    assert classify(True, True, False) is TransitionKind.SPURIOUS_PREDICATE
+    assert classify(True, True, True) is TransitionKind.USER
+    # Address miss dominates everything else.
+    assert classify(False, True, True) is TransitionKind.SPURIOUS_ADDRESS
+
+
+@pytest.fixture
+def setup():
+    program = assemble("""
+    .data
+    x: .quad 1
+    y: .quad 2
+    .text
+    main: halt
+    """)
+    memory = MainMemory()
+    for item in program.data_items:
+        if item.init:
+            memory.write_bytes(program.address_of(item.name), item.init)
+    resolver = ProgramResolver(program)
+    return program, memory, resolver
+
+
+def test_monitor_detects_change(setup):
+    program, memory, resolver = setup
+    wp = Watchpoint.parse("x")
+    monitor = WatchpointMonitor([wp], resolver, memory)
+    changed, predicate = monitor.check(wp)
+    assert not changed
+    memory.write_int(program.address_of("x"), 8, 42)
+    changed, predicate = monitor.check(wp)
+    assert changed and predicate is None
+    # The previous value refreshed: no further change reported.
+    changed, _ = monitor.check(wp)
+    assert not changed
+
+
+def test_monitor_evaluates_predicate_only_on_change(setup):
+    program, memory, resolver = setup
+    wp = Watchpoint.parse("x", condition="x == 99")
+    monitor = WatchpointMonitor([wp], resolver, memory)
+    memory.write_int(program.address_of("x"), 8, 42)
+    changed, predicate = monitor.check(wp)
+    assert changed and predicate is False
+    memory.write_int(program.address_of("x"), 8, 99)
+    changed, predicate = monitor.check(wp)
+    assert changed and predicate is True
+
+
+def test_check_all_classification(setup):
+    program, memory, resolver = setup
+    unconditional = Watchpoint.parse("x")
+    conditional = Watchpoint.parse("y", condition="y == 123")
+    monitor = WatchpointMonitor([unconditional, conditional], resolver,
+                                memory)
+    # Nothing changed.
+    assert monitor.check_all() is TransitionKind.SPURIOUS_ADDRESS
+    # Only the conditional changed, predicate false.
+    memory.write_int(program.address_of("y"), 8, 5)
+    assert monitor.check_all() is TransitionKind.SPURIOUS_PREDICATE
+    # Unconditional change wins.
+    memory.write_int(program.address_of("x"), 8, 7)
+    assert monitor.check_all() is TransitionKind.USER
+    # Conditional change with a true predicate.
+    memory.write_int(program.address_of("y"), 8, 123)
+    assert monitor.check_all() is TransitionKind.USER
+
+
+def test_disabled_watchpoints_skipped(setup):
+    program, memory, resolver = setup
+    wp = Watchpoint.parse("x")
+    wp.enabled = False
+    monitor = WatchpointMonitor([wp], resolver, memory)
+    memory.write_int(program.address_of("x"), 8, 42)
+    assert monitor.check_all() is TransitionKind.SPURIOUS_ADDRESS
+
+
+def test_capture_all_resnapshots(setup):
+    program, memory, resolver = setup
+    wp = Watchpoint.parse("x")
+    monitor = WatchpointMonitor([wp], resolver, memory)
+    memory.write_int(program.address_of("x"), 8, 42)
+    monitor.capture_all()
+    changed, _ = monitor.check(wp)
+    assert not changed
+    assert monitor.previous_value(wp) == 42

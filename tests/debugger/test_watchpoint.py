@@ -1,0 +1,55 @@
+"""Watchpoint/breakpoint records."""
+
+import pytest
+
+from repro.debugger.watchpoint import Breakpoint, Watchpoint
+from repro.errors import DebuggerError
+from repro.isa import assemble
+
+
+def test_parse_simple_watchpoint():
+    wp = Watchpoint.parse("hot")
+    assert not wp.is_conditional
+    assert wp.is_static
+    assert not wp.is_range
+    assert "watch hot" in wp.describe()
+
+
+def test_parse_conditional():
+    wp = Watchpoint.parse("hot", condition="hot == 5")
+    assert wp.is_conditional
+    assert "if" in wp.describe()
+
+
+def test_indirect_flags():
+    wp = Watchpoint.parse("*p")
+    assert not wp.is_static
+
+
+def test_range_flags():
+    wp = Watchpoint.parse("arr[0:]")
+    assert wp.is_range
+
+
+def test_comparison_as_expression_rejected():
+    with pytest.raises(DebuggerError):
+        Watchpoint.parse("hot == 5")
+
+
+def test_non_comparison_condition_rejected():
+    with pytest.raises(DebuggerError):
+        Watchpoint.parse("hot", condition="hot + 1")
+
+
+def test_breakpoint_resolution():
+    program = assemble("main:\n    nop\nspot:\n    halt")
+    bp = Breakpoint.parse("spot")
+    assert bp.resolve_pc(program) == program.pc_of_label("spot")
+    by_pc = Breakpoint.parse(0x1004)
+    assert by_pc.resolve_pc(program) == 0x1004
+
+
+def test_breakpoint_condition():
+    bp = Breakpoint.parse("spot", condition="x != 0")
+    assert bp.is_conditional
+    assert "break spot if" in bp.describe()

@@ -1,0 +1,225 @@
+"""The ACF library: profiling, shadow stack, fault isolation."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
+from repro.dise.acf import (ShadowStack, fault_isolation,
+                            load_address_tracer, opclass_counter,
+                            stack_offset_shim, store_counter)
+from repro.errors import DiseError
+from repro.isa import assemble
+from repro.isa.opcodes import OpClass
+
+
+def _machine(source, *productions, trap_handler=None):
+    program = assemble(source)
+    machine = Machine(program, trap_handler=trap_handler)
+    for production in productions:
+        machine.dise_controller.install(production)
+    return program, machine
+
+
+def test_store_counter_counts_every_store():
+    _, machine = _machine("""
+    main:
+        lda r2, 0
+    loop:
+        stq r2, 0(sp)
+        stq r2, 8(sp)
+        addq r2, 1, r2
+        cmpeq r2, 7, r3
+        beq r3, loop
+        halt
+    """, store_counter())
+    result = machine.run()
+    assert machine.dise_regs.read(0) == result.stats.stores == 14
+
+
+def test_opclass_counter():
+    _, machine = _machine("""
+    main:
+        ldq r1, 0(sp)
+        ldq r2, 8(sp)
+        stq r1, 16(sp)
+        halt
+    """, opclass_counter(OpClass.LOAD, counter_register=5))
+    machine.run()
+    assert machine.dise_regs.read(5) == 2
+
+
+def test_load_address_tracer_records_addresses():
+    program = assemble("""
+    .data
+    buf: .space 128
+    .text
+    main:
+        lda r1, buf
+        ldq r2, 0(r1)
+        ldq r3, 24(r1)
+        halt
+    """)
+    trace_base = program.append_data("__trace", 8 * 8, align=8)
+    machine = Machine(program)
+    machine.dise_controller.install(load_address_tracer(trace_base, 8))
+    machine.run()
+    buf = program.address_of("buf")
+    assert machine.memory.read_int(trace_base, 8) == buf
+    assert machine.memory.read_int(trace_base + 8, 8) == buf + 24
+    assert machine.dise_regs.read(0) == 2
+
+
+def test_load_tracer_requires_power_of_two():
+    with pytest.raises(DiseError):
+        load_address_tracer(0x1000, 6)
+
+
+class TestShadowStack:
+    SOURCE = """
+    .data
+    saved: .quad 0
+    .text
+    main:
+        jsr ra, helper
+        jsr ra, smasher
+        halt
+    helper:
+        ret (ra)
+    smasher:
+        {attack}
+        ret (ra)
+    """
+
+    def _run(self, attack, trap_handler=None):
+        program = assemble(self.SOURCE.format(attack=attack))
+        shadow_base = program.append_data("__shadow", 256 * 8, align=8)
+        machine = Machine(program, trap_handler=trap_handler)
+        for production in ShadowStack(shadow_base).productions():
+            machine.dise_controller.install(production)
+        return machine
+
+    def test_benign_calls_pass(self):
+        traps = []
+        machine = self._run("nop", trap_handler=lambda e: traps.append(e)
+                            or TransitionKind.USER)
+        machine.run()
+        assert not traps
+
+    def test_smashed_return_detected(self):
+        from repro.errors import SimulationError
+        traps = []
+        # The "attack" overwrites the link register before returning.
+        machine = self._run("lda ra, 0x2000",
+                            trap_handler=lambda e: traps.append(e) or
+                            TransitionKind.USER)
+        # The check traps *before* the corrupted return executes; the
+        # wild jump itself then crashes the (unprotected) program.
+        with pytest.raises(SimulationError):
+            machine.run(max_app_instructions=50)
+        assert len(traps) == 1
+
+    def test_nested_calls(self):
+        program = assemble("""
+        main:
+            jsr ra, outer
+            halt
+        outer:
+            mov ra, r9
+            jsr ra, inner
+            mov r9, ra
+            ret (ra)
+        inner:
+            ret (ra)
+        """)
+        shadow_base = program.append_data("__shadow", 256 * 8, align=8)
+        traps = []
+        machine = Machine(program, trap_handler=lambda e: traps.append(e)
+                          or TransitionKind.USER)
+        for production in ShadowStack(shadow_base).productions():
+            machine.dise_controller.install(production)
+        machine.run()
+        assert not traps
+
+
+class TestFaultIsolation:
+    def test_wild_store_diverted_before_executing(self):
+        program = assemble("""
+        .data
+        victim: .quad 7
+        .text
+        main:
+            lda r1, victim
+            lda r2, 99
+            stq r2, 0(r1)     ; wild store into the protected segment
+            halt
+        error:
+            trap
+            halt
+        """)
+        victim = program.address_of("victim")
+        segment_bits = 12
+        traps = []
+        machine = Machine(program, trap_handler=lambda e: traps.append(e)
+                          or TransitionKind.USER)
+        machine.dise_controller.install(fault_isolation(
+            victim & ~0xFFF, segment_bits,
+            error_pc=program.pc_of_label("error")))
+        machine.run()
+        assert len(traps) == 1
+        # The store never executed: the victim is intact.
+        assert machine.memory.read_int(victim, 8) == 7
+
+    def test_stores_outside_segment_unaffected(self):
+        program = assemble("""
+        .data
+        ok: .quad 0
+        .text
+        main:
+            lda r1, ok
+            lda r2, 5
+            stq r2, 0(r1)
+            halt
+        error:
+            trap
+            halt
+        """)
+        machine = Machine(program)
+        machine.dise_controller.install(fault_isolation(
+            0x7F000000, 12, error_pc=program.pc_of_label("error")))
+        machine.run()
+        assert machine.memory.read_int(program.address_of("ok"), 8) == 5
+
+    def test_misaligned_segment_rejected(self):
+        with pytest.raises(DiseError):
+            fault_isolation(0x1234, 12, error_pc=0x1000)
+
+
+def test_figure1_shim():
+    program = assemble("""
+    main:
+        lda r2, 0xCC
+        stq r2, 40(sp)
+        ldq r4, 32(sp)     ; shifted to sp+40 by the production
+        halt
+    """)
+    machine = Machine(program)
+    machine.dise_controller.install(stack_offset_shim(8))
+    machine.run()
+    assert machine.regs[4] == 0xCC
+
+
+def test_acfs_compose_with_watchpoints():
+    """The paper: "the watchpoint productions may be combined with any
+    other DISE productions"."""
+    from repro.debugger import DebugSession
+    from tests.conftest import make_watch_loop
+
+    program = make_watch_loop(10)
+    session = DebugSession(program, backend="dise")
+    session.watch("hot")
+    backend = session.build_backend()
+    backend.machine.dise_controller.install(
+        opclass_counter(OpClass.LOAD, counter_register=15))
+    result = backend.run()
+    assert result.stats.user_transitions == 1
+    assert backend.machine.dise_regs.read(15) > 0

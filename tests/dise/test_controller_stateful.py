@@ -1,0 +1,100 @@
+"""Stateful property test: the controller's bookkeeping never drifts.
+
+Random interleavings of install/deactivate/activate/uninstall must keep
+three invariants: (1) the engine sees exactly the active productions,
+(2) table accounting matches the installed set, and (3) capacity is
+never exceeded.
+"""
+
+from hypothesis import strategies as st
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, invariant,
+                                 rule)
+
+from repro.config import DiseConfig
+from repro.dise.controller import DiseController
+from repro.dise.engine import DiseEngine
+from repro.dise.pattern import Pattern
+from repro.dise.production import Production
+from repro.dise.template import original, template
+from repro.errors import DiseCapacityError
+from repro.isa.opcodes import Opcode
+
+
+def _production(length: int, tag: int) -> Production:
+    slots = [original()] + [template(Opcode.NOP)] * (length - 1)
+    return Production(Pattern.stores(), slots, name=f"p{tag}-{length}")
+
+
+class ControllerMachine(RuleBasedStateMachine):
+    """Model-checks DiseController against a simple reference."""
+
+    productions = Bundle("productions")
+
+    def __init__(self):
+        super().__init__()
+        self.engine = DiseEngine()
+        self.controller = DiseController(
+            self.engine,
+            DiseConfig(pattern_table_entries=6,
+                       replacement_table_instructions=20))
+        self.model: dict[int, tuple[Production, bool]] = {}
+        self.counter = 0
+
+    @rule(target=productions, length=st.integers(min_value=1, max_value=6))
+    def install(self, length):
+        """Install may succeed or hit capacity; the model mirrors it."""
+        self.counter += 1
+        production = _production(length, self.counter)
+        used_entries = len(self.model)
+        used_slots = sum(len(p) for p, _ in self.model.values())
+        should_fit = (used_entries + 1 <= 6 and used_slots + length <= 20)
+        try:
+            self.controller.install(production)
+        except DiseCapacityError:
+            assert not should_fit
+            return production  # bundle needs a value; mark as absent
+        assert should_fit
+        self.model[id(production)] = (production, True)
+        return production
+
+    @rule(production=productions)
+    def deactivate(self, production):
+        if id(production) not in self.model:
+            return
+        self.controller.deactivate(production)
+        existing, _ = self.model[id(production)]
+        self.model[id(production)] = (existing, False)
+
+    @rule(production=productions)
+    def activate(self, production):
+        if id(production) not in self.model:
+            return
+        self.controller.activate(production)
+        existing, _ = self.model[id(production)]
+        self.model[id(production)] = (existing, True)
+
+    @rule(production=productions)
+    def uninstall(self, production):
+        if id(production) not in self.model:
+            return
+        self.controller.uninstall(production)
+        del self.model[id(production)]
+
+    @invariant()
+    def engine_sees_exactly_active_productions(self):
+        active = {id(p) for p, is_active in self.model.values() if is_active}
+        assert {id(p) for p in self.engine.productions} == active
+
+    @invariant()
+    def accounting_matches_model(self):
+        assert self.controller.pattern_entries_used == len(self.model)
+        assert self.controller.replacement_slots_used == \
+            sum(len(p) for p, _ in self.model.values())
+
+    @invariant()
+    def capacity_never_exceeded(self):
+        assert self.controller.pattern_entries_used <= 6
+        assert self.controller.replacement_slots_used <= 20
+
+
+TestControllerStateful = ControllerMachine.TestCase

@@ -1,0 +1,105 @@
+"""Expansion engine: bucketing, most-specific-wins, stats."""
+
+from repro.dise.engine import DiseEngine
+from repro.dise.pattern import Pattern
+from repro.dise.production import Production, identity_production
+from repro.dise.template import original, template
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import SP, dise_reg
+
+
+def _store(base=5):
+    return Instruction(Opcode.STQ, rd=1, rs1=base, imm=0)
+
+
+def _generic_store_production():
+    return Production(Pattern.stores(),
+                      [original(), template(Opcode.TRAP)],
+                      name="generic")
+
+
+def test_no_productions_returns_none():
+    engine = DiseEngine()
+    assert engine.expand(_store(), 0x1000) is None
+    assert not engine.has_productions
+
+
+def test_non_matching_returns_none():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    assert engine.expand(Instruction(Opcode.NOP), 0x1000) is None
+
+
+def test_basic_expansion_and_stats():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    expansion = engine.expand(_store(), 0x1000)
+    assert [i.opcode for i in expansion] == [Opcode.STQ, Opcode.TRAP]
+    assert engine.expansions == 1
+    assert engine.instructions_inserted == 1
+
+
+def test_most_specific_wins():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    engine.add(identity_production(Pattern.stores(base_register=SP),
+                                   name="stack-identity"))
+    # Stack store: the more specific identity production applies.
+    assert engine.expand(_store(base=SP), 0x1000) == [_store(base=SP)]
+    # Other stores: the generic watchpoint expansion.
+    assert len(engine.expand(_store(base=5), 0x1000)) == 2
+
+
+def test_pc_pattern_overrides_class_pattern():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    engine.add(Production(Pattern.at_pc(0x2000),
+                          [template(Opcode.NOP)], name="by-pc"))
+    assert engine.expand(_store(), 0x2000)[0].opcode is Opcode.NOP
+    assert engine.expand(_store(), 0x2004)[0].opcode is Opcode.STQ
+
+
+def test_codeword_bucket():
+    engine = DiseEngine()
+    engine.add(Production(Pattern.for_codeword(7),
+                          [template(Opcode.TRAP)], name="bp"))
+    codeword = Instruction(Opcode.CODEWORD, imm=7)
+    assert engine.expand(codeword, 0)[0].opcode is Opcode.TRAP
+    assert engine.expand(Instruction(Opcode.CODEWORD, imm=8), 0) is None
+
+
+def test_generic_bucket():
+    engine = DiseEngine()
+    engine.add(Production(Pattern(rd=3), [template(Opcode.NOP)],
+                          name="rd3"))
+    assert engine.expand(Instruction(Opcode.ADDQ, rd=3, rs1=1, rs2=2),
+                         0) is not None
+    assert engine.expand(Instruction(Opcode.ADDQ, rd=4, rs1=1, rs2=2),
+                         0) is None
+
+
+def test_remove_production():
+    engine = DiseEngine()
+    production = _generic_store_production()
+    engine.add(production)
+    engine.remove(production)
+    assert engine.expand(_store(), 0) is None
+    assert not engine.has_productions
+
+
+def test_disable_engine():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    engine.enabled = False
+    assert engine.expand(_store(), 0) is None
+
+
+def test_clear_and_reset_stats():
+    engine = DiseEngine()
+    engine.add(_generic_store_production())
+    engine.expand(_store(), 0)
+    engine.clear()
+    engine.reset_stats()
+    assert engine.expansions == 0
+    assert not engine.has_productions

@@ -1,0 +1,85 @@
+"""DISE pattern matching and specificity ordering."""
+
+from repro.dise.pattern import Pattern
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import SP
+
+
+def _store(base=5, data=1, imm=8):
+    return Instruction(Opcode.STQ, rd=data, rs1=base, imm=imm)
+
+
+def test_wildcard_matches_everything():
+    pattern = Pattern()
+    assert pattern.matches(_store(), 0x1000)
+    assert pattern.matches(Instruction(Opcode.NOP), 0x2000)
+
+
+def test_opclass_match():
+    pattern = Pattern.stores()
+    assert pattern.matches(_store(), 0x1000)
+    assert pattern.matches(Instruction(Opcode.STB, rd=1, rs1=2), 0)
+    assert not pattern.matches(Instruction(Opcode.LDQ, rd=1, rs1=2), 0)
+
+
+def test_opcode_match():
+    pattern = Pattern(opcode=Opcode.STQ)
+    assert pattern.matches(_store(), 0)
+    assert not pattern.matches(Instruction(Opcode.STB, rd=1, rs1=2), 0)
+
+
+def test_pc_match():
+    pattern = Pattern.at_pc(0x1004)
+    assert pattern.matches(Instruction(Opcode.NOP), 0x1004)
+    assert not pattern.matches(Instruction(Opcode.NOP), 0x1008)
+
+
+def test_register_fields():
+    pattern = Pattern.stores(base_register=SP)
+    assert pattern.matches(_store(base=SP), 0)
+    assert not pattern.matches(_store(base=5), 0)
+    assert Pattern(rd=3).matches(_store(data=3), 0)
+    assert not Pattern(rd=3).matches(_store(data=4), 0)
+    assert Pattern(rs2=7).matches(
+        Instruction(Opcode.ADDQ, rd=1, rs1=2, rs2=7), 0)
+
+
+def test_codeword_match():
+    pattern = Pattern.for_codeword(42)
+    assert pattern.matches(Instruction(Opcode.CODEWORD, imm=42), 0)
+    assert not pattern.matches(Instruction(Opcode.CODEWORD, imm=43), 0)
+    assert not pattern.matches(_store(), 0)
+
+
+def test_loads_constructor():
+    pattern = Pattern.loads(base_register=SP)
+    assert pattern.matches(Instruction(Opcode.LDQ, rd=4, rs1=SP, imm=32), 0)
+
+
+def test_specificity_ordering():
+    generic_stores = Pattern.stores()
+    stack_stores = Pattern.stores(base_register=SP)
+    by_pc = Pattern.at_pc(0x1000)
+    wildcard = Pattern()
+    assert wildcard.specificity < generic_stores.specificity
+    assert generic_stores.specificity < stack_stores.specificity
+    # A PC pin outranks any field combination (paper: the most specific
+    # pattern overrides all other applicable patterns).
+    assert stack_stores.specificity < by_pc.specificity
+
+
+def test_opcode_more_specific_than_opclass():
+    assert Pattern(opcode=Opcode.STQ).specificity > \
+        Pattern(opclass=OpClass.STORE).specificity
+
+
+def test_describe():
+    text = Pattern.stores(base_register=SP).describe()
+    assert "T.OPCLASS==store" in text
+    assert "T.RS1==r30" in text
+    assert Pattern().describe() == "<any>"
+
+
+def test_frozen_and_hashable():
+    assert hash(Pattern.stores()) == hash(Pattern.stores())

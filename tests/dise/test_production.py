@@ -1,0 +1,90 @@
+"""Production validation and expansion."""
+
+import pytest
+
+from repro.dise.pattern import Pattern
+from repro.dise.production import (Production, identity_production,
+                                   total_replacement_slots)
+from repro.dise.template import original, template
+from repro.errors import DiseError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import SP, dise_reg
+
+
+def _watch_production():
+    dr1, dar, dpv = dise_reg(1), dise_reg(2), dise_reg(3)
+    return Production(
+        Pattern.stores(),
+        [original(),
+         template(Opcode.LDQ, rd=dr1, rs1=dar, imm=0),
+         template(Opcode.CMPEQ, rd=dr1, rs1=dr1, rs2=dpv),
+         template(Opcode.D_BNE, rs1=dr1, imm=1),
+         template(Opcode.TRAP)],
+        name="naive-watch")
+
+
+def test_expand_instantiates_each_slot():
+    production = _watch_production()
+    trigger = Instruction(Opcode.STQ, rd=2, rs1=SP, imm=16)
+    expansion = production.expand(trigger)
+    assert len(expansion) == 5
+    assert expansion[0] == trigger
+    assert expansion[1].opcode is Opcode.LDQ
+
+
+def test_empty_replacement_rejected():
+    with pytest.raises(DiseError):
+        Production(Pattern.stores(), [])
+
+
+def test_dise_branch_bounds_checked():
+    with pytest.raises(DiseError):
+        Production(Pattern.stores(), [
+            original(),
+            template(Opcode.D_BNE, rs1=dise_reg(1), imm=5),  # past the end
+            template(Opcode.TRAP)])
+
+
+def test_dise_branch_to_exact_end_allowed():
+    Production(Pattern.stores(), [
+        original(),
+        template(Opcode.D_BNE, rs1=dise_reg(1), imm=1),
+        template(Opcode.TRAP)])
+
+
+def test_negative_skip_rejected():
+    with pytest.raises(DiseError):
+        Production(Pattern.stores(), [
+            template(Opcode.D_BR, imm=-1),
+            template(Opcode.TRAP)])
+
+
+def test_function_only_opcodes_rejected_in_sequences():
+    for opcode in (Opcode.D_RET, Opcode.D_MFR, Opcode.D_MTR):
+        with pytest.raises(DiseError):
+            Production(Pattern.stores(),
+                       [template(opcode, rd=1, rs1=1, imm=0)])
+
+
+def test_identity_production():
+    production = identity_production(Pattern.stores(base_register=SP))
+    assert production.is_identity
+    trigger = Instruction(Opcode.STQ, rd=2, rs1=SP, imm=16)
+    assert production.expand(trigger) == [trigger]
+
+
+def test_total_replacement_slots():
+    productions = [_watch_production(), identity_production(Pattern.stores())]
+    assert total_replacement_slots(productions) == 6
+
+
+def test_describe_renders_rule():
+    text = _watch_production().describe()
+    assert "T.OPCLASS==store" in text
+    assert "=>" in text
+    assert "T.INST" in text
+
+
+def test_len():
+    assert len(_watch_production()) == 5

@@ -1,0 +1,45 @@
+"""DISE register file."""
+
+import pytest
+
+from repro.dise.registers import DiseRegisterFile
+from repro.errors import DiseError
+
+
+def test_initial_zero():
+    regs = DiseRegisterFile(8)
+    assert all(regs.read(i) == 0 for i in range(8))
+    assert len(regs) == 8
+
+
+def test_write_read():
+    regs = DiseRegisterFile()
+    regs.write(3, 0x1234)
+    assert regs.read(3) == 0x1234
+
+
+def test_values_masked_to_64_bits():
+    regs = DiseRegisterFile()
+    regs.write(0, 1 << 65)
+    assert regs.read(0) == 0
+
+
+def test_out_of_range():
+    regs = DiseRegisterFile(4)
+    with pytest.raises(DiseError):
+        regs.read(4)
+    with pytest.raises(DiseError):
+        regs.write(9, 1)
+
+
+def test_invalid_count():
+    with pytest.raises(DiseError):
+        DiseRegisterFile(0)
+
+
+def test_reset_and_snapshot():
+    regs = DiseRegisterFile(4)
+    regs.write(1, 5)
+    assert regs.snapshot() == (0, 5, 0, 0)
+    regs.reset()
+    assert regs.snapshot() == (0, 0, 0, 0)

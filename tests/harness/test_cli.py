@@ -1,0 +1,41 @@
+"""The dise-repro command-line tool."""
+
+import pytest
+
+from repro.harness import cli
+
+
+def test_table1_target(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    assert cli.main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "bzip2" in out and "generateMTFValues" in out
+
+
+def test_figure_target_plain(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    assert cli.main(["fig9"]) == 0
+    out = capsys.readouterr().out
+    assert "figure9" in out
+    assert "dise-protected" in out
+
+
+def test_figure_target_chart_and_summary(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    assert cli.main(["fig5", "--chart", "--summary"]) == 0
+    out = capsys.readouterr().out
+    assert "log scale" in out
+    assert "geomean" in out
+
+
+def test_scale_flag_overrides_env(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "50")  # would be very slow
+    assert cli.main(["table2", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        cli.main(["fig99"])

@@ -1,0 +1,89 @@
+"""Figure harnesses: shape invariants at tiny instruction budgets.
+
+These tests check the *qualitative* claims of the paper on miniature
+runs; the full-size regeneration lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness.figures import (FIG6_WATCH_ORDER, figure3, figure5,
+                                   figure6, figure7, figure8, figure9,
+                                   format_figure)
+
+BENCH = ("bzip2",)
+
+
+def test_figure3_shape(tiny_settings):
+    result = figure3(tiny_settings, benchmarks=BENCH,
+                     kinds=("HOT", "COLD", "INDIRECT"))
+    # Single-stepping is orders of magnitude above DISE everywhere.
+    for kind in ("HOT", "COLD"):
+        stepping = result.overhead(benchmark="bzip2", kind=kind,
+                                   backend="single_step")
+        dise = result.overhead(benchmark="bzip2", kind=kind, backend="dise")
+        assert stepping > 1000
+        assert dise < 3
+    # INDIRECT unsupported by VM and hardware.
+    assert result.cell(benchmark="bzip2", kind="INDIRECT",
+                       backend="virtual_memory").overhead is None
+    assert result.cell(benchmark="bzip2", kind="INDIRECT",
+                       backend="hardware").overhead is None
+    assert result.overhead(benchmark="bzip2", kind="INDIRECT",
+                           backend="dise") < 3
+    text = format_figure(result)
+    assert "single_step" in text and "--" in text
+
+
+def test_figure5_rewriting_worse_for_large_footprint(small_settings):
+    result = figure5(small_settings, benchmarks=("bzip2", "gcc"))
+    small_gap = (result.overhead(benchmark="bzip2",
+                                 backend="binary_rewrite")
+                 - result.overhead(benchmark="bzip2", backend="dise"))
+    large_gap = (result.overhead(benchmark="gcc", backend="binary_rewrite")
+                 - result.overhead(benchmark="gcc", backend="dise"))
+    assert large_gap > small_gap
+    assert result.overhead(benchmark="gcc", backend="binary_rewrite") > \
+        result.overhead(benchmark="gcc", backend="dise")
+
+
+def test_figure6_dise_beats_vm_fallback(tiny_settings):
+    result = figure6(tiny_settings, benchmarks=("crafty",), counts=(2, 8))
+    hardware_8 = result.overhead(benchmark="crafty", kind="N=8",
+                                 backend="hardware")
+    serial_8 = result.overhead(benchmark="crafty", kind="N=8",
+                               backend="dise-serial")
+    assert hardware_8 > 50 * serial_8
+    # Within register capacity the hardware wins or ties.
+    hardware_2 = result.overhead(benchmark="crafty", kind="N=2",
+                                 backend="hardware")
+    assert hardware_2 < 5
+
+
+def test_figure6_watch_order_is_scalar_only():
+    assert all(name.startswith("multi") for name in FIG6_WATCH_ORDER)
+    assert len(FIG6_WATCH_ORDER) >= 16
+
+
+def test_figure7_conditional_isa_wins(tiny_settings):
+    result = figure7(tiny_settings, benchmarks=("bzip2",), kinds=("HOT",))
+    with_isa = result.overhead(benchmark="bzip2", kind="HOT",
+                               backend="MA/EE +ccall")
+    without_isa = result.overhead(benchmark="bzip2", kind="HOT",
+                                  backend="MA/EE -ccall")
+    assert without_isa > with_isa
+
+
+def test_figure8_multithreading_helps_hot(tiny_settings):
+    result = figure8(tiny_settings, benchmarks=("bzip2",), kinds=("HOT",))
+    plain = result.overhead(benchmark="bzip2", kind="HOT", backend="dise")
+    multithreaded = result.overhead(benchmark="bzip2", kind="HOT",
+                                    backend="dise-mt")
+    assert multithreaded < plain
+
+
+def test_figure9_protection_modest(tiny_settings):
+    result = figure9(tiny_settings, benchmarks=("bzip2",))
+    plain = result.overhead(benchmark="bzip2", kind="COLD", backend="dise")
+    protected = result.overhead(benchmark="bzip2", kind="COLD",
+                                backend="dise-protected")
+    assert plain <= protected < plain + 1.0  # modest additional overhead

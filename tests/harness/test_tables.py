@@ -1,0 +1,40 @@
+"""Tables 1 and 2 characterization."""
+
+from repro.harness.tables import (PAPER_TABLE2, characterize, format_table1,
+                                  format_table2, table1)
+
+
+def test_characterize_reports_core_stats(small_settings):
+    row = characterize("crafty", small_settings)
+    assert row.function == "InitializeAttackBoards"
+    assert 0.5 < row.ipc < 4.0
+    assert 0.03 < row.store_density < 0.3
+    assert row.instructions == small_settings.measure_instructions
+
+
+def test_write_frequencies_ordered(small_settings):
+    row = characterize("crafty", small_settings)
+    freq = row.write_freq
+    assert freq["HOT"] > freq["WARM1"] > freq["WARM2"]
+    assert freq["INDIRECT"] == freq["HOT"]
+
+
+def test_hot_frequency_near_paper(small_settings):
+    row = characterize("bzip2", small_settings)
+    paper = PAPER_TABLE2["bzip2"]["HOT"]
+    assert row.write_freq["HOT"] == __import__("pytest").approx(
+        paper, rel=0.5)
+
+
+def test_silent_fraction_measured(small_settings):
+    row = characterize("crafty", small_settings)
+    # crafty HOT: >= 50% silent stores per the paper's discussion.
+    assert row.silent_fraction["HOT"] >= 0.4
+
+
+def test_formatting(small_settings):
+    rows = table1(small_settings, benchmarks=("bzip2",))
+    table1_text = format_table1(rows)
+    assert "bzip2" in table1_text and "generateMTFValues" in table1_text
+    table2_text = format_table2(rows)
+    assert "24805.7" in table2_text  # the paper column

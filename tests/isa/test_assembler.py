@@ -1,0 +1,262 @@
+"""Assembler: parsing, labels, data directives, round-trips, errors."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_instruction
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import DATA_BASE, TEXT_BASE
+from repro.isa.registers import SP, ZERO_REG, dise_reg
+
+
+class TestInstructionParsing:
+    def test_operate_register_form(self):
+        inst = parse_instruction("addq r1, r2, r3")
+        assert inst.opcode is Opcode.ADDQ
+        assert (inst.rs1, inst.rs2, inst.rd) == (1, 2, 3)
+
+    def test_operate_immediate_form(self):
+        inst = parse_instruction("subq r4, 16, r4")
+        assert inst.rs2 is None
+        assert inst.imm == 16
+
+    def test_negative_immediate(self):
+        inst = parse_instruction("addq r1, -8, r1")
+        assert inst.imm == -8
+
+    def test_hex_immediate(self):
+        inst = parse_instruction("and r1, 0xff, r2")
+        assert inst.imm == 255
+
+    def test_mov(self):
+        inst = parse_instruction("mov r5, r6")
+        assert inst.opcode is Opcode.MOV
+        assert (inst.rs1, inst.rd) == (5, 6)
+
+    def test_memory_load(self):
+        inst = parse_instruction("ldq r4, 32(sp)")
+        assert inst.opcode is Opcode.LDQ
+        assert (inst.rd, inst.imm, inst.rs1) == (4, 32, SP)
+
+    def test_memory_store(self):
+        inst = parse_instruction("stb r2, -4(r9)")
+        assert inst.opcode is Opcode.STB
+        assert (inst.rd, inst.imm, inst.rs1) == (2, -4, 9)
+
+    def test_memory_symbol_form(self):
+        inst = parse_instruction("lda r1, counter")
+        assert inst.rs1 == ZERO_REG
+        assert inst.imm == "counter"
+
+    def test_branch(self):
+        inst = parse_instruction("bne r3, loop")
+        assert inst.opcode is Opcode.BNE
+        assert inst.rs1 == 3
+        assert inst.target == "loop"
+
+    def test_branch_absolute_target(self):
+        inst = parse_instruction("beq r1, 0x1000")
+        assert inst.target == 0x1000
+
+    def test_br(self):
+        assert parse_instruction("br done").target == "done"
+
+    def test_jsr(self):
+        inst = parse_instruction("jsr r26, helper")
+        assert (inst.rd, inst.target) == (26, "helper")
+
+    def test_jmp_indirect(self):
+        inst = parse_instruction("jmp (r5)")
+        assert inst.rs1 == 5
+
+    def test_ret(self):
+        inst = parse_instruction("ret (ra)")
+        assert inst.rs1 == 26
+
+    def test_ctrap(self):
+        inst = parse_instruction("ctrap r7")
+        assert inst.opcode is Opcode.CTRAP
+        assert inst.rs1 == 7
+
+    def test_codeword(self):
+        inst = parse_instruction("codeword 42")
+        assert inst.imm == 42
+
+    def test_dise_branch(self):
+        inst = parse_instruction("d_bne dr1, +2")
+        assert inst.opcode is Opcode.D_BNE
+        assert inst.rs1 == dise_reg(1)
+        assert inst.imm == 2
+
+    def test_dise_br(self):
+        inst = parse_instruction("d_br +1")
+        assert inst.imm == 1
+
+    def test_dise_call(self):
+        inst = parse_instruction("d_call handler")
+        assert inst.target == "handler"
+
+    def test_dise_ccall(self):
+        inst = parse_instruction("d_ccall dr2, handler")
+        assert inst.rs1 == dise_reg(2)
+
+    def test_dise_moves(self):
+        mfr = parse_instruction("d_mfr r1, 3")
+        assert (mfr.rd, mfr.imm) == (1, 3)
+        mtr = parse_instruction("d_mtr r2, 4")
+        assert (mtr.rs1, mtr.imm) == (2, 4)
+
+    def test_no_operand_instructions(self):
+        for text, opcode in [("nop", Opcode.NOP), ("trap", Opcode.TRAP),
+                             ("halt", Opcode.HALT), ("d_ret", Opcode.D_RET)]:
+            assert parse_instruction(text).opcode is opcode
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("addq r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            parse_instruction("mov r99, r1")
+
+
+class TestProgramAssembly:
+    def test_labels_resolve_to_pcs(self):
+        program = assemble("""
+        main:
+            br target
+            nop
+        target:
+            halt
+        """)
+        assert program.instructions[0].target == TEXT_BASE + 8
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\n nop\na:\n halt")
+
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("main:\n br nowhere\n halt")
+
+    def test_comments_stripped(self):
+        program = assemble("main: ; a comment\n  nop # another\n  halt")
+        assert len(program) == 2
+
+    def test_data_quads(self):
+        program = assemble("""
+        .data
+        values: .quad 1, 2, 3
+        .text
+        main: halt
+        """)
+        symbol = program.symbol("values")
+        assert symbol.address >= DATA_BASE
+        assert symbol.size == 24
+        item = next(i for i in program.data_items if i.name == "values")
+        assert item.init == (1).to_bytes(8, "little") + \
+            (2).to_bytes(8, "little") + (3).to_bytes(8, "little")
+
+    def test_data_sizes(self):
+        program = assemble("""
+        .data
+        b: .byte 255
+        w: .word 258
+        l: .long 70000
+        .text
+        main: halt
+        """)
+        assert program.symbol("b").size == 1
+        assert program.symbol("w").size == 2
+        assert program.symbol("l").size == 4
+
+    def test_data_space(self):
+        program = assemble("""
+        .data
+        buffer: .space 128
+        .text
+        main: halt
+        """)
+        assert program.symbol("buffer").size == 128
+
+    def test_data_align(self):
+        program = assemble("""
+        .data
+        pad: .quad 1
+        page: .align 4096
+              .quad 2
+        .text
+        main: halt
+        """)
+        assert program.symbol("page").address % 4096 == 0
+
+    def test_symbol_in_instruction_resolves(self):
+        program = assemble("""
+        .data
+        var: .quad 9
+        .text
+        main:
+            lda r1, var
+            halt
+        """)
+        assert program.instructions[0].imm == program.address_of("var")
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("start:\n nop\nmain:\n halt")
+        assert program.entry_pc == program.pc_of_label("main")
+
+    def test_entry_override(self):
+        program = assemble("start:\n nop\nmain:\n halt", entry="start")
+        assert program.entry_pc == program.pc_of_label("start")
+
+    def test_statement_markers(self):
+        program = assemble("""
+        main:
+            nop
+            .stmt
+            nop
+            halt
+        """)
+        # The label marks a statement, plus the explicit .stmt.
+        assert program.statement_starts == {0, 1}
+
+    def test_instruction_in_data_section_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nx: .quad 1\n addq r1, 1, r1")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".bogus 12\nmain: halt")
+
+
+class TestDisassemblyRoundTrip:
+    CASES = [
+        "addq r1, r2, r3",
+        "subq r4, 16, r4",
+        "mov r5, r6",
+        "ldq r4, 32(sp)",
+        "stb r2, -4(r9)",
+        "ctrap r7",
+        "codeword 42",
+        "d_bne dr1, +2",
+        "d_br +1",
+        "d_mfr r1, 3",
+        "d_mtr r2, 4",
+        "nop",
+        "trap",
+        "halt",
+        "d_ret",
+        "jmp (r5)",
+        "ret (ra)",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_roundtrip(self, text):
+        first = parse_instruction(text)
+        second = parse_instruction(first.disassemble())
+        assert first == second

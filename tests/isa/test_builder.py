@@ -1,0 +1,157 @@
+"""Programmatic code builder."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.builder import CodeBuilder
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import SP, ZERO_REG, dise_reg
+
+
+def test_operate_emission():
+    b = CodeBuilder()
+    b.label("main")
+    b.addq("r1", 8, "r3")
+    b.xor("r2", "r4", "r2")
+    program = b.build()
+    first, second = program.instructions
+    assert first.opcode is Opcode.ADDQ and first.imm == 8
+    assert second.rs2 == 4
+
+
+def test_register_arguments_accept_ints_and_names():
+    b = CodeBuilder()
+    b.label("main")
+    b.addq(1, 8, 3)
+    b.addq("r1", 8, "r3")
+    a, c = b.instructions
+    assert a == c
+
+
+def test_int_middle_operand_is_immediate():
+    # Convention: an int middle operand is an immediate; registers in
+    # the middle slot must be named strings.
+    b = CodeBuilder()
+    b.label("main")
+    b.cmpeq(1, 2, 3)
+    assert b.instructions[0].rs2 is None
+    assert b.instructions[0].imm == 2
+    b.cmpeq(1, "r2", 3)
+    assert b.instructions[1].rs2 == 2
+
+
+def test_memory_forms():
+    b = CodeBuilder()
+    b.label("main")
+    b.ldq("r4", 32, "sp")
+    b.stq("r2", "counter")
+    load, store = b.instructions
+    assert (load.rd, load.imm, load.rs1) == (4, 32, SP)
+    assert store.rs1 == ZERO_REG
+    assert store.imm == "counter"
+
+
+def test_branches_and_jumps():
+    b = CodeBuilder()
+    b.label("main")
+    b.beq("r1", "main")
+    b.br("main")
+    b.jsr("ra", "main")
+    b.ret("ra")
+    b.jmp("r5")
+    assert b.instructions[0].target == "main"
+    assert b.instructions[2].rd == 26
+
+
+def test_dise_emitters():
+    b = CodeBuilder()
+    b.label("main")
+    b.d_bne("dr1", 1)
+    b.d_ccall("dr2", "handler")
+    b.d_mtr("r1", 4)
+    b.d_ret()
+    assert b.instructions[0].rs1 == dise_reg(1)
+    assert b.instructions[1].target == "handler"
+    assert b.instructions[2].imm == 4
+
+
+def test_and_alias_for_keyword():
+    b = CodeBuilder()
+    b.label("main")
+    b.and_("r1", 7, "r1")
+    assert b.instructions[0].opcode is Opcode.AND
+
+
+def test_unknown_mnemonic_raises_attribute_error():
+    b = CodeBuilder()
+    with pytest.raises(AttributeError):
+        b.frobnicate("r1")
+
+
+def test_statement_tracking():
+    b = CodeBuilder()
+    b.label("main")  # implies a statement start
+    b.nop()
+    b.stmt()
+    b.nop()
+    b.nop()
+    program = b.build()
+    assert program.statement_starts == {0, 1}
+
+
+def test_duplicate_label_rejected():
+    b = CodeBuilder()
+    b.label("x")
+    with pytest.raises(AssemblyError):
+        b.label("x")
+
+
+def test_unique_label():
+    b = CodeBuilder()
+    first = b.unique_label("skip")
+    b.label(first)
+    second = b.unique_label("skip")
+    assert first != second
+
+
+def test_data_emitters_and_symbols():
+    b = CodeBuilder()
+    b.data_quad("counter", 7)
+    b.data_space("buf", 256, align=4096)
+    b.data_bytes("blob", b"\x01\x02")
+    b.label("main")
+    b.halt()
+    program = b.build()
+    assert program.symbol("buf").address % 4096 == 0
+    assert program.symbol("blob").size == 2
+    item = next(i for i in program.data_items if i.name == "counter")
+    assert item.init == (7).to_bytes(8, "little")
+
+
+def test_build_resolves_symbols():
+    b = CodeBuilder()
+    b.data_quad("var", 1)
+    b.label("main")
+    b.lda("r1", "var")
+    b.beq("r1", "main")
+    b.halt()
+    program = b.build()
+    assert program.instructions[0].imm == program.address_of("var")
+    assert program.instructions[1].target == program.pc_of_label("main")
+
+
+def test_entry_defaults():
+    b = CodeBuilder()
+    b.label("start")
+    b.halt()
+    program = b.build()
+    assert program.entry_pc == program.pc_of_label("start") \
+        or program.entry_pc == program.pc_of_index(0)
+
+
+def test_here_property():
+    b = CodeBuilder()
+    assert b.here == 0
+    b.label("main")
+    b.nop()
+    assert b.here == 1

@@ -1,0 +1,101 @@
+"""Binary encoding round-trips (explicit + property-based)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.assembler import parse_instruction
+from repro.isa.encoding import (INSTRUCTION_RECORD_BYTES,
+                                decode_instruction, decode_program_text,
+                                encode_instruction, encode_program_text)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Format, Opcode, opcode_info
+
+
+_SAMPLE = [
+    "addq r1, r2, r3",
+    "subq r4, -16, r4",
+    "ldq r4, 32(sp)",
+    "stb r2, -4(r9)",
+    "ctrap r7",
+    "codeword 42",
+    "d_bne dr1, +2",
+    "d_mfr r1, 3",
+    "nop",
+    "halt",
+]
+
+
+@pytest.mark.parametrize("text", _SAMPLE)
+def test_roundtrip_samples(text):
+    inst = parse_instruction(text)
+    record = encode_instruction(inst)
+    assert len(record) == INSTRUCTION_RECORD_BYTES
+    assert decode_instruction(record) == inst
+
+
+def test_branch_target_in_payload():
+    inst = Instruction(Opcode.BEQ, rs1=3, target=0x4000)
+    assert decode_instruction(encode_instruction(inst)).target == 0x4000
+
+
+def test_unresolved_target_rejected():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction(Opcode.BR, target="label"))
+
+
+def test_unresolved_symbol_imm_rejected():
+    with pytest.raises(EncodingError):
+        encode_instruction(Instruction(Opcode.LDA, rd=1, rs1=31,
+                                       imm="symbol"))
+
+
+def test_bad_record_length():
+    with pytest.raises(EncodingError):
+        decode_instruction(b"\x00" * 7)
+
+
+def test_unknown_opcode_value():
+    record = (9999).to_bytes(2, "little") + b"\xff" * 6 + b"\x00" * 8
+    with pytest.raises(EncodingError):
+        decode_instruction(record)
+
+
+def test_program_text_roundtrip():
+    instructions = [parse_instruction(t) for t in _SAMPLE]
+    blob = encode_program_text(instructions)
+    assert decode_program_text(blob) == instructions
+
+
+def test_program_text_bad_length():
+    with pytest.raises(EncodingError):
+        decode_program_text(b"\x00" * 17)
+
+
+_reg = st.one_of(st.none(), st.integers(min_value=0, max_value=31),
+                 st.integers(min_value=64, max_value=79))
+
+
+@given(
+    opcode=st.sampled_from([Opcode.ADDQ, Opcode.SUBQ, Opcode.AND,
+                            Opcode.CMPEQ, Opcode.SLL]),
+    rd=st.integers(min_value=0, max_value=31),
+    rs1=st.integers(min_value=0, max_value=31),
+    rs2=_reg,
+    imm=st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1),
+)
+def test_operate_roundtrip_property(opcode, rd, rs1, rs2, imm):
+    inst = Instruction(opcode, rd=rd, rs1=rs1, rs2=rs2,
+                       imm=0 if rs2 is not None else imm)
+    assert decode_instruction(encode_instruction(inst)) == inst
+
+
+@given(
+    opcode=st.sampled_from([Opcode.LDQ, Opcode.LDB, Opcode.STQ, Opcode.STW]),
+    rd=st.integers(min_value=0, max_value=31),
+    rs1=st.integers(min_value=0, max_value=31),
+    imm=st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+)
+def test_memory_roundtrip_property(opcode, rd, rs1, imm):
+    inst = Instruction(opcode, rd=rd, rs1=rs1, imm=imm)
+    assert decode_instruction(encode_instruction(inst)) == inst

@@ -1,0 +1,56 @@
+"""Instruction record behaviour."""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, Opcode
+
+
+def test_equality_and_hash():
+    a = Instruction(Opcode.ADDQ, rd=1, rs1=2, rs2=3)
+    b = Instruction(Opcode.ADDQ, rd=1, rs1=2, rs2=3)
+    c = Instruction(Opcode.ADDQ, rd=1, rs1=2, imm=3)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+def test_copy_is_shallow_but_independent():
+    a = Instruction(Opcode.STQ, rd=1, rs1=2, imm=8)
+    b = a.copy()
+    b.imm = 16
+    assert a.imm == 8
+    assert a != b
+
+
+def test_predicates():
+    store = Instruction(Opcode.STQ, rd=1, rs1=2)
+    load = Instruction(Opcode.LDQ, rd=1, rs1=2)
+    branch = Instruction(Opcode.BEQ, rs1=1, target=0x1000)
+    assert store.is_store and not store.is_load
+    assert load.is_load and load.mem_size == 8
+    assert branch.is_control
+    assert branch.opclass is OpClass.BRANCH
+
+
+def test_disassemble_unresolved_target():
+    inst = Instruction(Opcode.BR)
+    assert "unresolved" in inst.disassemble()
+
+
+def test_disassemble_label_target():
+    inst = Instruction(Opcode.BR, target="loop")
+    assert inst.disassemble() == "br loop"
+
+
+def test_disassemble_hex_target():
+    inst = Instruction(Opcode.BR, target=0x1234)
+    assert "0x1234" in inst.disassemble()
+
+
+def test_repr_contains_disassembly():
+    inst = Instruction(Opcode.NOP)
+    assert "nop" in repr(inst)
+
+
+def test_info_cached_on_instance():
+    inst = Instruction(Opcode.MULQ, rd=1, rs1=2, rs2=3)
+    assert inst.info.mnemonic == "mulq"

@@ -1,0 +1,111 @@
+"""Opcode metadata consistency."""
+
+import pytest
+
+from repro.isa.opcodes import (LOAD_FOR_SIZE, STORE_FOR_SIZE, Format, OpClass,
+                               Opcode, all_mnemonics, opcode_for_mnemonic,
+                               opcode_info)
+
+
+def test_every_opcode_has_info():
+    for opcode in Opcode:
+        info = opcode_info(opcode)
+        assert info.mnemonic
+
+
+def test_mnemonic_lookup_roundtrip():
+    for opcode in Opcode:
+        info = opcode_info(opcode)
+        assert opcode_for_mnemonic(info.mnemonic) is opcode
+
+
+def test_unknown_mnemonic_raises():
+    with pytest.raises(KeyError):
+        opcode_for_mnemonic("bogus")
+
+
+def test_all_mnemonics_sorted_and_complete():
+    names = all_mnemonics()
+    assert list(names) == sorted(names)
+    assert len(names) == len(Opcode)
+
+
+@pytest.mark.parametrize("opcode,size", [
+    (Opcode.LDQ, 8), (Opcode.LDL, 4), (Opcode.LDW, 2), (Opcode.LDB, 1),
+])
+def test_load_sizes(opcode, size):
+    info = opcode_info(opcode)
+    assert info.mem_size == size
+    assert info.is_load
+    assert info.writes_rd
+    assert not info.reads_rd
+
+
+@pytest.mark.parametrize("opcode,size", [
+    (Opcode.STQ, 8), (Opcode.STL, 4), (Opcode.STW, 2), (Opcode.STB, 1),
+])
+def test_store_sizes(opcode, size):
+    info = opcode_info(opcode)
+    assert info.mem_size == size
+    assert info.is_store
+    assert info.reads_rd  # stores read the data register held in rd
+    assert not info.writes_rd
+
+
+def test_size_maps_agree_with_info():
+    for size, opcode in STORE_FOR_SIZE.items():
+        assert opcode_info(opcode).mem_size == size
+    for size, opcode in LOAD_FOR_SIZE.items():
+        assert opcode_info(opcode).mem_size == size
+
+
+def test_lda_is_alu_not_memory_access():
+    info = opcode_info(Opcode.LDA)
+    assert info.opclass is OpClass.ALU
+    assert info.mem_size == 0
+    assert info.writes_rd
+
+
+def test_dise_only_opcodes():
+    for opcode in (Opcode.D_BEQ, Opcode.D_BNE, Opcode.D_BR,
+                   Opcode.D_CALL, Opcode.D_CCALL):
+        assert opcode_info(opcode).dise_only
+
+
+def test_dise_function_only_opcodes():
+    for opcode in (Opcode.D_RET, Opcode.D_MFR, Opcode.D_MTR):
+        assert opcode_info(opcode).dise_function_only
+        assert not opcode_info(opcode).dise_only
+
+
+def test_control_classification():
+    assert opcode_info(Opcode.BEQ).is_control
+    assert opcode_info(Opcode.BR).is_control
+    assert opcode_info(Opcode.RET).is_control
+    assert not opcode_info(Opcode.ADDQ).is_control
+    assert not opcode_info(Opcode.TRAP).is_control
+
+
+def test_branch_format_assignment():
+    for opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                   Opcode.BLE, Opcode.BGT):
+        info = opcode_info(opcode)
+        assert info.format is Format.BRANCH
+        assert info.opclass is OpClass.BRANCH
+        assert info.reads_rs1
+
+
+def test_operate_format_reads_both_sources():
+    info = opcode_info(Opcode.ADDQ)
+    assert info.format is Format.OPERATE
+    assert info.reads_rs1 and info.reads_rs2 and info.writes_rd
+
+
+def test_ctrap_reads_condition():
+    info = opcode_info(Opcode.CTRAP)
+    assert info.opclass is OpClass.TRAP
+    assert info.reads_rs1
+
+
+def test_codeword_class():
+    assert opcode_info(Opcode.CODEWORD).opclass is OpClass.CODEWORD

@@ -1,0 +1,63 @@
+"""Register naming and the DISE register space."""
+
+import pytest
+
+from repro.isa.registers import (DISE_REG_BASE, GP, NUM_GPRS, RA, SP,
+                                 ZERO_REG, dise_reg, dise_reg_index,
+                                 is_dise_reg, parse_register, register_name)
+
+
+def test_aliases():
+    assert parse_register("sp") == SP == 30
+    assert parse_register("gp") == GP == 29
+    assert parse_register("ra") == RA == 26
+    assert parse_register("zero") == ZERO_REG == 31
+
+
+def test_numbered_registers():
+    for number in range(NUM_GPRS):
+        assert parse_register(f"r{number}") == number
+
+
+def test_dise_registers():
+    assert parse_register("dr0") == DISE_REG_BASE
+    assert parse_register("dr5") == DISE_REG_BASE + 5
+    assert dise_reg(3) == DISE_REG_BASE + 3
+    assert is_dise_reg(dise_reg(0))
+    assert not is_dise_reg(SP)
+    assert dise_reg_index(dise_reg(7)) == 7
+
+
+def test_dise_reg_index_rejects_gprs():
+    with pytest.raises(ValueError):
+        dise_reg_index(5)
+
+
+def test_dise_reg_rejects_negative():
+    with pytest.raises(ValueError):
+        dise_reg(-1)
+
+
+def test_render_names():
+    assert register_name(0) == "r0"
+    assert register_name(SP) == "sp"
+    assert register_name(RA) == "ra"
+    assert register_name(ZERO_REG) == "r31"
+    assert register_name(dise_reg(2)) == "dr2"
+
+
+def test_parse_render_roundtrip():
+    for number in list(range(NUM_GPRS)) + [dise_reg(i) for i in range(16)]:
+        assert parse_register(register_name(number)) == number
+
+
+def test_case_insensitive():
+    assert parse_register("SP") == SP
+    assert parse_register("R7") == 7
+    assert parse_register("DR3") == dise_reg(3)
+
+
+@pytest.mark.parametrize("bad", ["", "r32", "r-1", "x5", "dr", "reg1"])
+def test_bad_names_raise(bad):
+    with pytest.raises(ValueError):
+        parse_register(bad)

@@ -1,0 +1,116 @@
+"""Cache geometry, LRU behaviour, hierarchy classification."""
+
+import pytest
+
+from repro.config import CacheConfig, MachineConfig
+from repro.memory.cache import AccessLevel, CacheHierarchy, SetAssociativeCache
+
+
+def _tiny_cache(sets=2, ways=2, line=64):
+    return SetAssociativeCache(
+        CacheConfig(size_bytes=sets * ways * line, associativity=ways,
+                    line_bytes=line), "test")
+
+
+def test_geometry():
+    config = CacheConfig(size_bytes=32 * 1024, associativity=2)
+    assert config.num_sets == 256
+
+
+def test_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, associativity=3)
+
+
+def test_miss_then_hit():
+    cache = _tiny_cache()
+    assert not cache.access(0x100)
+    assert cache.access(0x100)
+    assert cache.access(0x13F)  # same 64-byte line
+    assert (cache.hits, cache.misses) == (2, 1)
+
+
+def test_lru_eviction_within_set():
+    cache = _tiny_cache(sets=1, ways=2)
+    a, b, c = 0x000, 0x040, 0x080  # all map to the single set
+    cache.access(a)
+    cache.access(b)
+    cache.access(c)  # evicts a (LRU)
+    assert not cache.probe(a)
+    assert cache.probe(b)
+    assert cache.probe(c)
+
+
+def test_lru_updated_on_hit():
+    cache = _tiny_cache(sets=1, ways=2)
+    a, b, c = 0x000, 0x040, 0x080
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)  # a becomes MRU
+    cache.access(c)  # evicts b
+    assert cache.probe(a)
+    assert not cache.probe(b)
+
+
+def test_set_selection_avoids_conflicts():
+    cache = _tiny_cache(sets=2, ways=2)
+    # Lines 0 and 1 map to different sets.
+    cache.access(0x000)
+    cache.access(0x040)
+    assert cache.probe(0x000) and cache.probe(0x040)
+    assert cache.misses == 2
+
+
+def test_reset_clears_contents_and_counters():
+    cache = _tiny_cache()
+    cache.access(0x0)
+    cache.reset()
+    assert not cache.probe(0x0)
+    assert cache.accesses == 0
+
+
+def test_reset_counters_keeps_contents():
+    cache = _tiny_cache()
+    cache.access(0x0)
+    cache.reset_counters()
+    assert cache.accesses == 0
+    assert cache.access(0x0)  # still resident
+
+
+def test_miss_rate():
+    cache = _tiny_cache()
+    cache.access(0x0)
+    cache.access(0x0)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_levels(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        assert hierarchy.access_data(0x1000) is AccessLevel.MEMORY
+        assert hierarchy.access_data(0x1000) is AccessLevel.L1
+
+    def test_l2_backs_l1(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        # Thrash L1 (32KB 2-way -> three lines in one set evict), then
+        # find the line in L2.
+        conflict_stride = 256 * 64  # one L1 way apart
+        addresses = [0x0, conflict_stride, 2 * conflict_stride]
+        for addr in addresses:
+            hierarchy.access_data(addr)
+        # 0x0 was evicted from L1 but lives in L2 (4096 sets).
+        assert hierarchy.access_data(0x0) is AccessLevel.L2
+
+    def test_split_l1(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        hierarchy.access_inst(0x4000)
+        # A data access to the same line misses L1D but hits the L2,
+        # which the instruction fill populated.
+        assert hierarchy.access_data(0x4000) is AccessLevel.L2
+
+    def test_reset_counters(self):
+        hierarchy = CacheHierarchy(MachineConfig())
+        hierarchy.access_data(0x0)
+        hierarchy.reset_counters()
+        assert hierarchy.l1d.accesses == 0
+        assert hierarchy.l2.accesses == 0

@@ -1,0 +1,91 @@
+"""Page-table protection semantics."""
+
+import pytest
+
+from repro.memory.pagetable import PAGE_READ, PAGE_WRITE, PageTable
+
+
+def test_default_is_unprotected():
+    table = PageTable()
+    assert not table.any_protected
+    assert not table.check_store(0x1000, 8)
+    assert not table.check_load(0x1000, 8)
+
+
+def test_mprotect_read_only_faults_stores():
+    table = PageTable()
+    table.mprotect(0x2000, 8, PAGE_READ)
+    assert table.check_store(0x2000, 8)
+    assert table.check_store(0x2FF8, 8)  # same page
+    assert not table.check_store(0x3000, 8)  # next page
+    assert not table.check_load(0x2000, 8)
+
+
+def test_store_straddling_into_protected_page():
+    table = PageTable()
+    table.mprotect(0x2000, 8, PAGE_READ)
+    assert table.check_store(0x1FFC, 8)  # crosses into the page
+    assert not table.check_store(0x1FF0, 8)
+
+
+def test_range_covers_multiple_pages():
+    table = PageTable()
+    table.mprotect(0x1F00, 0x300, PAGE_READ)  # spans two pages
+    assert table.check_store(0x1F00, 1)
+    assert table.check_store(0x2100, 1)
+
+
+def test_restore_permissions():
+    table = PageTable()
+    table.mprotect(0x2000, 8, PAGE_READ)
+    table.mprotect(0x2000, 8, PAGE_READ | PAGE_WRITE)
+    assert not table.any_protected
+    assert not table.check_store(0x2000, 8)
+
+
+def test_no_access_pages_fault_loads_too():
+    table = PageTable()
+    table.mprotect(0x2000, 8, 0)
+    assert table.check_load(0x2000, 8)
+    assert table.check_store(0x2000, 8)
+
+
+def test_protect_page_api():
+    table = PageTable()
+    table.protect_page(5, PAGE_READ)
+    assert table.protected_pages == frozenset({5})
+    table.protect_page(5, PAGE_READ | PAGE_WRITE)
+    assert not table.any_protected
+
+
+def test_clear():
+    table = PageTable()
+    table.mprotect(0x2000, 4096 * 3, PAGE_READ)
+    table.clear()
+    assert not table.any_protected
+
+
+def test_pages_in_range():
+    table = PageTable()
+    assert list(table.pages_in_range(0x1000, 1)) == [1]
+    assert list(table.pages_in_range(0xFFF, 2)) == [0, 1]
+    assert list(table.pages_in_range(0x1000, 4096 * 2)) == [1, 2]
+
+
+def test_page_number():
+    table = PageTable(page_bytes=4096)
+    assert table.page_number(0) == 0
+    assert table.page_number(4095) == 0
+    assert table.page_number(4096) == 1
+
+
+def test_non_power_of_two_page_size_rejected():
+    with pytest.raises(ValueError):
+        PageTable(page_bytes=3000)
+
+
+def test_custom_page_size():
+    table = PageTable(page_bytes=128)
+    table.mprotect(0x100, 1, PAGE_READ)
+    assert table.check_store(0x17F, 1)
+    assert not table.check_store(0x180, 1)

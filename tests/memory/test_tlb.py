@@ -1,0 +1,53 @@
+"""TLB behaviour."""
+
+import pytest
+
+from repro.config import TlbConfig
+from repro.memory.tlb import Tlb
+
+
+def test_miss_then_hit():
+    tlb = Tlb(TlbConfig())
+    assert not tlb.access(0x1000)
+    assert tlb.access(0x1FFF)  # same page
+    assert not tlb.access(0x2000)  # next page
+
+
+def test_capacity_eviction():
+    tlb = Tlb(TlbConfig(entries=4, associativity=4, page_bytes=4096))
+    # 5 pages mapping to the single set: first gets evicted.
+    for page in range(5):
+        tlb.access(page * 4096)
+    assert not tlb.access(0)
+    assert tlb.misses == 6
+
+
+def test_set_mapping():
+    tlb = Tlb(TlbConfig(entries=8, associativity=4, page_bytes=4096))
+    # Pages 0 and 1 map to different sets (2 sets).
+    tlb.access(0)
+    tlb.access(4096)
+    assert tlb.hits == 0 and tlb.misses == 2
+    assert tlb.access(0) and tlb.access(4096)
+
+
+def test_reset_and_counters():
+    tlb = Tlb(TlbConfig())
+    tlb.access(0)
+    tlb.reset_counters()
+    assert tlb.accesses == 0
+    assert tlb.access(0)  # contents preserved
+    tlb.reset()
+    assert not tlb.access(0)  # contents cleared
+
+
+def test_miss_rate():
+    tlb = Tlb(TlbConfig())
+    tlb.access(0)
+    tlb.access(0)
+    assert tlb.miss_rate == pytest.approx(0.5)
+
+
+def test_bad_geometry():
+    with pytest.raises(ValueError):
+        Tlb(TlbConfig(entries=12, associativity=4))

@@ -1,0 +1,93 @@
+"""Analysis helpers: charts and summaries."""
+
+import math
+
+import pytest
+
+from repro.analysis import (backend_geomeans, geomean, render_chart,
+                            summarize_figure)
+from repro.harness.experiment import Cell
+from repro.harness.figures import FigureResult
+
+
+def _result():
+    cells = [
+        Cell("bzip2", "HOT", "single_step", 40_000.0,
+             spurious_transitions=9000),
+        Cell("bzip2", "HOT", "dise", 1.25),
+        Cell("bzip2", "INDIRECT", "single_step", 39_000.0,
+             spurious_transitions=9000),
+        Cell("bzip2", "INDIRECT", "dise", 1.5),
+        Cell("bzip2", "INDIRECT", "hardware", None,
+             unsupported_reason="indirect"),
+    ]
+    return FigureResult("demo", "a demo grid", cells)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([2, 2, 2]) == pytest.approx(2.0)
+
+    def test_matches_log_definition(self):
+        values = [1.5, 40_000, 7.2]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geomean(values) == pytest.approx(expected)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestBackendSummaries:
+    def test_aggregation(self):
+        summaries = backend_geomeans(_result())
+        stepping = summaries["single_step"]
+        assert stepping.cells == 2
+        assert stepping.geomean_overhead == pytest.approx(
+            geomean([40_000, 39_000]))
+        assert stepping.spurious_transitions == 18_000
+        # A backend with only unsupported cells is dropped entirely.
+        assert "hardware" not in summaries
+
+    def test_unsupported_counted(self):
+        cells = [Cell("b", "K", "hw", 2.0),
+                 Cell("b", "J", "hw", None)]
+        summary = backend_geomeans(FigureResult("x", "", cells))["hw"]
+        assert summary.unsupported == 1
+
+    def test_summary_text(self):
+        text = summarize_figure(_result(), baseline_backend="dise")
+        assert "single_step" in text
+        assert "the geomean overhead of dise" in text
+
+
+class TestChart:
+    def test_renders_groups_and_bars(self):
+        text = render_chart(_result())
+        assert "bzip2/HOT" in text
+        assert "(unsupported)" in text
+        assert "#" in text
+
+    def test_log_scaling_orders_bars(self):
+        text = render_chart(_result())
+        lines = {line.strip().split("|")[0].strip(): line
+                 for line in text.splitlines() if "|" in line}
+        stepping_bar = lines["single_step"].count("#")
+        dise_bar = lines["dise"].count("#")
+        assert stepping_bar > 4 * dise_bar
+
+    def test_no_bar_for_unity(self):
+        cells = [Cell("b", "K", "hw", 1.0), Cell("b", "K", "ss", 1000.0)]
+        text = render_chart(FigureResult("x", "", cells))
+        hw_line = next(line for line in text.splitlines()
+                       if "hw" in line and "|" in line)
+        assert "#" not in hw_line
+
+    def test_empty_grid(self):
+        result = FigureResult("empty", "", [Cell("b", "K", "hw", None)])
+        assert "no supported cells" in render_chart(result)

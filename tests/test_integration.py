@@ -1,0 +1,112 @@
+"""Cross-backend integration invariants.
+
+The central correctness property: *debugging must not change what the
+program computes*.  Every backend runs the same application and must
+leave identical architectural results; the backends differ only in cost
+and in how transitions classify.
+"""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
+from repro.debugger import DebugSession
+from repro.debugger.backends import BACKENDS
+from tests.conftest import make_watch_loop
+
+ALL_BACKENDS = tuple(BACKENDS)
+
+
+def _final_state(backend_name, expression="hot"):
+    program = make_watch_loop(40)
+    session = DebugSession(program, backend=backend_name)
+    session.watch(expression)
+    backend = session.build_backend()
+    backend.run()
+    memory = backend.machine.memory
+    resolved = backend.program
+    return {name: memory.read_int(resolved.address_of(name), 8)
+            for name in ("hot", "other")}
+
+
+def test_reference_result():
+    program = make_watch_loop(40)
+    machine = Machine(program)
+    machine.run()
+    assert machine.memory.read_int(program.address_of("hot"), 8) == 101
+    assert machine.memory.read_int(program.address_of("other"), 8) == 40
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_application_semantics_preserved(backend):
+    state = _final_state(backend)
+    assert state == {"hot": 101, "other": 40}
+
+
+@pytest.mark.parametrize("backend", ALL_BACKENDS)
+def test_exactly_one_user_transition_for_hot(backend):
+    program = make_watch_loop(40)
+    session = DebugSession(program, backend=backend)
+    session.watch("hot")
+    backend_obj = session.build_backend()
+    result = backend_obj.run()
+    assert result.stats.user_transitions == 1
+
+
+@pytest.mark.parametrize("backend", ("dise", "binary_rewrite"))
+def test_embedded_backends_have_zero_spurious_transitions(backend):
+    program = make_watch_loop(40)
+    session = DebugSession(program, backend=backend)
+    session.watch("hot")
+    result = session.build_backend().run()
+    assert result.stats.spurious_transitions == 0
+
+
+def test_overhead_ordering_matches_paper():
+    """single-stepping >> VM >= hardware >> DISE for a silent-store-
+    heavy HOT-like watchpoint."""
+    overheads = {}
+    for backend in ("single_step", "virtual_memory", "hardware", "dise"):
+        program = make_watch_loop(60)
+        session = DebugSession(program, backend=backend)
+        session.watch("hot")
+        result = session.run(run_baseline=True)
+        overheads[backend] = result.overhead
+    assert overheads["single_step"] > overheads["virtual_memory"]
+    assert overheads["virtual_memory"] > overheads["hardware"]
+    assert overheads["hardware"] > overheads["dise"]
+    assert overheads["dise"] < 20
+
+
+def test_conditional_kills_all_transitions_only_for_embedded():
+    for backend, expect_spurious in (("hardware", True), ("dise", False)):
+        program = make_watch_loop(60)
+        session = DebugSession(program, backend=backend)
+        session.watch("hot", condition="hot == 998877665544332211")
+        result = session.build_backend().run()
+        assert result.stats.user_transitions == 0
+        assert (result.stats.spurious_transitions > 0) is expect_spurious
+
+
+def test_dise_conditionals_free_of_predicate_cost():
+    """Conditional and unconditional DISE watchpoints cost about the
+    same (the predicate is folded into the in-app function)."""
+    def overhead(condition):
+        program = make_watch_loop(60)
+        session = DebugSession(program, backend="dise")
+        session.watch("hot", condition=condition)
+        return session.run(run_baseline=True).overhead
+
+    unconditional = overhead(None)
+    conditional = overhead("hot == 998877665544332211")
+    assert conditional == pytest.approx(unconditional, rel=0.2)
+
+
+def test_disabled_watchpoint_never_fires():
+    program = make_watch_loop(20)
+    session = DebugSession(program, backend="virtual_memory")
+    wp = session.watch("hot")
+    wp.enabled = False
+    backend = session.build_backend()
+    result = backend.run()
+    assert result.stats.user_transitions == 0

@@ -1,0 +1,148 @@
+"""Cross-layer property-based tests (hypothesis).
+
+These check invariants that hold across module boundaries:
+
+* Bloom filters built by the code generator never produce false
+  negatives for the hash the replacement sequences compute;
+* the page table agrees with a naive reference model under arbitrary
+  mprotect/check sequences;
+* full-program disassemble -> reassemble round-trips;
+* the timing model's cycle count is monotone in the committed stream.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MachineConfig
+from repro.cpu.timing import TimingModel
+from repro.debugger.backends.codegen import BLOOM_BYTES
+from repro.isa import assemble
+from repro.isa.builder import CodeBuilder
+from repro.memory.pagetable import PAGE_READ, PAGE_WRITE, PageTable
+
+
+# -- Bloom filter: no false negatives -------------------------------------------
+
+def _bytewise_fill(addresses):
+    blob = bytearray(BLOOM_BYTES)
+    for address in addresses:
+        blob[(address >> 3) & (BLOOM_BYTES - 1)] = 1
+    return blob
+
+
+def _bytewise_probe(blob, address):
+    # The hash the replacement sequence computes: aligned address >> 3,
+    # masked to the table size.
+    aligned = address & ~7
+    return blob[(aligned >> 3) & (BLOOM_BYTES - 1)] != 0
+
+
+@given(addresses=st.lists(
+    st.integers(min_value=0, max_value=(1 << 40) - 1).map(lambda a: a & ~7),
+    min_size=1, max_size=32))
+def test_bloom_has_no_false_negatives(addresses):
+    blob = _bytewise_fill(addresses)
+    for address in addresses:
+        assert _bytewise_probe(blob, address)
+        # Any store within the watched quad also hits.
+        assert _bytewise_probe(blob, address + 5)
+
+
+@given(addresses=st.lists(
+    st.integers(min_value=0, max_value=(1 << 20) - 1).map(lambda a: a & ~7),
+    min_size=1, max_size=4),
+    probe=st.integers(min_value=0, max_value=(1 << 20) - 1))
+def test_bloom_negatives_are_definite(addresses, probe):
+    """A zero byte is a definite negative (the paper's Bloom property)."""
+    blob = _bytewise_fill(addresses)
+    if not _bytewise_probe(blob, probe):
+        assert (probe & ~7) not in addresses
+
+
+# -- page table vs reference model ------------------------------------------------
+
+@settings(max_examples=60)
+@given(operations=st.lists(st.tuples(
+    st.sampled_from(["protect", "unprotect", "check"]),
+    st.integers(min_value=0, max_value=64 * 4096),
+    st.integers(min_value=1, max_value=8192)),
+    min_size=1, max_size=40))
+def test_pagetable_matches_reference_model(operations):
+    table = PageTable(4096)
+    reference: set[int] = set()  # write-protected page numbers
+    for op, address, length in operations:
+        first, last = address // 4096, (address + length - 1) // 4096
+        if op == "protect":
+            table.mprotect(address, length, PAGE_READ)
+            reference.update(range(first, last + 1))
+        elif op == "unprotect":
+            table.mprotect(address, length, PAGE_READ | PAGE_WRITE)
+            reference.difference_update(range(first, last + 1))
+        else:
+            size = min(length, 8)
+            expected = any(page in reference
+                           for page in range(address // 4096,
+                                             (address + size - 1) // 4096 + 1))
+            assert table.check_store(address, size) == expected
+    assert table.protected_pages == frozenset(reference)
+
+
+# -- assembler round-trip on whole programs -----------------------------------------
+
+def _random_program_text(seed: int) -> str:
+    rng = random.Random(seed)
+    b = CodeBuilder(f"roundtrip-{seed}")
+    b.data_quad("v", 1)
+    b.label("main")
+    for _ in range(rng.randrange(5, 25)):
+        pick = rng.random()
+        if pick < 0.4:
+            b.addq(f"r{rng.randrange(1, 20)}", rng.randrange(0, 99),
+                   f"r{rng.randrange(1, 20)}")
+        elif pick < 0.6:
+            b.ldq(f"r{rng.randrange(1, 20)}", rng.randrange(0, 8) * 8, "sp")
+        elif pick < 0.8:
+            b.stq(f"r{rng.randrange(1, 20)}", "v")
+        else:
+            b.cmpult(f"r{rng.randrange(1, 20)}", rng.randrange(1, 50),
+                     f"r{rng.randrange(1, 20)}")
+    b.halt()
+    program = b.build()
+    return "\n".join(inst.disassemble() for inst in program.instructions), \
+        program
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40)
+def test_disassemble_reassemble_roundtrip(seed):
+    text, program = _random_program_text(seed)
+    reassembled = assemble("main:\n" + text)
+    assert reassembled.instructions == program.instructions
+
+
+# -- timing monotonicity -----------------------------------------------------------
+
+@given(extra=st.integers(min_value=1, max_value=200))
+@settings(max_examples=25)
+def test_cycles_monotone_in_commits(extra):
+    short = TimingModel(MachineConfig())
+    long = TimingModel(MachineConfig())
+    for _ in range(50):
+        short.commit()
+    for _ in range(50 + extra):
+        long.commit()
+    assert long.total_cycles >= short.total_cycles
+
+
+@given(loads=st.integers(min_value=0, max_value=50))
+@settings(max_examples=25)
+def test_loads_never_reduce_cycles(loads):
+    plain = TimingModel(MachineConfig())
+    with_loads = TimingModel(MachineConfig())
+    for _ in range(40):
+        plain.commit()
+        with_loads.commit()
+    for index in range(loads):
+        with_loads.load(index * 64)
+    assert with_loads.total_cycles >= plain.total_cycles

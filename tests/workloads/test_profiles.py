@@ -1,0 +1,63 @@
+"""Workload profiles."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.profiles import (PROFILES, BenchmarkProfile,
+                                      WatchTargetProfile, profile_for)
+
+
+def test_all_six_benchmarks_present():
+    assert set(PROFILES) == {"bzip2", "crafty", "gcc", "mcf", "twolf",
+                             "vortex"}
+
+
+def test_lookup():
+    assert profile_for("gcc").function == "regclass"
+    with pytest.raises(WorkloadError):
+        profile_for("perl")
+
+
+def test_paper_table1_values_recorded():
+    assert profile_for("bzip2").paper_ipc == 2.45
+    assert profile_for("mcf").paper_ipc == 0.33
+    assert profile_for("vortex").paper_store_density == 0.176
+
+
+def test_watch_targets_mapping():
+    targets = profile_for("twolf").watch_targets()
+    assert set(targets) == {"hot", "warm1", "warm2", "cold", "range"}
+
+
+def test_hot_frequencies_match_paper_table2():
+    assert profile_for("bzip2").hot.write_freq == 24805.7
+    assert profile_for("crafty").hot.write_freq == 6531.4
+    assert profile_for("gcc").range_.write_freq == 8197.9
+
+
+def test_silent_fractions():
+    # "in all HOT benchmarks—save bzip2—50% or more of all stores to
+    # the watched address do not change the data value"
+    assert profile_for("bzip2").hot.silent_fraction < 0.5
+    for name in ("crafty", "gcc", "mcf", "twolf", "vortex"):
+        assert profile_for(name).hot.silent_fraction >= 0.5
+
+
+def test_footprint_split():
+    # Small-footprint vs large-footprint benchmarks (Figure 5 contrast).
+    for name in ("bzip2", "crafty", "mcf"):
+        assert profile_for(name).segments <= 4
+    for name in ("gcc", "twolf", "vortex"):
+        assert profile_for(name).segments >= 24
+
+
+def test_event_store_fraction_leaves_scratch_room():
+    for profile in PROFILES.values():
+        assert profile.event_store_fraction < 0.98
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        WatchTargetProfile(write_freq=-1)
+    with pytest.raises(WorkloadError):
+        WatchTargetProfile(write_freq=1, silent_fraction=1.5)

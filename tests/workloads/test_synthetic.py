@@ -1,0 +1,126 @@
+"""Synthetic workload generator."""
+
+import pytest
+
+from repro.cpu.machine import Machine
+from repro.isa.program import STACK_TOP
+from repro.workloads import build_benchmark, profile_for
+from repro.workloads.benchmarks import (BENCHMARK_NAMES, never_true_condition,
+                                        watch_expression)
+from repro.workloads.synthetic import MULTI_COUNT
+
+
+@pytest.fixture(scope="module")
+def crafty():
+    return build_benchmark("crafty")
+
+
+def test_all_benchmarks_generate_and_run():
+    for name in BENCHMARK_NAMES:
+        program = build_benchmark(name)
+        machine = Machine(program, detailed_timing=False)
+        result = machine.run(3_000)
+        assert result.stats.app_instructions == 3_000
+
+
+def test_generation_is_deterministic(crafty):
+    again = build_benchmark("crafty")
+    assert [i.disassemble() for i in crafty.instructions] == \
+        [i.disassemble() for i in again.instructions]
+
+
+def test_watch_symbols_exist(crafty):
+    for symbol in ("hot", "warm1", "hot_ptr", "range_arr", "scratch"):
+        assert crafty.symbol(symbol).address > 0
+    # Stack locals registered as symbols.
+    assert crafty.symbol("warm2").address == STACK_TOP + 16
+    assert crafty.symbol("cold").address == STACK_TOP + 24
+
+
+def test_heap_targets_have_private_pages(crafty):
+    hot = crafty.address_of("hot")
+    warm1 = crafty.address_of("warm1")
+    assert hot % 4096 == 0
+    assert warm1 % 4096 == 0
+    assert hot >> 12 != warm1 >> 12
+    # Neighbours share the target's page.
+    assert crafty.address_of("hot_nbr") >> 12 == hot >> 12
+
+
+def test_hot_ptr_patched_to_hot(crafty):
+    machine = Machine(crafty, detailed_timing=False)
+    assert machine.memory.read_int(crafty.address_of("hot_ptr"), 8) == \
+        crafty.address_of("hot")
+
+
+def test_multi_bank(crafty):
+    first = crafty.address_of("multi0")
+    assert first % 4096 == 0
+    for index in range(MULTI_COUNT):
+        assert crafty.address_of(f"multi{index}") == first + 8 * index
+
+
+def test_watch_targets_actually_written():
+    program = build_benchmark("crafty")
+    machine = Machine(program, detailed_timing=False)
+    writes = {"hot": 0, "warm1": 0, "range": 0}
+    hot = program.address_of("hot")
+    warm1 = program.address_of("warm1")
+    range_lo = program.address_of("range_arr")
+    range_hi = range_lo + program.symbol("range_arr").size
+
+    def observe(addr, size, new, old):
+        if addr == hot:
+            writes["hot"] += 1
+        elif addr == warm1:
+            writes["warm1"] += 1
+        elif range_lo <= addr < range_hi:
+            writes["range"] += 1
+
+    machine.store_observer = observe
+    machine.run(60_000)
+    assert writes["hot"] > writes["warm1"] > 0
+    assert writes["range"] > 0
+
+
+def test_store_density_in_profile_ballpark():
+    for name in ("bzip2", "mcf"):
+        program = build_benchmark(name)
+        machine = Machine(program, detailed_timing=False)
+        result = machine.run(40_000)
+        profile = profile_for(name)
+        measured = result.stats.store_density
+        assert measured == pytest.approx(profile.paper_store_density,
+                                         rel=0.35)
+
+
+def test_code_footprint_scales_with_segments():
+    small = build_benchmark("bzip2")
+    large = build_benchmark("gcc")
+    assert large.text_bytes > 4 * small.text_bytes
+
+
+def test_scavenged_registers_unused():
+    program = build_benchmark("vortex")
+    for inst in program.instructions:
+        assert inst.rd not in (27, 28)
+        assert inst.rs1 not in (27, 28)
+        assert inst.rs2 not in (27, 28)
+
+
+def test_statement_markers_present():
+    program = build_benchmark("twolf")
+    assert len(program.statement_starts) > 100
+
+
+def test_watch_expression_mapping():
+    assert watch_expression("HOT") == "hot"
+    assert watch_expression("indirect") == "*hot_ptr"
+    assert watch_expression("RANGE").startswith("range_arr")
+    with pytest.raises(Exception):
+        watch_expression("LUKEWARM")
+
+
+def test_never_true_condition():
+    condition = never_true_condition("HOT")
+    assert condition.startswith("hot ==")
