@@ -1,0 +1,109 @@
+"""Interpreter throughput: legacy if/elif chain vs dispatch table.
+
+Measures functional-mode (``detailed_timing=False``) interpreter speed
+in simulated instructions per wall-clock second on the Figure 3
+workloads, plain and with a DISE watchpoint-style expansion active, for
+both interpreter paths (``MachineConfig.legacy_interpreter`` selects the
+old one).  Records before/after numbers to
+``benchmarks/results/interpreter_throughput.txt`` and asserts:
+
+* the tentpole target — the dispatch table is >=1.5x the legacy
+  interpreter in plain functional mode (geometric mean), and
+* an anti-regression bound — the measured speedups stay within 20% of
+  the committed baseline ratios (ratios, not absolute inst/s, so the
+  check is machine-independent and usable as a CI smoke test).
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_interpreter_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from benchmarks.conftest import record
+from repro.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
+from repro.dise.pattern import Pattern
+from repro.dise.production import Production
+from repro.dise.template import original, template
+from repro.isa.opcodes import Opcode
+from repro.isa.registers import dise_reg
+from repro.workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
+
+APP_INSTRUCTIONS = 40_000
+
+LEGACY = MachineConfig(legacy_interpreter=True)
+TABLE = MachineConfig()
+
+# Committed baseline speedups (geomean table/legacy, measured when the
+# dispatch table landed).  The smoke check fails when a measured
+# speedup drops more than 20% below its baseline.
+BASELINE_SPEEDUP = {"plain": 1.77, "dise": 1.75}
+REGRESSION_TOLERANCE = 0.8
+
+
+def _watch_production() -> Production:
+    """A watchpoint-flavoured expansion: store + conditional trap that
+    never fires (dr0 stays zero), so the run measures pure expansion and
+    interpretation cost."""
+    return Production(
+        Pattern.stores(),
+        [original(), template(Opcode.CTRAP, rs1=dise_reg(0))],
+        name="throughput-watch")
+
+
+def _throughput(name: str, config: MachineConfig, with_dise: bool) -> float:
+    program = build_benchmark(name)
+    machine = Machine(program, config, detailed_timing=False,
+                      trap_handler=lambda event: TransitionKind.NONE)
+    if with_dise:
+        machine.dise_controller.install(_watch_production())
+    start = time.perf_counter()
+    machine.run(max_app_instructions=APP_INSTRUCTIONS)
+    elapsed = time.perf_counter() - start
+    return machine.stats.total_instructions / elapsed
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def test_interpreter_throughput(results_dir):
+    lines = [
+        "Interpreter throughput (functional mode, simulated inst/s)",
+        f"{APP_INSTRUCTIONS:,} application instructions per cell",
+        "",
+        f"{'benchmark':<10} {'mode':<6} {'legacy':>12} {'table':>12} "
+        f"{'speedup':>8}",
+    ]
+    speedups: dict[str, list[float]] = {"plain": [], "dise": []}
+    for name in BENCHMARK_NAMES:
+        for mode, with_dise in (("plain", False), ("dise", True)):
+            legacy = _throughput(name, LEGACY, with_dise)
+            table = _throughput(name, TABLE, with_dise)
+            speedup = table / legacy
+            speedups[mode].append(speedup)
+            lines.append(f"{name:<10} {mode:<6} {legacy:>12,.0f} "
+                         f"{table:>12,.0f} {speedup:>7.2f}x")
+    geo_plain = _geomean(speedups["plain"])
+    geo_dise = _geomean(speedups["dise"])
+    lines += [
+        "",
+        f"geomean speedup (plain): {geo_plain:.2f}x",
+        f"geomean speedup (dise):  {geo_dise:.2f}x",
+        f"committed baseline: plain {BASELINE_SPEEDUP['plain']:.2f}x, "
+        f"dise {BASELINE_SPEEDUP['dise']:.2f}x",
+    ]
+    record(results_dir, "interpreter_throughput", "\n".join(lines))
+
+    # Tentpole target: >=1.5x functional-mode throughput.
+    assert geo_plain >= 1.5, f"plain speedup {geo_plain:.2f}x < 1.5x"
+    # Anti-regression smoke: within 20% of the committed baseline.
+    assert geo_plain >= REGRESSION_TOLERANCE * BASELINE_SPEEDUP["plain"], \
+        f"plain speedup {geo_plain:.2f}x regressed >20% vs baseline"
+    assert geo_dise >= REGRESSION_TOLERANCE * BASELINE_SPEEDUP["dise"], \
+        f"dise speedup {geo_dise:.2f}x regressed >20% vs baseline"

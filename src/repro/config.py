@@ -135,6 +135,9 @@ class MachineConfig:
     # Multithreaded execution of DISE-called functions (paper Section 4,
     # "Multithreading DISE function calls"; evaluated in Figure 8).
     multithreaded_dise_calls: bool = False
+    # Run the pre-dispatch-table interpreter (kept for differential
+    # validation of the table-driven rewrite; scheduled for removal).
+    legacy_interpreter: bool = False
 
     def with_(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""

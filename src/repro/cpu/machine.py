@@ -23,6 +23,22 @@ single-stepping.  All such events are delivered to a single
 ``trap_handler`` callback — the "debugger process" — which classifies
 the transition (:class:`~repro.cpu.stats.TransitionKind`); the timing
 model then charges it (spurious: flush + 100,000 cycles; user: free).
+
+Interpreter organization (see DESIGN.md "Interpreter architecture"):
+execution dispatches through a table of per-opclass handler methods
+indexed by each instruction's cached decode record
+(:class:`~repro.isa.instruction.Decoded`), with ALU and JUMP split into
+opcode-level subcases.  Runs without a timing model take a separate
+loop body bound to timing-free handlers, so the functional fast path
+performs no ``timing is not None`` checks at all.  The previous
+monolithic if/elif interpreter is retained behind
+``MachineConfig.legacy_interpreter`` so the differential test suite can
+assert bit-identical semantics; it will be removed once the dispatch
+table has baked.
+
+Fetch-stage traps (breakpoint registers, single-stepping) stop an
+interactive run *before* the trapped instruction executes, like a real
+debugger, and are not re-fired for the same fetch on resume.
 """
 
 from __future__ import annotations
@@ -39,7 +55,12 @@ from repro.cpu.timing import TimingModel
 from repro.dise.controller import DiseController
 from repro.dise.engine import DiseEngine
 from repro.dise.registers import DiseRegisterFile
-from repro.isa.instruction import Instruction
+from repro.isa.instruction import (H_ALU_IMM, H_ALU_LDA, H_ALU_MOV, H_ALU_REG,
+                                   H_BRANCH, H_CODEWORD, H_CTRAP,
+                                   H_DISE_BRANCH, H_DISE_CALL, H_DISE_MOVE,
+                                   H_DISE_RET, H_HALT, H_JUMP_BR, H_JUMP_JMP,
+                                   H_JUMP_JSR, H_JUMP_RET, H_LOAD, H_NOP,
+                                   H_STORE, H_TRAP, NUM_HANDLERS, Instruction)
 from repro.isa.opcodes import Format, Opcode, OpClass
 from repro.isa.program import (INSTRUCTION_BYTES, Program, STACK_TOP,
                                STACK_BYTES, TEXT_BASE)
@@ -156,6 +177,15 @@ class Machine:
         self._trigger_pc = 0
         self._in_dise_function = False
         self._dise_return: Optional[tuple[int, list[Instruction], int]] = None
+        # Has the active expansion executed its store yet?  Gates the
+        # store context attached to explicit trap delivery.
+        self._expansion_did_store = False
+
+        # Fetch-stage trap whose stop was already taken: do not re-fire
+        # it for the same fetch when the interactive run resumes.
+        self._fetch_trap_resume_pc: Optional[int] = None
+
+        self._handlers = self._build_handler_table()
 
         self._load_program()
 
@@ -198,6 +228,40 @@ class Machine:
         if self.timing is not None:
             self.timing.reset_counters()
 
+    def _build_handler_table(self) -> tuple:
+        """Bind the dispatch table, pre-selected for the timing mode.
+
+        ``detailed_timing=False`` machines get timing-free handler
+        variants so the functional fast path never tests
+        ``timing is not None``.
+        """
+        timed = self.timing is not None
+        table: list = [None] * NUM_HANDLERS
+        table[H_ALU_LDA] = self._h_alu_lda
+        table[H_ALU_MOV] = self._h_alu_mov
+        table[H_ALU_IMM] = self._h_alu_imm
+        table[H_ALU_REG] = self._h_alu_reg
+        table[H_LOAD] = self._h_load_t if timed else self._h_load_f
+        table[H_STORE] = self._h_store_t if timed else self._h_store_f
+        table[H_BRANCH] = self._h_branch_t if timed else self._h_branch_f
+        table[H_JUMP_BR] = self._h_jump_br_t if timed else self._h_jump_br_f
+        table[H_JUMP_JSR] = self._h_jump_jsr_t if timed else self._h_jump_jsr_f
+        table[H_JUMP_RET] = self._h_jump_ret_t if timed else self._h_jump_ret_f
+        table[H_JUMP_JMP] = self._h_jump_jmp_t if timed else self._h_jump_jmp_f
+        table[H_TRAP] = self._h_trap
+        table[H_CTRAP] = self._h_ctrap
+        table[H_DISE_BRANCH] = (self._h_dise_branch_t if timed
+                                else self._h_dise_branch_f)
+        table[H_DISE_CALL] = (self._h_dise_call_t if timed
+                              else self._h_dise_call_f)
+        table[H_DISE_RET] = (self._h_dise_ret_t if timed
+                             else self._h_dise_ret_f)
+        table[H_DISE_MOVE] = self._h_dise_move
+        table[H_NOP] = self._h_nop
+        table[H_HALT] = self._h_halt
+        table[H_CODEWORD] = self._h_codeword
+        return tuple(table)
+
     # -- register helpers -----------------------------------------------------
 
     def _read_reg(self, reg: int, dise_ok: bool) -> int:
@@ -239,6 +303,44 @@ class Machine:
             self.stopped_at_user = True
         return kind
 
+    def _deliver_explicit_trap(self, is_dise: bool) -> None:
+        """Deliver a ``trap``/``ctrap``, attaching store context only
+        when the trap follows the store-check sequence of the active
+        expansion (or a function it called).  A breakpoint-style trap
+        observed after an unrelated store must not leak that store's
+        address/value.
+        """
+        if self._expansion_did_store and (is_dise or self._in_dise_function):
+            event = TrapEvent(TrapKind.TRAP, self.pc,
+                              self.last_store_addr,
+                              self.last_store_size,
+                              self.last_store_value)
+        else:
+            event = TrapEvent(TrapKind.TRAP, self.pc)
+        self.deliver_trap(event)
+
+    def _fetch_stage_traps(self, pc: int) -> bool:
+        """Deliver breakpoint/single-step traps for the fetch at ``pc``.
+
+        Returns False when the run must pause *before* the trapped
+        instruction executes (an interactive stop): a real debugger
+        stops with the breakpointed instruction still pending.  The pc
+        is remembered so resuming does not re-fire the same trap.
+        """
+        resume_pc = self._fetch_trap_resume_pc
+        if resume_pc is not None:
+            self._fetch_trap_resume_pc = None
+            if pc == resume_pc:
+                return True
+        if self.breakpoint_registers and pc in self.breakpoint_registers:
+            self.deliver_trap(TrapEvent(TrapKind.BREAKPOINT, pc))
+        if self.single_step and pc in self.statement_pcs:
+            self.deliver_trap(TrapEvent(TrapKind.SINGLE_STEP, pc))
+        if self.stopped_at_user:
+            self._fetch_trap_resume_pc = pc
+            return False
+        return True
+
     # -- execution -----------------------------------------------------------------
 
     def run(self, max_app_instructions: Optional[int] = None) -> RunResult:
@@ -251,6 +353,547 @@ class Machine:
         for each experiment").
         """
         limit = max_app_instructions if max_app_instructions is not None else -1
+        self.stopped_at_user = False
+        if self.config.legacy_interpreter:
+            self._run_legacy(limit)
+        elif self.timing is not None:
+            self._run_table_timed(limit)
+        else:
+            self._run_table_functional(limit)
+        stats = self.stats
+        stats.cycles = self.timing.total_cycles if self.timing is not None \
+            else stats.total_instructions
+        return RunResult(stats=stats, halted=self.halted,
+                         stopped_at_user=self.stopped_at_user)
+
+    def _run_table_timed(self, limit: int) -> None:
+        """Dispatch-table loop with the timing model attached."""
+        stats = self.stats
+        timing = self.timing
+        text = self._text
+        text_len = len(text)
+        text_base = self._text_base
+        free_nops = self.config.free_nops
+        engine = self.dise_engine
+        eng_productions = engine._productions
+        eng_by_pc = engine._by_pc
+        eng_by_opclass = engine._by_opclass
+        eng_by_codeword = engine._by_codeword
+        eng_generic = engine._generic
+        handlers = self._handlers
+        instrumentation_pcs = self.instrumentation_pcs
+        nop_class = OpClass.NOP
+        codeword_op = Opcode.CODEWORD
+
+        while not self.halted:
+            if limit >= 0 and stats.app_instructions >= limit:
+                break
+            if self.stopped_at_user:
+                break
+
+            expansion = self._expansion
+            if expansion is not None:
+                inst = expansion[self._exp_index]
+                d = inst.decoded
+                if d is None:
+                    d = inst.decode()
+                is_dise = True
+            else:
+                pc = self.pc
+                index = (pc - text_base) >> 2
+                if index < 0 or index >= text_len:
+                    raise SimulationError(f"fetch outside text: pc={pc:#x}")
+                inst = text[index]
+                d = inst.decoded
+                if d is None:
+                    d = inst.decode()
+                if self.breakpoint_registers or self.single_step:
+                    if not self._fetch_stage_traps(pc):
+                        break
+                timing.fetch(pc)
+                is_dise = False
+                if (eng_productions and engine.enabled
+                        and not self._in_dise_function):
+                    if (pc in eng_by_pc or d.opclass in eng_by_opclass
+                            or eng_generic
+                            or (inst.opcode is codeword_op
+                                and inst.imm in eng_by_codeword)):
+                        seq = engine.expand(inst, pc)
+                        if seq is not None:
+                            stats.dise_expansions += 1
+                            self._expansion = seq
+                            self._exp_index = 0
+                            self._trigger_pc = pc
+                            self._expansion_did_store = False
+                            inst = seq[0]
+                            d = inst.decoded
+                            if d is None:
+                                d = inst.decode()
+                            is_dise = True
+
+            observer = self.instruction_observer
+            if observer is not None:
+                observer(self.pc, self._exp_index if is_dise else 0, inst,
+                         is_dise)
+            if d.opclass is nop_class and free_nops:
+                stats.nops_elided += 1
+                self._advance()
+                continue
+            if is_dise:
+                if self._exp_index == 0:
+                    stats.app_instructions += 1
+                else:
+                    stats.dise_instructions += 1
+            elif self._in_dise_function:
+                stats.function_instructions += 1
+            elif instrumentation_pcs and self.pc in instrumentation_pcs:
+                stats.dise_instructions += 1
+            else:
+                stats.app_instructions += 1
+            timing.commit()
+            handlers[d.handler_index](inst, d, is_dise)
+
+    def _run_table_functional(self, limit: int) -> None:
+        """Dispatch-table loop for ``detailed_timing=False`` runs.
+
+        Identical semantics to :meth:`_run_table_timed` minus every
+        timing-model interaction (the handler table was bound to the
+        timing-free variants at construction).
+        """
+        stats = self.stats
+        text = self._text
+        text_len = len(text)
+        text_base = self._text_base
+        free_nops = self.config.free_nops
+        engine = self.dise_engine
+        eng_productions = engine._productions
+        eng_by_pc = engine._by_pc
+        eng_by_opclass = engine._by_opclass
+        eng_by_codeword = engine._by_codeword
+        eng_generic = engine._generic
+        handlers = self._handlers
+        instrumentation_pcs = self.instrumentation_pcs
+        nop_class = OpClass.NOP
+        codeword_op = Opcode.CODEWORD
+
+        while not self.halted:
+            if limit >= 0 and stats.app_instructions >= limit:
+                break
+            if self.stopped_at_user:
+                break
+
+            expansion = self._expansion
+            if expansion is not None:
+                inst = expansion[self._exp_index]
+                d = inst.decoded
+                if d is None:
+                    d = inst.decode()
+                is_dise = True
+            else:
+                pc = self.pc
+                index = (pc - text_base) >> 2
+                if index < 0 or index >= text_len:
+                    raise SimulationError(f"fetch outside text: pc={pc:#x}")
+                inst = text[index]
+                d = inst.decoded
+                if d is None:
+                    d = inst.decode()
+                if self.breakpoint_registers or self.single_step:
+                    if not self._fetch_stage_traps(pc):
+                        break
+                is_dise = False
+                if (eng_productions and engine.enabled
+                        and not self._in_dise_function):
+                    if (pc in eng_by_pc or d.opclass in eng_by_opclass
+                            or eng_generic
+                            or (inst.opcode is codeword_op
+                                and inst.imm in eng_by_codeword)):
+                        seq = engine.expand(inst, pc)
+                        if seq is not None:
+                            stats.dise_expansions += 1
+                            self._expansion = seq
+                            self._exp_index = 0
+                            self._trigger_pc = pc
+                            self._expansion_did_store = False
+                            inst = seq[0]
+                            d = inst.decoded
+                            if d is None:
+                                d = inst.decode()
+                            is_dise = True
+
+            observer = self.instruction_observer
+            if observer is not None:
+                observer(self.pc, self._exp_index if is_dise else 0, inst,
+                         is_dise)
+            if d.opclass is nop_class and free_nops:
+                stats.nops_elided += 1
+                self._advance()
+                continue
+            if is_dise:
+                if self._exp_index == 0:
+                    stats.app_instructions += 1
+                else:
+                    stats.dise_instructions += 1
+            elif self._in_dise_function:
+                stats.function_instructions += 1
+            elif instrumentation_pcs and self.pc in instrumentation_pcs:
+                stats.dise_instructions += 1
+            else:
+                stats.app_instructions += 1
+            handlers[d.handler_index](inst, d, is_dise)
+
+    # -- dispatch-table handlers ------------------------------------------------
+    #
+    # One method per handler index (see repro.isa.instruction).  Handlers
+    # with timing-model interactions come in a timed (`_t`) and a
+    # functional (`_f`) variant; `_build_handler_table` binds the right
+    # set once.  `d.fast_regs` marks instructions whose operands can be
+    # accessed directly in the GPR file (no zero/DISE-register checks).
+
+    def _h_alu_lda(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            regs[inst.rd] = (regs[inst.rs1] + inst.imm) & MASK64
+        else:
+            base = self._read_reg(inst.rs1, is_dise)
+            self._write_reg(inst.rd, (base + inst.imm) & MASK64, is_dise)
+        self._advance()
+
+    def _h_alu_mov(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            regs[inst.rd] = regs[inst.rs1]
+        else:
+            self._write_reg(inst.rd, self._read_reg(inst.rs1, is_dise),
+                            is_dise)
+        self._advance()
+
+    def _h_alu_imm(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            regs[inst.rd] = d.alu_func(regs[inst.rs1], inst.imm & MASK64)
+        else:
+            a = self._read_reg(inst.rs1, is_dise)
+            self._write_reg(inst.rd, d.alu_func(a, inst.imm & MASK64),
+                            is_dise)
+        self._advance()
+
+    def _h_alu_reg(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            regs[inst.rd] = d.alu_func(regs[inst.rs1], regs[inst.rs2])
+        else:
+            a = self._read_reg(inst.rs1, is_dise)
+            b = self._read_reg(inst.rs2, is_dise)
+            self._write_reg(inst.rd, d.alu_func(a, b), is_dise)
+        self._advance()
+
+    def _h_load_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            ea = (regs[inst.rs1] + inst.imm) & MASK64
+            regs[inst.rd] = self.memory.read_int(ea, d.mem_size)
+        else:
+            ea = (self._read_reg(inst.rs1, is_dise) + inst.imm) & MASK64
+            self._write_reg(inst.rd, self.memory.read_int(ea, d.mem_size),
+                            is_dise)
+        self.stats.loads += 1
+        self._advance()
+
+    def _h_load_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            ea = (regs[inst.rs1] + inst.imm) & MASK64
+            regs[inst.rd] = self.memory.read_int(ea, d.mem_size)
+        else:
+            ea = (self._read_reg(inst.rs1, is_dise) + inst.imm) & MASK64
+            self._write_reg(inst.rd, self.memory.read_int(ea, d.mem_size),
+                            is_dise)
+        self.stats.loads += 1
+        self.timing.load(ea)
+        self._advance()
+
+    def _h_store_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            ea = (regs[inst.rs1] + inst.imm) & MASK64
+            value = regs[inst.rd]
+        else:
+            ea = (self._read_reg(inst.rs1, is_dise) + inst.imm) & MASK64
+            value = self._read_reg(inst.rd, is_dise)
+        size = d.mem_size
+        self.last_store_addr = ea
+        self.last_store_size = size
+        self.last_store_value = value
+        if is_dise:
+            self._expansion_did_store = True
+        self.stats.stores += 1
+        self._finish_store(ea, size, value)
+
+    def _h_store_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        if d.fast_regs:
+            regs = self.regs
+            ea = (regs[inst.rs1] + inst.imm) & MASK64
+            value = regs[inst.rd]
+        else:
+            ea = (self._read_reg(inst.rs1, is_dise) + inst.imm) & MASK64
+            value = self._read_reg(inst.rd, is_dise)
+        size = d.mem_size
+        self.last_store_addr = ea
+        self.last_store_size = size
+        self.last_store_value = value
+        if is_dise:
+            self._expansion_did_store = True
+        self.stats.stores += 1
+        self.timing.store(ea)
+        self._finish_store(ea, size, value)
+
+    def _finish_store(self, ea: int, size: int, value: int) -> None:
+        memory = self.memory
+        observer = self.store_observer
+        if observer is not None:
+            observer(ea, size, value, memory.read_int(ea, size))
+        pagetable = self.pagetable
+        faulted = pagetable.any_protected and pagetable.check_store(ea, size)
+        memory.write_int(ea, size, value)
+        if faulted:
+            self.stats.page_fault_traps += 1
+            self.deliver_trap(TrapEvent(TrapKind.PAGE_FAULT, self.pc,
+                                        ea, size, value))
+        if self.hw_watch_ranges:
+            end = ea + size
+            for lo, hi in self.hw_watch_ranges:
+                if ea < hi and end > lo:
+                    self.deliver_trap(TrapEvent(
+                        TrapKind.HW_WATCHPOINT, self.pc, ea, size, value))
+                    break
+        self._advance()
+
+    def _h_branch_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        value = (self.regs[inst.rs1] if d.fast_regs
+                 else self._read_reg(inst.rs1, is_dise))
+        stats = self.stats
+        stats.branches += 1
+        if d.branch_func(value):
+            stats.taken_branches += 1
+            self._jump(inst.target)
+        else:
+            self._advance()
+
+    def _h_branch_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        value = (self.regs[inst.rs1] if d.fast_regs
+                 else self._read_reg(inst.rs1, is_dise))
+        taken = d.branch_func(value)
+        stats = self.stats
+        stats.branches += 1
+        # Decorrelate predictor indices of expansion-internal branches
+        # from the trigger's own PC.
+        branch_pc = self.pc + (self._exp_index << 20 if is_dise else 0)
+        self.timing.conditional_branch(branch_pc, taken)
+        if taken:
+            stats.taken_branches += 1
+            self._jump(inst.target)
+        else:
+            self._advance()
+
+    def _h_jump_br_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        self._jump(inst.target)
+
+    def _h_jump_br_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        self.timing.direct_jump()
+        self._jump(inst.target)
+
+    def _jsr_return_pc(self) -> int:
+        if self._expansion is not None:
+            return self._trigger_pc + INSTRUCTION_BYTES
+        return self.pc + INSTRUCTION_BYTES
+
+    def _h_jump_jsr_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        return_pc = self._jsr_return_pc()
+        if d.fast_regs:
+            self.regs[inst.rd] = return_pc
+        else:
+            self._write_reg(inst.rd, return_pc, is_dise)
+        self._jump(inst.target)
+
+    def _h_jump_jsr_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        return_pc = self._jsr_return_pc()
+        if d.fast_regs:
+            self.regs[inst.rd] = return_pc
+        else:
+            self._write_reg(inst.rd, return_pc, is_dise)
+        self.timing.call(self.pc, return_pc)
+        self._jump(inst.target)
+
+    def _h_jump_ret_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        target = (self.regs[inst.rs1] if d.fast_regs
+                  else self._read_reg(inst.rs1, is_dise))
+        self._jump(target)
+
+    def _h_jump_ret_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        target = (self.regs[inst.rs1] if d.fast_regs
+                  else self._read_reg(inst.rs1, is_dise))
+        self.timing.return_(self.pc, target)
+        self._jump(target)
+
+    def _h_jump_jmp_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        target = (self.regs[inst.rs1] if d.fast_regs
+                  else self._read_reg(inst.rs1, is_dise))
+        self._jump(target)
+
+    def _h_jump_jmp_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        target = (self.regs[inst.rs1] if d.fast_regs
+                  else self._read_reg(inst.rs1, is_dise))
+        self.timing.indirect_jump(self.pc, target)
+        self._jump(target)
+
+    def _h_trap(self, inst: Instruction, d, is_dise: bool) -> None:
+        self._deliver_explicit_trap(is_dise)
+        self._advance()
+
+    def _h_ctrap(self, inst: Instruction, d, is_dise: bool) -> None:
+        value = (self.regs[inst.rs1] if d.fast_regs
+                 else self._read_reg(inst.rs1, is_dise))
+        if value != 0:
+            self._deliver_explicit_trap(is_dise)
+        self._advance()
+
+    def _h_dise_branch_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        expansion = self._expansion
+        if expansion is None:
+            raise SimulationError("DISE branch outside a replacement "
+                                  f"sequence at pc={self.pc:#x}")
+        opcode = inst.opcode
+        if opcode is Opcode.D_BR:
+            taken = True
+        else:
+            value = self._read_reg(inst.rs1, True)
+            taken = (value == 0) if opcode is Opcode.D_BEQ else (value != 0)
+        if not taken:
+            self._advance()
+            return
+        self.stats.dise_branch_flushes += 1
+        self._exp_index += 1 + inst.imm
+        if self._exp_index >= len(expansion):
+            self._expansion = None
+            self.pc = self._trigger_pc + INSTRUCTION_BYTES
+
+    def _h_dise_branch_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        expansion = self._expansion
+        if expansion is None:
+            raise SimulationError("DISE branch outside a replacement "
+                                  f"sequence at pc={self.pc:#x}")
+        opcode = inst.opcode
+        if opcode is Opcode.D_BR:
+            taken = True
+        else:
+            value = self._read_reg(inst.rs1, True)
+            taken = (value == 0) if opcode is Opcode.D_BEQ else (value != 0)
+        if not taken:
+            self._advance()
+            return
+        self.stats.dise_branch_flushes += 1
+        self.timing.dise_branch_taken()
+        self._exp_index += 1 + inst.imm
+        if self._exp_index >= len(expansion):
+            self._expansion = None
+            self.pc = self._trigger_pc + INSTRUCTION_BYTES
+
+    def _h_dise_call_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        if (inst.opcode is Opcode.D_CCALL
+                and self._read_reg(inst.rs1, True) == 0):
+            self._advance()
+            return
+        if self._expansion is None:
+            raise SimulationError("DISE call outside a replacement "
+                                  f"sequence at pc={self.pc:#x}")
+        self._dise_return = (self._trigger_pc, self._expansion,
+                             self._exp_index + 1)
+        self._in_dise_function = True
+        self._expansion = None
+        self.pc = inst.target
+
+    def _h_dise_call_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        if (inst.opcode is Opcode.D_CCALL
+                and self._read_reg(inst.rs1, True) == 0):
+            self._advance()
+            return
+        if self._expansion is None:
+            raise SimulationError("DISE call outside a replacement "
+                                  f"sequence at pc={self.pc:#x}")
+        self._dise_return = (self._trigger_pc, self._expansion,
+                             self._exp_index + 1)
+        self._in_dise_function = True
+        self._expansion = None
+        suppressed = self.timing.dise_call()
+        if not suppressed:
+            self.stats.dise_call_flushes += 1
+        self.pc = inst.target
+
+    def _h_dise_ret_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        if not self._in_dise_function or self._dise_return is None:
+            raise SimulationError(
+                f"d_ret outside a DISE-called function at pc={self.pc:#x}")
+        trigger_pc, expansion, resume = self._dise_return
+        self._dise_return = None
+        self._in_dise_function = False
+        if resume >= len(expansion):
+            self._expansion = None
+            self.pc = trigger_pc + INSTRUCTION_BYTES
+        else:
+            self._expansion = expansion
+            self._exp_index = resume
+            self._trigger_pc = trigger_pc
+
+    def _h_dise_ret_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        if not self._in_dise_function or self._dise_return is None:
+            raise SimulationError(
+                f"d_ret outside a DISE-called function at pc={self.pc:#x}")
+        trigger_pc, expansion, resume = self._dise_return
+        self._dise_return = None
+        self._in_dise_function = False
+        timing = self.timing
+        timing.dise_return()
+        self.stats.dise_call_flushes += 0 if timing.multithreaded else 1
+        if resume >= len(expansion):
+            self._expansion = None
+            self.pc = trigger_pc + INSTRUCTION_BYTES
+        else:
+            self._expansion = expansion
+            self._exp_index = resume
+            self._trigger_pc = trigger_pc
+
+    def _h_dise_move(self, inst: Instruction, d, is_dise: bool) -> None:
+        if not self._in_dise_function:
+            raise SimulationError(
+                f"{inst.info.mnemonic} outside a DISE-called function "
+                f"at pc={self.pc:#x}")
+        if inst.opcode is Opcode.D_MFR:
+            self._write_reg(inst.rd, self.dise_regs.read(inst.imm), False)
+        else:  # D_MTR
+            self.dise_regs.write(inst.imm, self._read_reg(inst.rs1, False))
+        self._advance()
+
+    def _h_nop(self, inst: Instruction, d, is_dise: bool) -> None:
+        self._advance()
+
+    def _h_halt(self, inst: Instruction, d, is_dise: bool) -> None:
+        self.halted = True
+
+    def _h_codeword(self, inst: Instruction, d, is_dise: bool) -> None:
+        raise SimulationError(
+            f"codeword {inst.imm} executed without a matching DISE "
+            f"production at pc={self.pc:#x}")
+
+    # -- legacy interpreter ------------------------------------------------------
+    #
+    # The pre-dispatch-table interpreter, preserved verbatim (modulo the
+    # interactive-stop and trap-context bugfixes, which apply to both
+    # paths) behind ``MachineConfig.legacy_interpreter``.  The
+    # differential suite runs it against the dispatch table to prove the
+    # rewrite is bit-identical; remove it once that guarantee has baked.
+
+    def _run_legacy(self, limit: int) -> None:
         stats = self.stats
         timing = self.timing
         regs = self.regs
@@ -261,7 +904,6 @@ class Machine:
         text_base = self._text_base
         free_nops = self.config.free_nops
 
-        self.stopped_at_user = False
         while not self.halted:
             if limit >= 0 and stats.app_instructions >= limit:
                 break
@@ -278,10 +920,9 @@ class Machine:
                 if index < 0 or index >= len(text):
                     raise SimulationError(f"fetch outside text: pc={pc:#x}")
                 inst = text[index]
-                if self.breakpoint_registers and pc in self.breakpoint_registers:
-                    self.deliver_trap(TrapEvent(TrapKind.BREAKPOINT, pc))
-                if self.single_step and pc in self.statement_pcs:
-                    self.deliver_trap(TrapEvent(TrapKind.SINGLE_STEP, pc))
+                if self.breakpoint_registers or self.single_step:
+                    if not self._fetch_stage_traps(pc):
+                        break
                 if timing is not None:
                     timing.fetch(pc)
                 if (engine.enabled and engine._productions
@@ -292,6 +933,7 @@ class Machine:
                         self._expansion = expansion = seq
                         self._exp_index = 0
                         self._trigger_pc = pc
+                        self._expansion_did_store = False
                         inst = seq[0]
                         is_dise = True
                     else:
@@ -302,15 +944,10 @@ class Machine:
             self._execute(inst, is_dise, stats, timing, regs, memory,
                           pagetable, free_nops)
 
-        stats.cycles = timing.total_cycles if timing is not None else \
-            stats.total_instructions
-        return RunResult(stats=stats, halted=self.halted,
-                         stopped_at_user=self.stopped_at_user)
-
     # pylint: disable=too-many-branches,too-many-statements
     def _execute(self, inst: Instruction, is_dise: bool, stats, timing,
                  regs, memory, pagetable, free_nops: bool) -> None:
-        """Execute one instruction and update fetch state."""
+        """Execute one instruction and update fetch state (legacy path)."""
         observer = self.instruction_observer
         if observer is not None:
             observer(self.pc, self._exp_index if is_dise else 0, inst,
@@ -374,6 +1011,8 @@ class Machine:
             self.last_store_addr = ea
             self.last_store_size = size
             self.last_store_value = value
+            if is_dise:
+                self._expansion_did_store = True
             stats.stores += 1
             if timing is not None:
                 timing.store(ea)
@@ -421,10 +1060,7 @@ class Machine:
                 if self._read_reg(inst.rs1, dise_ok) == 0:
                     self._advance()
                     return
-            self.deliver_trap(TrapEvent(TrapKind.TRAP, self.pc,
-                                        self.last_store_addr,
-                                        self.last_store_size,
-                                        self.last_store_value))
+            self._deliver_explicit_trap(is_dise)
             self._advance()
             return
 

@@ -84,6 +84,12 @@ class TimingModel:
         self._last_fetch_page = -1
         self._last_data_page = -1
 
+        # commit() runs once per retired instruction; single-threaded
+        # configurations never enter off-thread mode, so bind the
+        # variant without that test.
+        if not self.multithreaded:
+            self.commit = self._commit_singlethreaded
+
     # -- cycle bookkeeping -------------------------------------------------
 
     def _next_cycle(self) -> None:
@@ -108,6 +114,16 @@ class TimingModel:
         self._slots += 1
         if self._slots >= self._width:
             self._next_cycle()
+
+    def _commit_singlethreaded(self) -> None:
+        """commit() with the off-thread test and the _next_cycle call
+        folded away (bound over ``commit`` when not multithreaded)."""
+        self._slots += 1
+        if self._slots >= self._width:
+            self.cycles += 1.0
+            self._slots = 0
+            self._loads_this_cycle = 0
+            self._stores_this_cycle = 0
 
     def fetch(self, pc: int) -> None:
         """A conventional instruction is fetched at ``pc``.

@@ -35,6 +35,9 @@ class _Installed:
     principal: str
     target_process: str
     active: bool = True
+    # Engine install order: restored on reactivation so a
+    # deactivate/activate round-trip does not change match priority.
+    order: int = -1
 
 
 class DiseController:
@@ -87,14 +90,37 @@ class DiseController:
         target = target_process or self.process_name
         self._check_permission(principal, target)
         self._check_capacity(production)
-        self._installed.append(_Installed(production, principal, target))
-        self.engine.add(production)
+        order = self.engine.add(production)
+        self._installed.append(
+            _Installed(production, principal, target, order=order))
         return production
 
-    def install_all(self, productions, principal: str = "debugger") -> None:
-        """Install several productions under one principal."""
+    def install_all(self, productions, principal: str = "debugger",
+                    target_process: str | None = None) -> None:
+        """Install several productions under one principal, atomically.
+
+        Capacity is checked for the whole batch before anything is
+        installed, so a :class:`DiseCapacityError` leaves the engine
+        unchanged (no partially installed batch).  ``target_process``
+        applies the same permission policy as :meth:`install`.
+        """
+        productions = list(productions)
+        target = target_process or self.process_name
+        self._check_permission(principal, target)
+        if (self.pattern_entries_used + len(productions)
+                > self.config.pattern_table_entries):
+            raise DiseCapacityError(
+                f"pattern table full: need "
+                f"{self.pattern_entries_used + len(productions)} of "
+                f"{self.config.pattern_table_entries} entries")
+        needed = self.replacement_slots_used + sum(
+            len(production) for production in productions)
+        if needed > self.config.replacement_table_instructions:
+            raise DiseCapacityError(
+                f"replacement table full: need {needed} of "
+                f"{self.config.replacement_table_instructions} instructions")
         for production in productions:
-            self.install(production, principal)
+            self.install(production, principal, target)
 
     def uninstall(self, production: Production) -> None:
         """Remove a production and free its table space."""
@@ -107,14 +133,16 @@ class DiseController:
         """Temporarily disable without freeing table space."""
         entry = self._find(production)
         if entry.active:
-            self.engine.remove(production)
+            entry.order = self.engine.remove(production)
             entry.active = False
 
     def activate(self, production: Production) -> None:
-        """Re-enable a previously deactivated production."""
+        """Re-enable a previously deactivated production at its
+        original table position (match priority is preserved)."""
         entry = self._find(production)
         if not entry.active:
-            self.engine.add(production)
+            self.engine.add(production,
+                            order=entry.order if entry.order >= 0 else None)
             entry.active = True
 
     def uninstall_all(self) -> None:

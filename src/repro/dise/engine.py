@@ -37,6 +37,12 @@ class DiseEngine:
         self._by_codeword: dict[int, list[Production]] = {}
         self._by_opclass: dict[OpClass, list[Production]] = {}
         self._generic: list[Production] = []
+        # Install order per production (id -> sequence number): the
+        # documented tie-break.  Preserved across deactivate/activate
+        # round-trips by passing the removed production's order back to
+        # :meth:`add`.
+        self._order: dict[int, int] = {}
+        self._next_order = 0
         self.enabled = True
         self.expansions = 0
         self.instructions_inserted = 0
@@ -47,21 +53,43 @@ class DiseEngine:
     def productions(self) -> tuple[Production, ...]:
         return tuple(self._productions)
 
-    def add(self, production: Production) -> None:
-        """Install a production into the matching buckets."""
-        self._productions.append(production)
+    def add(self, production: Production, order: int | None = None) -> int:
+        """Install a production into the matching buckets.
+
+        ``order`` re-installs at a previously assigned priority (as
+        returned by :meth:`remove`); by default the production gets the
+        next (lowest) priority.  Returns the order assigned.
+        """
+        if order is None:
+            order = self._next_order
+            self._next_order += 1
+        else:
+            self._next_order = max(self._next_order, order + 1)
+        self._order[id(production)] = order
+        self._insert_ordered(self._productions, production, order)
         pattern = production.pattern
         if pattern.pc is not None:
-            self._by_pc.setdefault(pattern.pc, []).append(production)
+            plist = self._by_pc.setdefault(pattern.pc, [])
         elif pattern.codeword is not None:
-            self._by_codeword.setdefault(pattern.codeword, []).append(production)
+            plist = self._by_codeword.setdefault(pattern.codeword, [])
         elif pattern.opclass is not None:
-            self._by_opclass.setdefault(pattern.opclass, []).append(production)
+            plist = self._by_opclass.setdefault(pattern.opclass, [])
         else:
-            self._generic.append(production)
+            plist = self._generic
+        self._insert_ordered(plist, production, order)
+        return order
 
-    def remove(self, production: Production) -> None:
-        """Withdraw a production from all buckets."""
+    def _insert_ordered(self, plist: list[Production], production: Production,
+                        order: int) -> None:
+        orders = self._order
+        i = len(plist)
+        while i > 0 and orders[id(plist[i - 1])] > order:
+            i -= 1
+        plist.insert(i, production)
+
+    def remove(self, production: Production) -> int:
+        """Withdraw a production from all buckets; returns its install
+        order so a later :meth:`add` can restore its match priority."""
         self._productions.remove(production)
         for bucket in (self._by_pc, self._by_codeword):
             for plist in bucket.values():
@@ -72,6 +100,7 @@ class DiseEngine:
                 plist.remove(production)
         if production in self._generic:
             self._generic.remove(production)
+        return self._order.pop(id(production))
 
     def clear(self) -> None:
         """Remove every production."""
@@ -80,6 +109,7 @@ class DiseEngine:
         self._by_codeword.clear()
         self._by_opclass.clear()
         self._generic.clear()
+        self._order.clear()
 
     @property
     def has_productions(self) -> bool:
@@ -96,24 +126,20 @@ class DiseEngine:
         """
         if not self.enabled or not self._productions:
             return None
-        best: Optional[Production] = None
-        best_score = -1
+        state = (None, -1, 0)  # (best, best_score, best_order)
         candidates = self._by_pc.get(pc)
         if candidates:
-            best, best_score = _best_match(candidates, inst, pc,
-                                           best, best_score)
+            state = self._best_match(candidates, inst, pc, state)
         if inst.opcode is Opcode.CODEWORD:
             candidates = self._by_codeword.get(inst.imm)
             if candidates:
-                best, best_score = _best_match(candidates, inst, pc,
-                                               best, best_score)
+                state = self._best_match(candidates, inst, pc, state)
         candidates = self._by_opclass.get(inst.info.opclass)
         if candidates:
-            best, best_score = _best_match(candidates, inst, pc,
-                                           best, best_score)
+            state = self._best_match(candidates, inst, pc, state)
         if self._generic:
-            best, best_score = _best_match(self._generic, inst, pc,
-                                           best, best_score)
+            state = self._best_match(self._generic, inst, pc, state)
+        best = state[0]
         if best is None:
             return None
         self.expansions += 1
@@ -121,16 +147,23 @@ class DiseEngine:
         self.instructions_inserted += len(expansion) - 1
         return expansion
 
+    def _best_match(self, candidates, inst, pc, state):
+        best, best_score, best_order = state
+        orders = self._order
+        for production in candidates:
+            score = production.pattern.specificity
+            if score < best_score:
+                continue
+            order = orders[id(production)]
+            if score == best_score and order >= best_order:
+                continue
+            if production.pattern.matches(inst, pc):
+                best = production
+                best_score = score
+                best_order = order
+        return best, best_score, best_order
+
     def reset_stats(self) -> None:
         """Zero the expansion counters."""
         self.expansions = 0
         self.instructions_inserted = 0
-
-
-def _best_match(candidates, inst, pc, best, best_score):
-    for production in candidates:
-        if production.pattern.specificity > best_score and \
-                production.pattern.matches(inst, pc):
-            best = production
-            best_score = production.pattern.specificity
-    return best, best_score

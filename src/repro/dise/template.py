@@ -76,7 +76,8 @@ class TemplateInstruction:
     possibly-templated operand fields.
     """
 
-    __slots__ = ("whole", "opcode", "rd", "rs1", "rs2", "imm", "target")
+    __slots__ = ("whole", "opcode", "rd", "rs1", "rs2", "imm", "target",
+                 "_literal", "_cached")
 
     def __init__(
         self,
@@ -89,11 +90,13 @@ class TemplateInstruction:
         whole: bool = False,
     ):
         self.whole = whole
+        self._cached: Optional[Instruction] = None
         if whole:
             self.opcode = None
             self.rd = self.rs1 = self.rs2 = None
             self.imm = 0
             self.target = None
+            self._literal = False
             return
         if opcode is None:
             raise DiseError("template instruction requires an opcode or T.INST")
@@ -103,13 +106,27 @@ class TemplateInstruction:
         self.rs2 = rs2
         self.imm = imm
         self.target = target
+        # A slot with no directives instantiates to the same instruction
+        # every time; cache it (the hardware replacement table likewise
+        # holds pre-decoded instructions, Section 3).
+        self._literal = not any(
+            isinstance(field, _Directive)
+            for field in (opcode, rd, rs1, rs2, imm, target))
 
     def instantiate(self, trigger: Instruction, pc: int = 0) -> Instruction:
-        """Fill directives from ``trigger`` (fetched at ``pc``)."""
+        """Fill directives from ``trigger`` (fetched at ``pc``).
+
+        Instructions are immutable once executed, so literal slots reuse
+        one cached (pre-decoded) instance, and ``T.INST`` re-emits the
+        trigger itself.
+        """
+        cached = self._cached
+        if cached is not None:
+            return cached
         if self.whole:
-            return trigger.copy()
+            return trigger
         opcode = trigger.opcode if self.opcode is T.OP else self.opcode
-        return Instruction(
+        inst = Instruction(
             opcode,
             rd=_fill_reg(self.rd, trigger),
             rs1=_fill_reg(self.rs1, trigger),
@@ -117,6 +134,10 @@ class TemplateInstruction:
             imm=_fill_imm(self.imm, trigger, pc),
             target=_fill_imm(self.target, trigger, pc),
         )
+        if self._literal:
+            inst.decode()
+            self._cached = inst
+        return inst
 
     def describe(self) -> str:
         """Render the slot in the paper's directive notation."""

@@ -32,15 +32,40 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.isa.opcodes import Format, Opcode, OpClass, OpInfo, opcode_info
-from repro.isa.registers import register_name
+from repro.isa.registers import NUM_GPRS, ZERO_REG, register_name
 
 TargetType = Union[int, str, None]
+
+# Handler indices of the dispatch-table interpreter
+# (:mod:`repro.cpu.machine` builds a bound-method table in this order).
+# ALU and JUMP are split into their opcode-level subcases so the hot
+# loop never re-inspects the opcode.
+(H_ALU_LDA, H_ALU_MOV, H_ALU_IMM, H_ALU_REG, H_LOAD, H_STORE, H_BRANCH,
+ H_JUMP_BR, H_JUMP_JSR, H_JUMP_RET, H_JUMP_JMP, H_TRAP, H_CTRAP,
+ H_DISE_BRANCH, H_DISE_CALL, H_DISE_RET, H_DISE_MOVE, H_NOP, H_HALT,
+ H_CODEWORD) = range(20)
+
+NUM_HANDLERS = 20
+
+
+class Decoded:
+    """Cached per-instruction decode record.
+
+    Computed once (at :meth:`Program.finalize` / ``reload_text``, or
+    lazily for runtime-instantiated replacement instructions) so the
+    interpreter's hot loop never re-derives opclass, format, memory
+    size, or the handler to dispatch to.
+    """
+
+    __slots__ = ("opclass", "format", "mem_size", "handler_index",
+                 "alu_func", "branch_func", "fast_regs")
 
 
 class Instruction:
     """One machine instruction."""
 
-    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "info")
+    __slots__ = ("opcode", "rd", "rs1", "rs2", "imm", "target", "info",
+                 "decoded")
 
     def __init__(
         self,
@@ -58,6 +83,7 @@ class Instruction:
         self.imm = imm
         self.target = target
         self.info: OpInfo = opcode_info(opcode)
+        self.decoded: Optional[Decoded] = None
 
     # -- convenience predicates (delegate to static metadata) ------------
 
@@ -85,6 +111,87 @@ class Instruction:
         """Return a shallow copy (used by rewriting and templates)."""
         return Instruction(self.opcode, self.rd, self.rs1, self.rs2,
                            self.imm, self.target)
+
+    # -- decode cache ------------------------------------------------------
+
+    def decode(self) -> Decoded:
+        """Compute (and cache) the interpreter's decode record.
+
+        Must run after symbolic operands are resolved (``imm`` may be a
+        symbol name until :meth:`Program.finalize`); the record caches
+        nothing derived from ``imm``/``target`` themselves, so later
+        retargeting (e.g. by the binary rewriter) stays safe.
+        """
+        # Deferred import: repro.cpu.functional imports repro.isa.opcodes.
+        from repro.cpu.functional import ALU_FUNCS, BRANCH_FUNCS
+
+        info = self.info
+        opclass = info.opclass
+        opcode = self.opcode
+        d = Decoded()
+        d.opclass = opclass
+        d.format = info.format
+        d.mem_size = info.mem_size
+        d.alu_func = None
+        d.branch_func = None
+
+        if opclass is OpClass.ALU:
+            if info.format is Format.MEMORY:  # lda
+                d.handler_index = H_ALU_LDA
+            elif opcode is Opcode.MOV:
+                d.handler_index = H_ALU_MOV
+            elif self.rs2 is not None:
+                d.handler_index = H_ALU_REG
+                d.alu_func = ALU_FUNCS[opcode]
+            else:
+                d.handler_index = H_ALU_IMM
+                d.alu_func = ALU_FUNCS[opcode]
+        elif opclass is OpClass.LOAD:
+            d.handler_index = H_LOAD
+        elif opclass is OpClass.STORE:
+            d.handler_index = H_STORE
+        elif opclass is OpClass.BRANCH:
+            d.handler_index = H_BRANCH
+            d.branch_func = BRANCH_FUNCS[opcode]
+        elif opclass is OpClass.JUMP:
+            d.handler_index = {Opcode.BR: H_JUMP_BR, Opcode.JSR: H_JUMP_JSR,
+                               Opcode.RET: H_JUMP_RET,
+                               Opcode.JMP: H_JUMP_JMP}[opcode]
+        elif opclass is OpClass.TRAP:
+            d.handler_index = H_CTRAP if opcode is Opcode.CTRAP else H_TRAP
+        elif opclass is OpClass.NOP:
+            d.handler_index = H_NOP
+        elif opclass is OpClass.HALT:
+            d.handler_index = H_HALT
+        elif opclass is OpClass.CODEWORD:
+            d.handler_index = H_CODEWORD
+        elif opclass is OpClass.DISE_BRANCH:
+            d.handler_index = H_DISE_BRANCH
+        elif opclass is OpClass.DISE_CALL:
+            d.handler_index = H_DISE_CALL
+        elif opclass is OpClass.DISE_RET:
+            d.handler_index = H_DISE_RET
+        else:  # OpClass.DISE_MOVE
+            d.handler_index = H_DISE_MOVE
+
+        # May every named register be accessed directly in the GPR file?
+        # (All operands conventional; a written rd that is neither the
+        # zero register nor a DISE register.)  When False the handlers
+        # fall back to the checked _read_reg/_write_reg slow path.
+        fast = True
+        if info.reads_rs1:
+            fast = self.rs1 is not None and 0 <= self.rs1 < NUM_GPRS
+        if fast and info.reads_rs2 and self.rs2 is not None:
+            fast = 0 <= self.rs2 < NUM_GPRS
+        if fast and info.reads_rd:
+            fast = self.rd is not None and 0 <= self.rd < NUM_GPRS
+        if fast and info.writes_rd:
+            fast = (self.rd is not None and 0 <= self.rd < NUM_GPRS
+                    and self.rd != ZERO_REG)
+        d.fast_regs = fast
+
+        self.decoded = d
+        return d
 
     # -- equality / hashing / display ------------------------------------
 

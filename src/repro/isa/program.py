@@ -133,6 +133,7 @@ class Program:
         """
         self._layout_data()
         self._resolve_instructions()
+        self._decode_instructions()
         self._finalized = True
         return self
 
@@ -153,6 +154,19 @@ class Program:
                 inst.target = self._resolve_name(inst.target, index)
             if isinstance(inst.imm, str):
                 inst.imm = self._resolve_name(inst.imm, index)
+
+    def _decode_instructions(self) -> None:
+        """Warm the interpreter's per-instruction decode cache.
+
+        Runs after symbol resolution so immediates are final.  The
+        machine decodes lazily as a fallback (runtime-instantiated
+        replacement instructions, patched text), but pre-decoding here
+        keeps the first execution of every static instruction on the
+        fast path.
+        """
+        for inst in self.instructions:
+            if inst.decoded is None:
+                inst.decode()
 
     def _resolve_name(self, name: str, index: int) -> int:
         if name in self.labels:

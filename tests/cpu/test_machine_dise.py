@@ -275,6 +275,48 @@ def test_d_mfr_outside_function_is_error():
         machine.run()
 
 
+def test_breakpoint_trap_has_no_stale_store_context():
+    """A trap that does not follow a store-check sequence must not leak
+    the previous unrelated store's address/size/value."""
+    events = []
+    production = Production(
+        Pattern.for_codeword(3),
+        [template(Opcode.TRAP), template(Opcode.NOP)],
+        name="bp")
+    _, machine = _machine("""
+    main:
+        lda r1, 0xBEEF
+        stq r1, 0(sp)      ; unrelated store
+        codeword 3         ; breakpoint: trap without a store check
+        halt
+    """, production, trap_handler=lambda e: events.append(e) or
+        TransitionKind.USER)
+    machine.run()
+    assert len(events) == 1
+    assert (events[0].address, events[0].size, events[0].value) == (0, 0, 0)
+
+
+def test_watchpoint_trap_keeps_store_context():
+    """A trap following its expansion's store still carries the store's
+    address/size/value (the watchpoint check needs them)."""
+    events = []
+    production = Production(
+        Pattern.stores(),
+        [original(), template(Opcode.TRAP)],
+        name="watch")
+    _, machine = _machine("""
+    main:
+        lda r1, 0xBEEF
+        stq r1, 16(sp)
+        halt
+    """, production, trap_handler=lambda e: events.append(e) or
+        TransitionKind.USER)
+    machine.run()
+    assert len(events) == 1
+    assert events[0].value == 0xBEEF
+    assert events[0].size == 8
+
+
 def test_dise_registers_isolated_from_app():
     """DISE registers persist across expansions and are invisible to
     conventional code."""

@@ -70,6 +70,31 @@ def test_summary_renders():
     assert "overhead" in text
 
 
+def test_breakpoint_stops_before_instruction_executes():
+    """Interactive stop semantics: the machine pauses with the
+    breakpointed instruction still pending (a real debugger stops
+    before the breakpointed instruction runs), and resuming does not
+    re-fire the same breakpoint."""
+    session = DebugSession(make_watch_loop(), backend="hardware")
+    session.break_at("loop")
+    backend = session.build_backend()
+    machine = backend.machine
+    machine.stop_on_user = True
+    loop_pc = backend.program.pc_of_label("loop")
+
+    result = machine.run()
+    assert result.stopped_at_user
+    assert machine.pc == loop_pc
+    # The instruction at `loop` is `addq r6, 1, r6`: not yet executed.
+    assert machine.regs[6] == 0
+
+    result = machine.run()
+    assert result.stopped_at_user
+    assert machine.pc == loop_pc
+    # Exactly one loop iteration ran between the two stops.
+    assert machine.regs[6] == 1
+
+
 def test_multiple_watchpoints_one_session():
     session = DebugSession(make_watch_loop(), backend="dise")
     session.watch("hot")

@@ -9,6 +9,7 @@ from repro.dise.pattern import Pattern
 from repro.dise.production import Production
 from repro.dise.template import original, template
 from repro.errors import DiseCapacityError, DisePermissionError
+from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 
 
@@ -109,3 +110,54 @@ def test_unknown_production_raises():
     controller, _ = _controller()
     with pytest.raises(KeyError):
         controller.deactivate(_production())
+
+
+def test_install_all_atomic_on_replacement_capacity_error():
+    """A capacity error mid-batch must leave the engine unchanged."""
+    controller, engine = _controller(slots=5)
+    batch = [_production(length=2, name="a"),
+             _production(length=2, name="b"),
+             _production(length=2, name="c")]  # needs 6 of 5 slots
+    with pytest.raises(DiseCapacityError):
+        controller.install_all(batch)
+    assert not engine.has_productions
+    assert controller.pattern_entries_used == 0
+    assert controller.replacement_slots_used == 0
+
+
+def test_install_all_atomic_on_pattern_capacity_error():
+    controller, engine = _controller(pattern_entries=2)
+    with pytest.raises(DiseCapacityError):
+        controller.install_all([_production(name=name) for name in "abc"])
+    assert not engine.has_productions
+    assert controller.pattern_entries_used == 0
+
+
+def test_install_all_forwards_target_process():
+    controller, engine = _controller()
+    with pytest.raises(DisePermissionError):
+        controller.install_all([_production()], principal="rogue",
+                               target_process="app")
+    assert not engine.has_productions
+    controller.install_all([_production()], principal="app",
+                           target_process="app")
+    assert controller.pattern_entries_used == 1
+
+
+def test_activate_preserves_match_priority():
+    """A deactivate/activate round-trip must not demote the production
+    behind an equally specific later install (tie-break is documented
+    as earliest-installed)."""
+    controller, engine = _controller()
+    store = Instruction(Opcode.STQ, rd=1, rs1=5, imm=0)
+    first = Production(Pattern.stores(), [original(), template(Opcode.TRAP)],
+                       name="first")
+    second = Production(Pattern.stores(), [original(), template(Opcode.NOP)],
+                        name="second")
+    controller.install(first)
+    controller.install(second)
+    assert engine.expand(store, 0x1000)[1].opcode is Opcode.TRAP
+    controller.deactivate(first)
+    assert engine.expand(store, 0x1000)[1].opcode is Opcode.NOP
+    controller.activate(first)
+    assert engine.expand(store, 0x1000)[1].opcode is Opcode.TRAP

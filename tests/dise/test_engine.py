@@ -95,6 +95,23 @@ def test_disable_engine():
     assert engine.expand(_store(), 0) is None
 
 
+def test_tie_breaks_toward_earliest_installed():
+    """Equal specificity: the earliest-installed production wins, and
+    re-adding at a preserved order restores the original priority."""
+    engine = DiseEngine()
+    first = Production(Pattern.stores(), [original(), template(Opcode.TRAP)],
+                       name="first")
+    second = Production(Pattern.stores(), [original(), template(Opcode.NOP)],
+                        name="second")
+    engine.add(first)
+    engine.add(second)
+    assert engine.expand(_store(), 0x1000)[1].opcode is Opcode.TRAP
+    order = engine.remove(first)
+    assert engine.expand(_store(), 0x1000)[1].opcode is Opcode.NOP
+    engine.add(first, order=order)
+    assert engine.expand(_store(), 0x1000)[1].opcode is Opcode.TRAP
+
+
 def test_clear_and_reset_stats():
     engine = DiseEngine()
     engine.add(_generic_store_production())

@@ -15,8 +15,25 @@ TRIGGER = Instruction(Opcode.LDQ, rd=4, rs1=SP, imm=32)
 def test_whole_instruction_directive():
     slot = original()
     result = slot.instantiate(TRIGGER)
-    assert result == TRIGGER
-    assert result is not TRIGGER  # a fresh copy
+    # T.INST re-emits the trigger itself: instructions are immutable
+    # once resolved, so the slot need not copy.
+    assert result is TRIGGER
+
+
+def test_literal_slot_instantiation_is_cached():
+    slot = template(Opcode.ADDQ, rd=1, rs1=2, imm=8)
+    first = slot.instantiate(TRIGGER)
+    second = slot.instantiate(
+        Instruction(Opcode.STQ, rd=7, rs1=SP, imm=0))
+    assert first is second  # same pre-decoded instance, trigger-independent
+    assert first.decoded is not None
+
+
+def test_templated_slot_instantiation_is_not_cached():
+    slot = template(Opcode.ADDQ, rd=1, rs1=T.RS1, imm=8)
+    first = slot.instantiate(TRIGGER)
+    second = slot.instantiate(TRIGGER)
+    assert first is not second
 
 
 def test_paper_figure1_production_shape():

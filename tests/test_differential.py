@@ -15,7 +15,9 @@ import random
 
 import pytest
 
+from repro.config import MachineConfig
 from repro.cpu.machine import Machine
+from repro.cpu.stats import TransitionKind
 from repro.debugger import DebugSession
 from repro.errors import UnsupportedWatchpointError
 from repro.isa.builder import CodeBuilder
@@ -133,3 +135,71 @@ def test_transition_invariants_hold_on_random_programs(seed):
     backend = session.build_backend()
     result = backend.machine.run(max_app_instructions=50_000)
     assert result.stats.spurious_transitions == 0
+
+
+# -- dispatch-table vs legacy interpreter ---------------------------------
+#
+# The interpreter rewrite (decode cache + handler table) must be
+# bit-identical to the retained legacy path: full SimStats equality —
+# instruction counts by origin, memory/control events, transitions, and
+# cycles — across every backend, plus recorded absolute expectations so
+# a simultaneous drift of both interpreters cannot slip through.
+
+LEGACY_CONFIG = MachineConfig(legacy_interpreter=True)
+TABLE_CONFIG = MachineConfig()
+
+
+def _backend_stats(seed, backend, config):
+    program = generate_program(seed).build()
+    session = DebugSession(program, backend=backend, config=config)
+    session.watch("v0")
+    debugged = session.build_backend()
+    debugged.machine.run(max_app_instructions=50_000)
+    return debugged.machine.stats
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_dispatch_table_matches_legacy_interpreter(seed, backend):
+    """Full-SimStats equivalence of the two interpreter paths, with the
+    detailed timing model attached (cycles included)."""
+    legacy = _backend_stats(seed, backend, LEGACY_CONFIG)
+    table = _backend_stats(seed, backend, TABLE_CONFIG)
+    assert legacy == table, (seed, backend)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_functional_fast_path_matches_legacy(seed):
+    """The no-timing fast path computes identical stats and registers."""
+    outcomes = []
+    for config in (LEGACY_CONFIG, TABLE_CONFIG):
+        program = generate_program(seed).build()
+        machine = Machine(program, config, detailed_timing=False)
+        machine.run(max_app_instructions=50_000)
+        outcomes.append((machine.stats, list(machine.regs)))
+    assert outcomes[0] == outcomes[1]
+
+
+# Recorded expectations for seed 0, captured from the seed interpreter:
+# (app_instructions, dise_instructions, function_instructions,
+#  user_transitions, spurious_transitions, cycles).
+SEED0_EXPECTATIONS = {
+    "single_step": (97, 0, 0, 1, 15, 1_500_547),
+    "virtual_memory": (97, 0, 0, 1, 39, 3_900_806),
+    "hardware": (97, 0, 0, 1, 4, 400_419),
+    "binary_rewrite": (97, 292, 0, 1, 0, 782),
+    "dise": (97, 220, 67, 1, 0, 647),
+}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_recorded_seed_expectations(backend):
+    """Pin seed-0 behaviour to absolute numbers recorded from the seed
+    interpreter, so both paths cannot drift together unnoticed."""
+    stats = _backend_stats(0, backend, TABLE_CONFIG)
+    expected = SEED0_EXPECTATIONS[backend]
+    actual = (stats.app_instructions, stats.dise_instructions,
+              stats.function_instructions,
+              stats.transitions[TransitionKind.USER],
+              stats.spurious_transitions, stats.cycles)
+    assert actual == expected, backend
