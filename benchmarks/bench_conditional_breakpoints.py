@@ -16,14 +16,14 @@ verifies that claim directly on our implementations:
 """
 
 from benchmarks.conftest import record
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.harness.experiment import run_baseline
 from repro.workloads.benchmarks import build_benchmark
 
 
 def _overhead(backend, bench_settings, condition=None):
     program = build_benchmark("crafty")
-    session = DebugSession(program, backend=backend)
+    session = Session(program, backend=backend)
     # `loop_top` executes once per outer iteration: a hot location.
     session.break_at("loop_top", condition=condition)
     debugged = session.build_backend()

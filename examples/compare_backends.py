@@ -13,7 +13,7 @@ Run:  python examples/compare_backends.py [benchmark] [expression]
 
 import sys
 
-from repro import DebugSession, build_benchmark
+from repro.api import debug
 from repro.debugger.backends import BACKENDS
 from repro.errors import UnsupportedWatchpointError
 
@@ -29,9 +29,8 @@ def main() -> None:
           f"{'spurious':>9s}  notes")
 
     for name in BACKENDS:
-        program = build_benchmark(benchmark)
-        session = DebugSession(program, backend=name)
-        session.watch(expression, condition=condition)
+        session = debug(benchmark, backend=name,
+                        watch=(expression, condition))
         try:
             result = session.run(max_app_instructions=budget,
                                  run_baseline=True)

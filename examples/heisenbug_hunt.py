@@ -15,7 +15,8 @@ the debugging session costs under each implementation.
 Run:  python examples/heisenbug_hunt.py
 """
 
-from repro import DebugSession, assemble
+from repro import assemble
+from repro.api import debug
 from repro.errors import UnsupportedWatchpointError
 
 BUGGY_APP = """
@@ -52,8 +53,8 @@ no_bug:
 
 def hunt(backend: str) -> None:
     program = assemble(BUGGY_APP)
-    session = DebugSession(program, backend=backend)
-    session.watch("header", condition="header != 7")
+    session = debug(program, backend=backend,
+                    watch=("header", "header != 7"))
     try:
         result = session.run(run_baseline=True)
     except UnsupportedWatchpointError as exc:

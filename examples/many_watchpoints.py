@@ -10,15 +10,13 @@ sequence.
 Run:  python examples/many_watchpoints.py
 """
 
-from repro import DebugSession, build_benchmark
+from repro.api import debug
 from repro.harness.figures import FIG6_WATCH_ORDER
 
 
 def run_config(backend: str, count: int, **options) -> float:
-    program = build_benchmark("crafty")
-    session = DebugSession(program, backend=backend, **options)
-    for expression in FIG6_WATCH_ORDER[:count]:
-        session.watch(expression)
+    session = debug("crafty", backend=backend,
+                    watch=list(FIG6_WATCH_ORDER[:count]), **options)
     result = session.run(max_app_instructions=30_000, run_baseline=True)
     return result.overhead
 

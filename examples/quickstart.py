@@ -9,14 +9,11 @@ undebugged baseline — the paper's core measurement.
 Run:  python examples/quickstart.py
 """
 
-from repro import DebugSession, build_benchmark
+from repro.api import debug
 
 
 def main() -> None:
-    program = build_benchmark("bzip2")
-
-    session = DebugSession(program, backend="dise")
-    session.watch("hot")
+    session = debug("bzip2", backend="dise", watch="hot")
 
     result = session.run(max_app_instructions=60_000, run_baseline=True)
 

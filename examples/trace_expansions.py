@@ -10,7 +10,8 @@ the excursion into the debugger-generated function.
 Run:  python examples/trace_expansions.py
 """
 
-from repro import DebugSession, assemble
+from repro import assemble
+from repro.api import debug
 from repro.cpu.tracer import Tracer
 
 APP = """
@@ -31,8 +32,7 @@ main:
 
 def main() -> None:
     program = assemble(APP)
-    session = DebugSession(program, backend="dise")
-    session.watch("watched")
+    session = debug(program, backend="dise", watch="watched")
     backend = session.build_backend()
 
     with Tracer(backend.machine) as tracer:

@@ -1,50 +1,63 @@
 """Reproduction of "Low-Overhead Interactive Debugging via Dynamic
 Instrumentation with DISE" (Corliss, Lewis & Roth, HPCA-11, 2005).
 
-Public API tour:
+The supported entry points live in :mod:`repro.api`:
 
-* :class:`repro.Machine` -- the simulated Alpha-like machine with the
-  DISE engine between fetch and execute.
-* :class:`repro.DebugSession` -- set (conditional) watchpoints and
+* :func:`repro.api.simulate` -- run a benchmark (or any program)
+  undebugged and measure it.
+* :func:`repro.api.debug` -- set (conditional) watchpoints and
   breakpoints, pick one of the five backend implementations, run, and
   read back overhead and transition statistics.
-* :func:`repro.build_benchmark` -- the six synthetic SPEC2000 stand-ins.
-* :mod:`repro.harness` -- regenerate every table and figure.
+* :func:`repro.api.experiment` -- run a (benchmark x kind x backend)
+  grid through the parallel, cache-backed experiment engine.
+
+Every run returns the unified, serializable :class:`repro.RunResult`.
+Lower-level pieces (the :class:`repro.Machine` simulator, the DISE
+engine, the ISA toolkit, :mod:`repro.harness` for the paper's tables
+and figures) remain importable for advanced use.
 
 Quickstart::
 
-    from repro import DebugSession, build_benchmark
+    from repro.api import debug
 
-    session = DebugSession(build_benchmark("bzip2"), backend="dise")
-    session.watch("hot", condition="hot == 4096")
+    session = debug("bzip2", backend="dise",
+                    watch=[("hot", "hot == 4096")])
     result = session.run(max_app_instructions=100_000, run_baseline=True)
     print(result.summary())
 """
 
 from repro.config import MachineConfig, DEFAULT_CONFIG
-from repro.cpu.machine import Machine, RunResult, TrapEvent, TrapKind
+from repro.cpu.machine import Machine, MachineRun, TrapEvent, TrapKind
 from repro.cpu.stats import SimStats, TransitionKind
-from repro.debugger.session import DebugSession, SessionResult
+from repro.results import RunResult
+from repro.debugger.session import DebugSession, Session
 from repro.debugger.watchpoint import Watchpoint, Breakpoint
 from repro.dise import (DiseController, DiseEngine, Pattern, Production, T,
                         template)
 from repro.isa import CodeBuilder, Instruction, Program, assemble
 from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
                                         build_benchmark)
+from repro import api
+from repro.api import debug, experiment, simulate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "simulate",
+    "debug",
+    "experiment",
+    "RunResult",
     "MachineConfig",
     "DEFAULT_CONFIG",
     "Machine",
-    "RunResult",
+    "MachineRun",
     "TrapEvent",
     "TrapKind",
     "SimStats",
     "TransitionKind",
+    "Session",
     "DebugSession",
-    "SessionResult",
     "Watchpoint",
     "Breakpoint",
     "DiseController",
@@ -62,3 +75,11 @@ __all__ = [
     "build_benchmark",
     "__version__",
 ]
+
+
+def __getattr__(name: str):
+    if name == "SessionResult":  # unified into repro.results.RunResult
+        from repro.debugger import session
+
+        return session.SessionResult  # emits the DeprecationWarning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

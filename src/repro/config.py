@@ -144,6 +144,40 @@ class MachineConfig:
         return replace(self, **kwargs)
 
 
+def default_workers() -> int:
+    """Worker-process count for the parallel experiment engine.
+
+    Settable via the ``REPRO_WORKERS`` environment variable; defaults
+    to ``os.cpu_count() - 1`` (but at least 1) so one core stays free
+    for the coordinating process.
+    """
+    try:
+        value = int(os.environ.get("REPRO_WORKERS", "0"))
+    except ValueError:
+        value = 0
+    if value > 0:
+        return value
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+def default_cache_dir() -> str:
+    """Directory of the on-disk result cache (``REPRO_CACHE_DIR`` env).
+
+    Defaults to ``.repro_cache`` under the current working directory.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+
+
+def cache_enabled() -> bool:
+    """Whether the on-disk result cache is active (``REPRO_CACHE`` env).
+
+    Set ``REPRO_CACHE=0`` (or ``off``/``no``/``false``) to disable all
+    persistent caching; in-memory caches are unaffected.
+    """
+    return os.environ.get("REPRO_CACHE", "1").lower() not in (
+        "0", "off", "no", "false")
+
+
 def default_scale() -> float:
     """Experiment scale factor, settable via the REPRO_SCALE env var.
 

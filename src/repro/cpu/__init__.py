@@ -15,14 +15,14 @@ faithful stand-in for the paper's SimpleScalar-based simulator at the
 granularity its results depend on.
 """
 
-from repro.cpu.machine import Machine, RunResult, TrapEvent, TrapKind
+from repro.cpu.machine import Machine, MachineRun, TrapEvent, TrapKind
 from repro.cpu.stats import SimStats, TransitionKind
 from repro.cpu.timing import TimingModel
 from repro.cpu.predictor import BranchPredictor
 
 __all__ = [
     "Machine",
-    "RunResult",
+    "MachineRun",
     "TrapEvent",
     "TrapKind",
     "SimStats",
@@ -30,3 +30,11 @@ __all__ = [
     "TimingModel",
     "BranchPredictor",
 ]
+
+
+def __getattr__(name: str):
+    if name == "RunResult":  # deprecated pre-unification name
+        from repro.cpu import machine
+
+        return machine.RunResult  # emits the DeprecationWarning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

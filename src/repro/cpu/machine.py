@@ -101,8 +101,13 @@ _SPURIOUS = frozenset({
 
 
 @dataclass
-class RunResult:
-    """Outcome of a :meth:`Machine.run` call."""
+class MachineRun:
+    """Outcome of a :meth:`Machine.run` call (the low-level record).
+
+    Renamed from ``RunResult`` when that name moved to the unified
+    result type in :mod:`repro.results`; the old name is kept as a
+    deprecated module attribute.
+    """
 
     stats: SimStats
     halted: bool
@@ -112,7 +117,7 @@ class RunResult:
     def cycles(self) -> int:
         return self.stats.cycles
 
-    def overhead_vs(self, baseline: "RunResult") -> float:
+    def overhead_vs(self, baseline: "MachineRun") -> float:
         """Execution time normalized to ``baseline`` (1.0 = no overhead)."""
         if baseline.stats.cycles == 0:
             raise ValueError("baseline has zero cycles")
@@ -343,7 +348,7 @@ class Machine:
 
     # -- execution -----------------------------------------------------------------
 
-    def run(self, max_app_instructions: Optional[int] = None) -> RunResult:
+    def run(self, max_app_instructions: Optional[int] = None) -> MachineRun:
         """Run until halt or until the application has committed
         ``max_app_instructions`` instructions.
 
@@ -363,7 +368,7 @@ class Machine:
         stats = self.stats
         stats.cycles = self.timing.total_cycles if self.timing is not None \
             else stats.total_instructions
-        return RunResult(stats=stats, halted=self.halted,
+        return MachineRun(stats=stats, halted=self.halted,
                          stopped_at_user=self.stopped_at_user)
 
     def _run_table_timed(self, limit: int) -> None:
@@ -1205,3 +1210,15 @@ class Machine:
         if self._exp_index >= len(self._expansion):
             self._expansion = None
             self.pc = self._trigger_pc + INSTRUCTION_BYTES
+
+
+def __getattr__(name: str):
+    if name == "RunResult":
+        import warnings
+
+        warnings.warn(
+            "repro.cpu.machine.RunResult was renamed MachineRun; "
+            "repro.RunResult is now the unified result type "
+            "(repro.results.RunResult)", DeprecationWarning, stacklevel=2)
+        return MachineRun
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

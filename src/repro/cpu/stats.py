@@ -15,7 +15,7 @@ watched expression's value is unchanged (e.g. silent stores); spurious
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from enum import Enum, unique
 
 
@@ -93,6 +93,29 @@ class SimStats:
     def record_transition(self, kind: TransitionKind) -> None:
         """Count one debugger transition of the given kind."""
         self.transitions[kind] += 1
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (transition keys become their values)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name != "transitions"}
+        data["transitions"] = {kind.value: count
+                               for kind, count in self.transitions.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStats":
+        """Rebuild stats from :meth:`to_dict` output.
+
+        Unknown keys are ignored so that records written by a newer
+        code version load (the result cache rejects those earlier via
+        its code-version check; this guard is for hand-edited files).
+        """
+        known = {f.name for f in fields(cls)}
+        stats = cls(**{key: value for key, value in data.items()
+                       if key in known and key != "transitions"})
+        for name, count in (data.get("transitions") or {}).items():
+            stats.transitions[TransitionKind(name)] = int(count)
+        return stats
 
     def summary(self) -> str:
         """Multi-line text rendering of the run's counters."""

@@ -5,8 +5,8 @@
 * :mod:`repro.debugger.watchpoint` -- watchpoint/breakpoint records.
 * :mod:`repro.debugger.transitions` -- transition classification shared
   by all backends.
-* :mod:`repro.debugger.session` -- the user-facing
-  :class:`DebugSession` facade.
+* :mod:`repro.debugger.session` -- the user-facing :class:`Session`
+  facade (obtained via :func:`repro.api.debug`).
 * :mod:`repro.debugger.backends` -- the five implementations compared in
   the paper: single-stepping, virtual memory, hardware registers, static
   binary rewriting, and DISE.
@@ -14,7 +14,7 @@
 
 from repro.debugger.expressions import parse_expression, Expression
 from repro.debugger.watchpoint import Watchpoint, Breakpoint
-from repro.debugger.session import DebugSession, SessionResult
+from repro.debugger.session import DebugSession, Session
 from repro.debugger.backends import BACKENDS, backend_class
 
 __all__ = [
@@ -22,8 +22,16 @@ __all__ = [
     "Expression",
     "Watchpoint",
     "Breakpoint",
+    "Session",
     "DebugSession",
-    "SessionResult",
     "BACKENDS",
     "backend_class",
 ]
+
+
+def __getattr__(name: str):
+    if name == "SessionResult":  # unified into repro.results.RunResult
+        from repro.debugger import session
+
+        return session.SessionResult  # emits the DeprecationWarning
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.config import MachineConfig
-from repro.cpu.machine import Machine, RunResult, TrapEvent, TrapKind
+from repro.cpu.machine import Machine, MachineRun, TrapEvent, TrapKind
 from repro.cpu.stats import TransitionKind
 from repro.dise.pattern import Pattern
 from repro.dise.production import Production
@@ -194,7 +194,7 @@ class IWatcher:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, max_app_instructions: Optional[int] = None) -> RunResult:
+    def run(self, max_app_instructions: Optional[int] = None) -> MachineRun:
         """Run the monitored program (callbacks fire along the way)."""
         return self.machine.run(max_app_instructions)
 

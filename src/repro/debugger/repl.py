@@ -32,7 +32,7 @@ from typing import Callable, Optional
 
 from repro.config import MachineConfig
 from repro.debugger.expressions import parse_expression
-from repro.debugger.session import DebugSession, run_undebugged
+from repro.debugger.session import Session, _undebugged_run
 from repro.errors import ReproError
 from repro.isa.program import Program
 
@@ -50,7 +50,7 @@ class DebuggerShell:
 
     def __init__(self, program: Program, backend: str = "dise",
                  config: Optional[MachineConfig] = None, **backend_options):
-        self.session = DebugSession(program, backend=backend,
+        self.session = Session(program, backend=backend,
                                     config=config, **backend_options)
         self.program = program
         self._backend_obj = None
@@ -257,7 +257,7 @@ class DebuggerShell:
         """overhead — debugged vs undebugged cost so far."""
         if self._backend_obj is None or not self._instructions_run:
             return "The program is not being run."
-        baseline = run_undebugged(
+        baseline = _undebugged_run(
             self.program, self.session.config,
             max_app_instructions=self._instructions_run)
         debugged_cycles = self._backend_obj.machine.stats.cycles or \

@@ -1,79 +1,43 @@
 """The user-facing debugging session.
 
-:class:`DebugSession` plays the role of the interactive debugger: the
-user sets (conditional) watchpoints and breakpoints against a loaded
+:class:`Session` plays the role of the interactive debugger: the user
+sets (conditional) watchpoints and breakpoints against a loaded
 program, picks an implementation backend, and runs.  The session
 reports execution time, the transition breakdown, and the overhead
-versus an undebugged baseline.
+versus an undebugged baseline — all packaged in the unified
+:class:`repro.results.RunResult` record.
+
+The supported way to obtain a session is :func:`repro.api.debug`;
+constructing :class:`Session` directly is equivalent.  The historical
+names ``DebugSession`` and ``run_undebugged`` remain as thin deprecated
+shims that emit :class:`DeprecationWarning`.
 
 Example::
 
-    from repro.debugger import DebugSession
-    from repro.workloads import build_benchmark
+    from repro.api import debug
 
-    program = build_benchmark("bzip2")
-    session = DebugSession(program, backend="dise")
+    session = debug("bzip2", backend="dise")
     session.watch("hot")                          # unconditional
     session.watch("warm1", condition="warm1 == 12345")  # conditional
-    result = session.run(max_app_instructions=100_000)
+    result = session.run(max_app_instructions=100_000, run_baseline=True)
     print(result.summary())
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+import warnings
 from typing import Optional, Union
 
 from repro.config import MachineConfig
-from repro.cpu.machine import RunResult
-from repro.cpu.stats import SimStats, TransitionKind
+from repro.cpu.machine import MachineRun
 from repro.debugger.backends import backend_class
 from repro.debugger.watchpoint import Breakpoint, Watchpoint
-from repro.errors import DebuggerError
 from repro.isa.program import Program
+from repro.results import RunResult
 
 
-@dataclass
-class SessionResult:
-    """Outcome of a debugging-session run."""
-
-    backend: str
-    run: RunResult
-    baseline: Optional[RunResult] = None
-
-    @property
-    def stats(self) -> SimStats:
-        return self.run.stats
-
-    @property
-    def cycles(self) -> int:
-        return self.run.stats.cycles
-
-    @property
-    def overhead(self) -> float:
-        """Execution time normalized to the baseline (paper's metric)."""
-        if self.baseline is None:
-            raise DebuggerError("run a baseline first (run_baseline=True)")
-        return self.run.overhead_vs(self.baseline)
-
-    @property
-    def spurious_transitions(self) -> int:
-        return self.stats.spurious_transitions
-
-    @property
-    def user_transitions(self) -> int:
-        return self.stats.user_transitions
-
-    def summary(self) -> str:
-        """Multi-line text rendering of the session outcome."""
-        lines = [f"backend: {self.backend}"]
-        if self.baseline is not None:
-            lines.append(f"overhead: {self.overhead:.3f}x baseline")
-        lines.append(self.stats.summary())
-        return "\n".join(lines)
-
-
-class DebugSession:
+class Session:
     """Collects watchpoints/breakpoints; runs them under a backend."""
 
     def __init__(self, program: Program, backend: str = "dise",
@@ -112,7 +76,7 @@ class DebugSession:
         else:
             self.breakpoints.remove(point)
 
-    # -- execution --------------------------------------------------------------
+    # -- execution ---------------------------------------------------------
 
     def build_backend(self):
         """Instantiate the backend (installs the mechanism)."""
@@ -121,26 +85,71 @@ class DebugSession:
                    self.config, **self.backend_options)
 
     def run(self, max_app_instructions: Optional[int] = None,
-            run_baseline: bool = False) -> SessionResult:
+            run_baseline: bool = False) -> RunResult:
         """Run the debugged program.
 
         With ``run_baseline`` the same program is also run undebugged on
-        a fresh machine, enabling :attr:`SessionResult.overhead`.
+        a fresh machine, filling in :attr:`RunResult.overhead` and
+        :attr:`RunResult.baseline_stats`.
         """
         backend = self.build_backend()
-        result = backend.run(max_app_instructions)
+        started = time.perf_counter()
+        run = backend.run(max_app_instructions)
         baseline = None
         if run_baseline:
-            baseline = run_undebugged(self.program, self.config,
-                                      max_app_instructions)
+            baseline = _undebugged_run(self.program, self.config,
+                                       max_app_instructions)
         self.last_backend = backend
-        return SessionResult(self.backend_name, result, baseline)
+        stats = run.stats
+        return RunResult(
+            self.program.name,
+            "session",
+            self.backend_name,
+            run.overhead_vs(baseline) if baseline is not None else None,
+            any(wp.is_conditional for wp in self.watchpoints),
+            stats.user_transitions,
+            stats.spurious_transitions,
+            stats=stats,
+            baseline_stats=baseline.stats if baseline is not None else None,
+            halted=run.halted,
+            stopped_at_user=run.stopped_at_user,
+            wall_time=time.perf_counter() - started,
+        )
 
 
-def run_undebugged(program: Program, config: Optional[MachineConfig] = None,
-                   max_app_instructions: Optional[int] = None) -> RunResult:
+class DebugSession(Session):
+    """Deprecated name for :class:`Session` (use :func:`repro.api.debug`)."""
+
+    def __init__(self, *args, **kwargs):
+        warnings.warn(
+            "DebugSession is deprecated; use repro.api.debug() (or "
+            "repro.debugger.session.Session)", DeprecationWarning,
+            stacklevel=2)
+        super().__init__(*args, **kwargs)
+
+
+def _undebugged_run(program: Program,
+                    config: Optional[MachineConfig] = None,
+                    max_app_instructions: Optional[int] = None) -> MachineRun:
     """Run ``program`` with no debugger attached (the baseline)."""
     from repro.cpu.machine import Machine
 
     machine = Machine(program, config)
     return machine.run(max_app_instructions)
+
+
+def run_undebugged(program: Program, config: Optional[MachineConfig] = None,
+                   max_app_instructions: Optional[int] = None) -> MachineRun:
+    """Deprecated name for the baseline run (use :func:`repro.api.simulate`)."""
+    warnings.warn("run_undebugged is deprecated; use repro.api.simulate()",
+                  DeprecationWarning, stacklevel=2)
+    return _undebugged_run(program, config, max_app_instructions)
+
+
+def __getattr__(name: str):
+    if name == "SessionResult":
+        warnings.warn(
+            "SessionResult was unified into repro.results.RunResult",
+            DeprecationWarning, stacklevel=2)
+        return RunResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,152 @@
+"""Persistent on-disk experiment result cache.
+
+Results live as one JSON file per cell under ``.repro_cache/``
+(configurable via ``REPRO_CACHE_DIR``; disable with ``REPRO_CACHE=0``).
+Each file is keyed by a content hash of the cell's identity —
+benchmark, backend, scenario (watchpoint kind, conditional flag,
+expressions, backend options, machine config), the
+:class:`~repro.harness.experiment.ExperimentSettings`, and the current
+*code version* (a content hash of every ``repro`` source file).  A
+re-run after an interrupt or a config tweak therefore recomputes only
+the invalidated cells; editing the simulator invalidates everything.
+
+The wire format is :meth:`repro.results.RunResult.to_dict` wrapped in a
+small envelope that echoes the key payload and the code version.  A
+stored record whose code version does not match the current tree is
+treated as a *miss*, never an error — as is any unreadable or
+truncated file — so a stale or hand-edited cache can only cost time,
+not correctness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.config import cache_enabled, default_cache_dir
+from repro.results import RunResult
+
+CACHE_FORMAT = 1
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Content hash of the ``repro`` package sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def default_cache() -> "ResultCache":
+    """The environment-configured cache (possibly disabled)."""
+    return ResultCache(default_cache_dir(), enabled=cache_enabled())
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`RunResult` records."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 enabled: bool = True):
+        self.directory = Path(directory) if directory else \
+            Path(default_cache_dir())
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, payload: dict) -> str:
+        """Content hash of a cell-identity payload (plus code version)."""
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        digest = hashlib.sha256()
+        digest.update(code_version().encode())
+        digest.update(b"\0")
+        digest.update(canonical.encode())
+        return digest.hexdigest()[:32]
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of a key's record."""
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunResult]:
+        """The stored result for ``key``, or ``None`` on any miss.
+
+        Corrupt files and records written by a different code version
+        are misses, not errors.
+        """
+        if not self.enabled:
+            return None
+        try:
+            record = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(record, dict)
+                or record.get("format") != CACHE_FORMAT
+                or record.get("code_version") != code_version()):
+            self.misses += 1
+            return None
+        try:
+            result = RunResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        result.from_cache = True
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result: RunResult,
+              payload: Optional[dict] = None) -> None:
+        """Persist ``result`` under ``key`` (atomic write-and-rename)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT,
+            "code_version": code_version(),
+            "key": payload,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True, default=repr)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -4,22 +4,33 @@ Regenerates any table or figure of the paper::
 
     dise-repro table1
     dise-repro fig3 --scale 2.0
+    dise-repro fig3 --workers 4 --progress     # parallel engine
     dise-repro all
 
 ``--scale`` multiplies the per-cell instruction budgets (default taken
 from the ``REPRO_SCALE`` environment variable, default 1.0).
+
+Figure grids run through the parallel experiment engine: ``--workers N``
+fans cells out over N worker processes (0 = in-process serial, the
+default), and results persist in the on-disk cache (``.repro_cache/``
+or ``--cache-dir``) so an interrupted or repeated run only recomputes
+invalidated cells.  ``--expect-warm`` fails the invocation if any cell
+had to be recomputed — CI uses it to guard the cache path.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
+from repro.harness.cache import ResultCache
 from repro.harness.experiment import ExperimentSettings
 from repro.harness.figures import (figure3, figure4, figure5, figure6,
                                    figure7, figure8, figure9, format_figure)
 from repro.harness.report import headline_summary
+from repro.harness.runner import Runner
 from repro.harness.tables import (format_table1, format_table2, table1)
 
 _FIGURES = {
@@ -50,30 +61,76 @@ def main(argv: list[str] | None = None) -> int:
                         help="render figures as log-scale text bars")
     parser.add_argument("--summary", action="store_true",
                         help="append per-backend geomean summaries")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for figure grids "
+                             "(0 = serial in-process)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset "
+                             "(reduced grids)")
+    parser.add_argument("--kinds", default=None,
+                        help="comma-separated watchpoint-kind subset")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default .repro_cache or REPRO_CACHE_DIR)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream a progress/telemetry line to stderr")
+    parser.add_argument("--expect-warm", action="store_true",
+                        help="fail if any figure cell had to be recomputed "
+                             "(cache-regression guard)")
     args = parser.parse_args(argv)
     settings = ExperimentSettings.scaled(args.scale)
+
+    if args.no_cache:
+        cache = ResultCache(enabled=False)
+    elif args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
+    else:
+        cache = None  # environment-configured default
 
     started = time.time()
     targets = (["table1", *_FIGURES, "headline"] if args.target == "all"
                else [args.target])
+    recomputed = 0
     for target in targets:
-        _run_target(target, settings, chart=args.chart,
-                    summary=args.summary)
+        runner = Runner(workers=args.workers, cache=cache,
+                        progress=args.progress)
+        _run_target(target, settings, runner, chart=args.chart,
+                    summary=args.summary, benchmarks=args.benchmarks,
+                    kinds=args.kinds)
+        if runner.last_report is not None:
+            print(f"[{target}] {runner.last_report.summary()}",
+                  file=sys.stderr)
+            recomputed += runner.last_report.computed
     print(f"\n[{time.time() - started:.1f}s]", file=sys.stderr)
+    if args.expect_warm and recomputed:
+        print(f"error: --expect-warm but {recomputed} cells were "
+              f"recomputed (cache cold or invalidated)", file=sys.stderr)
+        return 1
     return 0
 
 
-def _run_target(target: str, settings: ExperimentSettings,
-                chart: bool = False, summary: bool = False) -> None:
+def _run_target(target: str, settings: ExperimentSettings, runner: Runner,
+                chart: bool = False, summary: bool = False,
+                benchmarks: str | None = None,
+                kinds: str | None = None) -> None:
     if target in ("table1", "table2"):
         rows = table1(settings)
         print(format_table1(rows) if target == "table1"
               else format_table2(rows))
         return
     if target == "headline":
-        print(headline_summary(figure3(settings)))
+        print(headline_summary(figure3(settings, runner=runner)))
         return
-    result = _FIGURES[target](settings)
+    fig = _FIGURES[target]
+    kwargs = {}
+    parameters = inspect.signature(fig).parameters
+    if benchmarks and "benchmarks" in parameters:
+        kwargs["benchmarks"] = tuple(benchmarks.split(","))
+    if kinds and "kinds" in parameters:
+        kwargs["kinds"] = tuple(kinds.split(","))
+    result = fig(settings, runner=runner, **kwargs)
     if chart:
         from repro.analysis import render_chart
         print(render_chart(result))

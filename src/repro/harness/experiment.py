@@ -11,21 +11,35 @@ methodology:
 * overhead is the measured cycle count normalized to an undebugged
   baseline of the same benchmark (baselines are cached per settings).
 
+A cell's identity is captured by the picklable, hashable
+:class:`CellSpec`; :func:`run_spec` executes one spec (consulting the
+on-disk :class:`~repro.harness.cache.ResultCache`), and the parallel
+engine (:class:`repro.harness.runner.Runner`) fans many specs out over
+worker processes.  Results are the unified, serializable
+:class:`repro.results.RunResult`; ``Cell`` is a compatibility alias.
+
 Unsupported combinations (e.g. hardware registers + INDIRECT) return a
 cell marked unsupported, mirroring the missing bars of Figures 3 and 4.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
 
 from repro.config import MachineConfig, default_scale
-from repro.cpu.machine import Machine, RunResult
-from repro.debugger.session import DebugSession
+from repro.cpu.machine import Machine, MachineRun
+from repro.debugger.session import Session
 from repro.errors import UnsupportedWatchpointError
+from repro.harness.cache import ResultCache, default_cache
+from repro.results import RunResult
 from repro.workloads.benchmarks import (build_benchmark, watch_expression,
                                         never_true_condition)
+
+# Compatibility alias: the unified result type plays the former Cell's
+# role (same leading field order, same attributes).
+Cell = RunResult
 
 _DEFAULT_MEASURE = 50_000
 _DEFAULT_WARMUP = 50_000
@@ -40,6 +54,7 @@ class ExperimentSettings:
 
     @classmethod
     def scaled(cls, scale: Optional[float] = None) -> "ExperimentSettings":
+        """Settings multiplied by ``scale`` (default: ``REPRO_SCALE``)."""
         factor = default_scale() if scale is None else scale
         return cls(
             measure_instructions=int(_DEFAULT_MEASURE * factor),
@@ -47,48 +62,173 @@ class ExperimentSettings:
         )
 
 
-@dataclass
-class Cell:
-    """One experiment cell's outcome."""
+@dataclass(frozen=True)
+class CellSpec:
+    """The identity of one experiment cell (picklable and hashable).
+
+    ``label`` optionally overrides the backend name recorded on the
+    result (the figures use it to distinguish strategy variants of the
+    same backend); ``options`` holds the backend keyword options as a
+    sorted tuple of pairs so the spec stays hashable.
+    """
 
     benchmark: str
     kind: str
     backend: str
-    overhead: Optional[float]  # None when unsupported
     conditional: bool = False
-    user_transitions: int = 0
-    spurious_transitions: int = 0
-    unsupported_reason: str = ""
-    stats: object = None
+    watch_expressions: Optional[tuple[str, ...]] = None
+    label: Optional[str] = None
+    config: Optional[MachineConfig] = None
+    options: tuple[tuple[str, Any], ...] = ()
 
-    @property
-    def supported(self) -> bool:
-        return self.overhead is not None
+    @classmethod
+    def make(cls, benchmark: str, kind: str, backend: str, *,
+             conditional: bool = False,
+             watch_expressions: Optional[list[str]] = None,
+             label: Optional[str] = None,
+             config: Optional[MachineConfig] = None,
+             **options) -> "CellSpec":
+        """Build a spec from :func:`run_cell`-style arguments."""
+        return cls(
+            benchmark=benchmark,
+            kind=kind,
+            backend=backend,
+            conditional=conditional,
+            watch_expressions=(tuple(watch_expressions)
+                               if watch_expressions is not None else None),
+            label=label,
+            config=config,
+            options=tuple(sorted(options.items())),
+        )
+
+    def cache_payload(self, settings: "ExperimentSettings") -> dict:
+        """The JSON-able identity hashed into the cache key."""
+        return {
+            "benchmark": self.benchmark,
+            "kind": self.kind,
+            "backend": self.backend,
+            "conditional": self.conditional,
+            "watch_expressions": (list(self.watch_expressions)
+                                  if self.watch_expressions is not None
+                                  else None),
+            "label": self.label,
+            "config": asdict(self.config) if self.config else None,
+            "options": [list(pair) for pair in self.options],
+            "settings": asdict(settings),
+        }
 
 
-_BASELINE_CACHE: dict[tuple, RunResult] = {}
+_BASELINE_CACHE: dict[tuple, MachineRun] = {}
 
 
 def clear_baseline_cache() -> None:
-    """Drop all cached baseline runs (used between tests)."""
+    """Drop all cached baseline runs, in memory *and* on disk.
+
+    The on-disk store cleared is the environment-configured default
+    (``REPRO_CACHE_DIR``); caches pointed at explicit directories are
+    the caller's to manage.
+    """
     _BASELINE_CACHE.clear()
+    default_cache().clear()
 
 
 def run_baseline(benchmark: str,
                  settings: Optional[ExperimentSettings] = None,
-                 config: Optional[MachineConfig] = None) -> RunResult:
-    """Undebugged run of ``benchmark`` (cached)."""
+                 config: Optional[MachineConfig] = None, *,
+                 cache: Optional[ResultCache] = None) -> MachineRun:
+    """Undebugged run of ``benchmark`` (cached in memory and on disk)."""
     settings = settings or ExperimentSettings.scaled()
     key = (benchmark, settings.measure_instructions,
            settings.warmup_instructions, config)
     cached = _BASELINE_CACHE.get(key)
     if cached is not None:
         return cached
+    cache = default_cache() if cache is None else cache
+    payload = {
+        "baseline": True,
+        "benchmark": benchmark,
+        "config": asdict(config) if config else None,
+        "settings": asdict(settings),
+    }
+    disk_key = cache.key_for(payload) if cache.enabled else None
+    if disk_key is not None:
+        stored = cache.load(disk_key)
+        if stored is not None and stored.stats is not None:
+            result = MachineRun(stats=stored.stats, halted=stored.halted)
+            _BASELINE_CACHE[key] = result
+            return result
     machine = Machine(build_benchmark(benchmark), config)
     machine.run(settings.warmup_instructions)
     machine.reset_stats()
     result = machine.run(settings.measure_instructions)
     _BASELINE_CACHE[key] = result
+    if disk_key is not None:
+        cache.store(disk_key, RunResult(
+            benchmark, "baseline", "undebugged", 1.0,
+            stats=result.stats, halted=result.halted), payload)
+    return result
+
+
+def execute_spec(spec: CellSpec,
+                 settings: Optional[ExperimentSettings] = None) -> RunResult:
+    """Run one cell in-process, bypassing the on-disk cache."""
+    settings = settings or ExperimentSettings.scaled()
+    started = time.perf_counter()
+    session = Session(build_benchmark(spec.benchmark), backend=spec.backend,
+                      config=spec.config, **dict(spec.options))
+    try:
+        if spec.watch_expressions is None:
+            condition = (never_true_condition(spec.kind)
+                         if spec.conditional else None)
+            session.watch(watch_expression(spec.kind), condition=condition)
+        else:
+            for expression in spec.watch_expressions:
+                condition = (f"{expression} == 0x0BADF00DDEADBEEF"
+                             if spec.conditional else None)
+                session.watch(expression, condition=condition)
+        debugged = session.build_backend()
+    except UnsupportedWatchpointError as exc:
+        return RunResult(spec.benchmark, spec.kind,
+                         spec.label or spec.backend, None, spec.conditional,
+                         unsupported_reason=str(exc),
+                         wall_time=time.perf_counter() - started)
+
+    debugged.machine.run(settings.warmup_instructions)
+    debugged.machine.reset_stats()
+    result = debugged.machine.run(settings.measure_instructions)
+    baseline = run_baseline(spec.benchmark, settings)
+    stats = result.stats
+    return RunResult(
+        spec.benchmark,
+        spec.kind,
+        spec.label or spec.backend,
+        result.overhead_vs(baseline),
+        spec.conditional,
+        stats.user_transitions,
+        stats.spurious_transitions,
+        stats=stats,
+        baseline_stats=baseline.stats,
+        halted=result.halted,
+        stopped_at_user=result.stopped_at_user,
+        wall_time=time.perf_counter() - started,
+    )
+
+
+def run_spec(spec: CellSpec,
+             settings: Optional[ExperimentSettings] = None, *,
+             cache: Optional[ResultCache] = None) -> RunResult:
+    """Run one cell, consulting (and filling) the on-disk cache."""
+    settings = settings or ExperimentSettings.scaled()
+    cache = default_cache() if cache is None else cache
+    key = cache.key_for(spec.cache_payload(settings)) if cache.enabled \
+        else None
+    if key is not None:
+        stored = cache.load(key)
+        if stored is not None:
+            return stored
+    result = execute_spec(spec, settings)
+    if key is not None:
+        cache.store(key, result, spec.cache_payload(settings))
     return result
 
 
@@ -96,42 +236,18 @@ def run_cell(benchmark: str, kind: str, backend: str,
              conditional: bool = False,
              settings: Optional[ExperimentSettings] = None,
              config: Optional[MachineConfig] = None,
-             watch_expressions: Optional[list[str]] = None,
-             **backend_options) -> Cell:
+             watch_expressions: Optional[list[str]] = None, *,
+             label: Optional[str] = None,
+             cache: Optional[ResultCache] = None,
+             **backend_options) -> RunResult:
     """Run one experiment cell and normalize against the baseline.
 
     ``watch_expressions`` overrides the single standard expression (used
-    by the many-watchpoints experiment).
+    by the many-watchpoints experiment).  ``label``, when given, is
+    recorded as the result's backend name; ``cache`` overrides the
+    default on-disk result cache.  Both are keyword-only.
     """
-    settings = settings or ExperimentSettings.scaled()
-    session = DebugSession(build_benchmark(benchmark), backend=backend,
-                           config=config, **backend_options)
-    try:
-        if watch_expressions is None:
-            condition = never_true_condition(kind) if conditional else None
-            session.watch(watch_expression(kind), condition=condition)
-        else:
-            for expression in watch_expressions:
-                condition = (f"{expression} == 0x0BADF00DDEADBEEF"
-                             if conditional else None)
-                session.watch(expression, condition=condition)
-        debugged = session.build_backend()
-    except UnsupportedWatchpointError as exc:
-        return Cell(benchmark, kind, backend, None, conditional,
-                    unsupported_reason=str(exc))
-
-    debugged.machine.run(settings.warmup_instructions)
-    debugged.machine.reset_stats()
-    result = debugged.machine.run(settings.measure_instructions)
-    baseline = run_baseline(benchmark, settings)
-    stats = result.stats
-    return Cell(
-        benchmark=benchmark,
-        kind=kind,
-        backend=backend,
-        overhead=result.overhead_vs(baseline),
-        conditional=conditional,
-        user_transitions=stats.user_transitions,
-        spurious_transitions=stats.spurious_transitions,
-        stats=stats,
-    )
+    spec = CellSpec.make(benchmark, kind, backend, conditional=conditional,
+                         watch_expressions=watch_expressions, label=label,
+                         config=config, **backend_options)
+    return run_spec(spec, settings, cache=cache)

@@ -1,18 +1,24 @@
 """Reproductions of the paper's Figures 3-9.
 
-Each ``figureN`` function runs the corresponding experiment grid and
-returns a :class:`FigureResult`; ``format_figure(result)`` renders it as
-text.  Overheads are execution time normalized to the undebugged
-baseline, exactly as the paper plots them (log scale in Figures 3/4/6).
+Each ``figureN`` function expands the corresponding experiment grid
+into :class:`~repro.harness.experiment.CellSpec` cells (see the
+``figureN_specs`` builders), runs them through the parallel engine
+(:class:`~repro.harness.runner.Runner` — pass ``runner=`` to control
+worker count, caching, and progress reporting; the default runs
+serially in-process), and returns a :class:`FigureResult`;
+``format_figure(result)`` renders it as text.  Overheads are execution
+time normalized to the undebugged baseline, exactly as the paper plots
+them (log scale in Figures 3/4/6).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.config import DEFAULT_CONFIG
-from repro.harness.experiment import Cell, ExperimentSettings, run_cell
+from repro.harness.experiment import Cell, CellSpec, ExperimentSettings
+from repro.harness.runner import Runner, RunReport
 from repro.workloads.benchmarks import BENCHMARK_NAMES
 
 SCALAR_KINDS = ("HOT", "WARM1", "WARM2", "COLD")
@@ -51,6 +57,7 @@ class FigureResult:
     cells: list[Cell]
     row_keys: tuple[str, ...] = ()  # how to group rows when formatting
     column_label: str = "backend"
+    report: Optional[RunReport] = None  # telemetry of the producing run
 
     def cell(self, **criteria) -> Optional[Cell]:
         """First cell whose attributes match all ``criteria``."""
@@ -66,161 +73,197 @@ class FigureResult:
         return cell.overhead if cell else None
 
 
-def figure3(settings: Optional[ExperimentSettings] = None,
-            benchmarks: Sequence[str] = BENCHMARK_NAMES,
-            kinds: Sequence[str] = ALL_KINDS) -> FigureResult:
-    """Figure 3: four implementations of single unconditional
-    watchpoints across benchmarks and watchpoint kinds."""
-    cells = [
-        run_cell(bench, kind, backend, settings=settings)
+def run_figure(name: str, description: str, specs: Sequence[CellSpec],
+               settings: Optional[ExperimentSettings] = None, *,
+               runner: Optional[Runner] = None) -> FigureResult:
+    """Run a grid of cell specs through the (given or serial) engine."""
+    runner = runner or Runner(workers=0)
+    cells = runner.run(specs, settings=settings)
+    return FigureResult(name, description, cells,
+                        report=runner.last_report)
+
+
+def figure3_specs(benchmarks: Sequence[str] = BENCHMARK_NAMES,
+                  kinds: Sequence[str] = ALL_KINDS) -> list[CellSpec]:
+    """The Figure 3 grid: benchmarks x kinds x compared backends."""
+    return [
+        CellSpec.make(bench, kind, backend)
         for bench in benchmarks
         for kind in kinds
         for backend in COMPARED_BACKENDS
     ]
-    return FigureResult(
+
+
+def figure3(settings: Optional[ExperimentSettings] = None,
+            benchmarks: Sequence[str] = BENCHMARK_NAMES,
+            kinds: Sequence[str] = ALL_KINDS, *,
+            runner: Optional[Runner] = None) -> FigureResult:
+    """Figure 3: four implementations of single unconditional
+    watchpoints across benchmarks and watchpoint kinds."""
+    return run_figure(
         "figure3",
         "Comparison of four unconditional watchpoint implementations "
         "(execution time normalized to baseline; log scale)",
-        cells,
-    )
+        figure3_specs(benchmarks, kinds), settings, runner=runner)
+
+
+def figure4_specs(benchmarks: Sequence[str] = BENCHMARK_NAMES,
+                  kinds: Sequence[str] = ALL_KINDS) -> list[CellSpec]:
+    """The Figure 4 grid: Figure 3 with never-true conditions."""
+    return [
+        CellSpec.make(bench, kind, backend, conditional=True)
+        for bench in benchmarks
+        for kind in kinds
+        for backend in COMPARED_BACKENDS
+    ]
 
 
 def figure4(settings: Optional[ExperimentSettings] = None,
             benchmarks: Sequence[str] = BENCHMARK_NAMES,
-            kinds: Sequence[str] = ALL_KINDS) -> FigureResult:
+            kinds: Sequence[str] = ALL_KINDS, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 4: the same grid with a never-true condition attached."""
-    cells = [
-        run_cell(bench, kind, backend, conditional=True, settings=settings)
-        for bench in benchmarks
-        for kind in kinds
-        for backend in COMPARED_BACKENDS
-    ]
-    return FigureResult(
+    return run_figure(
         "figure4",
         "Comparison of four conditional watchpoint implementations "
         "(predicate never true)",
-        cells,
-    )
+        figure4_specs(benchmarks, kinds), settings, runner=runner)
+
+
+def figure5_specs(benchmarks: Sequence[str] = BENCHMARK_NAMES
+                  ) -> list[CellSpec]:
+    """The Figure 5 grid: DISE vs binary rewriting on COLD."""
+    specs = []
+    for bench in benchmarks:
+        specs.append(CellSpec.make(bench, "COLD", "dise"))
+        specs.append(CellSpec.make(bench, "COLD", "binary_rewrite"))
+    return specs
 
 
 def figure5(settings: Optional[ExperimentSettings] = None,
-            benchmarks: Sequence[str] = BENCHMARK_NAMES) -> FigureResult:
+            benchmarks: Sequence[str] = BENCHMARK_NAMES, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 5: DISE vs static binary rewriting on COLD watchpoints.
 
     Binary rewriting's inlined checks inflate the static image and
     degrade I-cache behaviour for large-footprint benchmarks.
     """
-    cells = []
-    for bench in benchmarks:
-        cells.append(run_cell(bench, "COLD", "dise", settings=settings))
-        cells.append(run_cell(bench, "COLD", "binary_rewrite",
-                              settings=settings))
-    return FigureResult(
+    return run_figure(
         "figure5",
         "DISE vs binary rewriting, COLD watchpoint (I-cache effects)",
-        cells,
-    )
+        figure5_specs(benchmarks), settings, runner=runner)
+
+
+def figure6_specs(benchmarks: Sequence[str] = FIG6_BENCHMARKS,
+                  counts: Sequence[int] = FIG6_COUNTS) -> list[CellSpec]:
+    """The Figure 6 grid: 1-16 watchpoints, four mechanisms."""
+    specs = []
+    for bench in benchmarks:
+        for count in counts:
+            expressions = FIG6_WATCH_ORDER[:count]
+            specs.append(CellSpec.make(
+                bench, f"N={count}", "hardware",
+                watch_expressions=expressions))
+            for label, strategy in (("dise-serial", "serial"),
+                                    ("dise-bloom-byte", "bloom-byte"),
+                                    ("dise-bloom-bit", "bloom-bit")):
+                specs.append(CellSpec.make(
+                    bench, f"N={count}", "dise",
+                    watch_expressions=expressions, label=label,
+                    multi_strategy=strategy))
+    return specs
 
 
 def figure6(settings: Optional[ExperimentSettings] = None,
             benchmarks: Sequence[str] = FIG6_BENCHMARKS,
-            counts: Sequence[int] = FIG6_COUNTS) -> FigureResult:
+            counts: Sequence[int] = FIG6_COUNTS, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 6: 1-16 watchpoints.
 
     Hardware registers (VM fallback beyond four) vs three DISE
     replacement-sequence strategies: serial address match, bytewise
     Bloom, bitwise Bloom.
     """
-    cells = []
-    for bench in benchmarks:
-        for count in counts:
-            expressions = FIG6_WATCH_ORDER[:count]
-            cells.append(run_cell(
-                bench, f"N={count}", "hardware", settings=settings,
-                watch_expressions=expressions))
-            for label, strategy in (("dise-serial", "serial"),
-                                    ("dise-bloom-byte", "bloom-byte"),
-                                    ("dise-bloom-bit", "bloom-bit")):
-                cell = run_cell(
-                    bench, f"N={count}", "dise", settings=settings,
-                    watch_expressions=expressions,
-                    multi_strategy=strategy)
-                cell.backend = label
-                cells.append(cell)
-    return FigureResult(
+    return run_figure(
         "figure6",
         "Impact of the number of watchpoints (hardware+VM fallback vs "
         "DISE serial / bytewise-Bloom / bitwise-Bloom)",
-        cells,
-    )
+        figure6_specs(benchmarks, counts), settings, runner=runner)
+
+
+def figure7_specs(benchmarks: Sequence[str] = FIG7_BENCHMARKS,
+                  kinds: Sequence[str] = SCALAR_KINDS) -> list[CellSpec]:
+    """The Figure 7 grid: six DISE replacement organizations."""
+    return [
+        CellSpec.make(bench, kind, "dise", label=label, check=check,
+                      conditional_isa=cond_isa)
+        for bench in benchmarks
+        for kind in kinds
+        for label, check, cond_isa in FIG7_VARIANTS
+    ]
 
 
 def figure7(settings: Optional[ExperimentSettings] = None,
             benchmarks: Sequence[str] = FIG7_BENCHMARKS,
-            kinds: Sequence[str] = SCALAR_KINDS) -> FigureResult:
+            kinds: Sequence[str] = SCALAR_KINDS, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 7: six DISE replacement-sequence organizations.
 
     {Match-Address/Evaluate-Expression, Evaluate-Expression/--,
     Match-Address-Value/--} x {with, without} the conditional
     call/trap DISE-ISA extension.
     """
-    cells = []
-    for bench in benchmarks:
-        for kind in kinds:
-            for label, check, cond_isa in FIG7_VARIANTS:
-                cell = run_cell(
-                    bench, kind, "dise", settings=settings,
-                    check=check, conditional_isa=cond_isa)
-                cell.backend = label
-                cells.append(cell)
-    return FigureResult(
+    return run_figure(
         "figure7",
         "Alternate DISE implementations (top: with conditional "
         "call/trap; bottom: without)",
-        cells,
-    )
+        figure7_specs(benchmarks, kinds), settings, runner=runner)
+
+
+def figure8_specs(benchmarks: Sequence[str] = BENCHMARK_NAMES,
+                  kinds: Sequence[str] = SCALAR_KINDS) -> list[CellSpec]:
+    """The Figure 8 grid: DISE with and without multithreaded calls."""
+    mt_config = DEFAULT_CONFIG.with_(multithreaded_dise_calls=True)
+    specs = []
+    for bench in benchmarks:
+        for kind in kinds:
+            specs.append(CellSpec.make(bench, kind, "dise"))
+            specs.append(CellSpec.make(bench, kind, "dise", label="dise-mt",
+                                       config=mt_config))
+    return specs
 
 
 def figure8(settings: Optional[ExperimentSettings] = None,
             benchmarks: Sequence[str] = BENCHMARK_NAMES,
-            kinds: Sequence[str] = SCALAR_KINDS) -> FigureResult:
+            kinds: Sequence[str] = SCALAR_KINDS, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 8: multithreaded execution of DISE-called functions."""
-    mt_config = DEFAULT_CONFIG.with_(multithreaded_dise_calls=True)
-    cells = []
-    for bench in benchmarks:
-        for kind in kinds:
-            base = run_cell(bench, kind, "dise", settings=settings)
-            base.backend = "dise"
-            cells.append(base)
-            mt = run_cell(bench, kind, "dise", settings=settings,
-                          config=mt_config)
-            mt.backend = "dise-mt"
-            cells.append(mt)
-    return FigureResult(
+    return run_figure(
         "figure8",
         "DISE overhead with and without multithreaded function calls",
-        cells,
-    )
+        figure8_specs(benchmarks, kinds), settings, runner=runner)
+
+
+def figure9_specs(benchmarks: Sequence[str] = BENCHMARK_NAMES
+                  ) -> list[CellSpec]:
+    """The Figure 9 grid: plain vs protected DISE, COLD watchpoint."""
+    specs = []
+    for bench in benchmarks:
+        specs.append(CellSpec.make(bench, "COLD", "dise"))
+        specs.append(CellSpec.make(bench, "COLD", "dise",
+                                   label="dise-protected", protect=True))
+    return specs
 
 
 def figure9(settings: Optional[ExperimentSettings] = None,
-            benchmarks: Sequence[str] = BENCHMARK_NAMES) -> FigureResult:
+            benchmarks: Sequence[str] = BENCHMARK_NAMES, *,
+            runner: Optional[Runner] = None) -> FigureResult:
     """Figure 9: cost of protecting the debugger's embedded structures
     (COLD watchpoint; the Figure 2f store-checking production)."""
-    cells = []
-    for bench in benchmarks:
-        plain = run_cell(bench, "COLD", "dise", settings=settings)
-        plain.backend = "dise"
-        cells.append(plain)
-        protected = run_cell(bench, "COLD", "dise", settings=settings,
-                             protect=True)
-        protected.backend = "dise-protected"
-        cells.append(protected)
-    return FigureResult(
+    return run_figure(
         "figure9",
         "Cost of protecting debugger structures (COLD watchpoint)",
-        cells,
-    )
+        figure9_specs(benchmarks), settings, runner=runner)
 
 
 def format_figure(result: FigureResult) -> str:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.harness.figures import FigureResult, format_figure
+from repro.harness.runner import RunReport
 from repro.harness.tables import (BenchmarkCharacterization, format_table1,
                                   format_table2)
 
@@ -15,6 +16,10 @@ def render(results: Iterable) -> str:
     for result in results:
         if isinstance(result, FigureResult):
             parts.append(format_figure(result))
+            if result.report is not None:
+                parts.append(render_report(result.report))
+        elif isinstance(result, RunReport):
+            parts.append(render_report(result))
         elif isinstance(result, list) and result and isinstance(
                 result[0], BenchmarkCharacterization):
             parts.append(format_table1(result))
@@ -22,6 +27,11 @@ def render(results: Iterable) -> str:
         else:
             parts.append(str(result))
     return "\n\n".join(parts)
+
+
+def render_report(report: RunReport) -> str:
+    """One-line engine telemetry (cells computed/cached/failed, rate)."""
+    return f"[engine] {report.summary()}"
 
 
 def headline_summary(fig3: FigureResult) -> str:

@@ -1,0 +1,129 @@
+"""The unified run-result record.
+
+:class:`RunResult` is the single outcome type shared by the debugging
+session (:meth:`repro.debugger.session.Session.run`), the single-cell
+experiment runner (:func:`repro.harness.experiment.run_cell`), and the
+parallel engine (:class:`repro.harness.runner.Runner`).  It unifies the
+former ``harness.experiment.Cell`` and ``debugger.session.SessionResult``
+types and defines the wire format of the on-disk result cache via
+:meth:`to_json`/:meth:`from_json`.
+
+The first nine fields keep the historical ``Cell`` ordering so existing
+positional construction keeps working; everything added by the
+unification is keyword-only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import KW_ONLY, dataclass
+from typing import Optional
+
+from repro.cpu.stats import SimStats
+
+RESULT_FORMAT = 1
+
+
+@dataclass
+class RunResult:
+    """Outcome of one debugged (or undebugged) run.
+
+    ``overhead`` is execution time normalized to an undebugged baseline
+    of the same program — the paper's central metric.  It is ``None``
+    when no baseline was run; an *unsupported* combination is instead
+    flagged by a non-empty ``unsupported_reason``.
+    """
+
+    benchmark: str
+    kind: str
+    backend: str
+    overhead: Optional[float]
+    conditional: bool = False
+    user_transitions: int = 0
+    spurious_transitions: int = 0
+    unsupported_reason: str = ""
+    stats: Optional[SimStats] = None
+    _: KW_ONLY
+    baseline_stats: Optional[SimStats] = None
+    halted: bool = True
+    stopped_at_user: bool = False
+    wall_time: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def supported(self) -> bool:
+        """Whether the (benchmark, kind, backend) combination ran."""
+        return not self.unsupported_reason
+
+    @property
+    def cycles(self) -> int:
+        """Measured cycle count (0 when the run never executed)."""
+        return self.stats.cycles if self.stats is not None else 0
+
+    def summary(self) -> str:
+        """Multi-line text rendering of the run outcome."""
+        lines = [f"backend: {self.backend}"]
+        if not self.supported:
+            lines.append(f"unsupported: {self.unsupported_reason}")
+        if self.overhead is not None:
+            lines.append(f"overhead: {self.overhead:.3f}x baseline")
+        if self.stats is not None:
+            lines.append(self.stats.summary())
+        return "\n".join(lines)
+
+    # -- serialization (the result cache's wire format) --------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering of every field."""
+        return {
+            "format": RESULT_FORMAT,
+            "benchmark": self.benchmark,
+            "kind": self.kind,
+            "backend": self.backend,
+            "overhead": self.overhead,
+            "conditional": self.conditional,
+            "user_transitions": self.user_transitions,
+            "spurious_transitions": self.spurious_transitions,
+            "unsupported_reason": self.unsupported_reason,
+            "stats": self.stats.to_dict() if self.stats else None,
+            "baseline_stats": (self.baseline_stats.to_dict()
+                               if self.baseline_stats else None),
+            "halted": self.halted,
+            "stopped_at_user": self.stopped_at_user,
+            "wall_time": self.wall_time,
+        }
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        found = data.get("format", RESULT_FORMAT)
+        if found != RESULT_FORMAT:
+            raise ValueError(
+                f"unknown RunResult format {found!r} "
+                f"(expected {RESULT_FORMAT})")
+        stats = data.get("stats")
+        baseline = data.get("baseline_stats")
+        return cls(
+            data["benchmark"],
+            data["kind"],
+            data["backend"],
+            data.get("overhead"),
+            data.get("conditional", False),
+            data.get("user_transitions", 0),
+            data.get("spurious_transitions", 0),
+            data.get("unsupported_reason", ""),
+            SimStats.from_dict(stats) if stats else None,
+            baseline_stats=SimStats.from_dict(baseline) if baseline else None,
+            halted=data.get("halted", True),
+            stopped_at_user=data.get("stopped_at_user", False),
+            wall_time=data.get("wall_time", 0.0),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

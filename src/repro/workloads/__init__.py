@@ -16,7 +16,7 @@ from repro.workloads.profiles import (BenchmarkProfile, WatchTargetProfile,
                                       PROFILES, profile_for)
 from repro.workloads.synthetic import SyntheticWorkload, generate_program
 from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
-                                        build_benchmark,
+                                        build_benchmark, resolve_program,
                                         watch_expression,
                                         never_true_condition)
 
@@ -30,6 +30,7 @@ __all__ = [
     "BENCHMARK_NAMES",
     "WATCHPOINT_KINDS",
     "build_benchmark",
+    "resolve_program",
     "watch_expression",
     "never_true_condition",
 ]

@@ -42,6 +42,20 @@ def build_benchmark(name: str) -> Program:
     return generate_program(profile_for(name))
 
 
+def resolve_program(program) -> tuple[Program, str]:
+    """Accept a :class:`Program` or a benchmark name; return both.
+
+    The :mod:`repro.api` entry points take either form; a string is
+    built via :func:`build_benchmark` (a fresh, private instance).
+    """
+    if isinstance(program, Program):
+        return program, program.name
+    if isinstance(program, str):
+        return build_benchmark(program), program
+    raise WorkloadError(
+        f"expected a Program or a benchmark name, got {type(program).__name__}")
+
+
 @lru_cache(maxsize=None)
 def _cached_benchmark(name: str) -> Program:
     return build_benchmark(name)

@@ -26,9 +26,13 @@ def small_settings() -> ExperimentSettings:
 
 
 @pytest.fixture(autouse=True)
-def _fresh_baseline_cache():
-    # Baselines are keyed by settings so sharing would be safe, but
-    # keeping tests independent is worth the few rebuilt baselines.
+def _fresh_baseline_cache(tmp_path, monkeypatch):
+    # Point the on-disk result cache at a per-test directory so tests
+    # never touch (or depend on) a developer's .repro_cache, then drop
+    # both cache layers.  Baselines are keyed by settings so sharing
+    # would be safe, but keeping tests independent is worth the few
+    # rebuilt baselines.
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro_cache"))
     yield
     clear_baseline_cache()
 

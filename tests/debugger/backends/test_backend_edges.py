@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.debugger.backends.base import DebuggerBackend
 from repro.errors import DiseCapacityError
 from repro.isa import assemble
@@ -17,7 +17,7 @@ def test_base_backend_requires_handler():
 
 
 def test_no_watchpoints_is_free_for_dise():
-    session = DebugSession(make_watch_loop(10), backend="dise")
+    session = Session(make_watch_loop(10), backend="dise")
     backend = session.build_backend()
     result = backend.run()
     assert result.stats.dise_expansions == 0
@@ -25,7 +25,7 @@ def test_no_watchpoints_is_free_for_dise():
 
 
 def test_watching_same_variable_twice():
-    session = DebugSession(make_watch_loop(10), backend="dise")
+    session = Session(make_watch_loop(10), backend="dise")
     session.watch("hot")
     session.watch("hot")
     result = session.build_backend().run()
@@ -35,7 +35,7 @@ def test_watching_same_variable_twice():
 
 
 def test_mixed_expression_kinds_in_one_dise_session():
-    session = DebugSession(make_watch_loop(10), backend="dise")
+    session = Session(make_watch_loop(10), backend="dise")
     session.watch("hot")
     session.watch("*hot_ptr")
     session.watch("arr[0:]")
@@ -51,7 +51,7 @@ def test_too_many_watchpoints_hit_capacity():
     source_vars = "\n".join(f"v{i}: .quad {i}" for i in range(300))
     program = assemble(f".data\n{source_vars}\n.text\nmain:\n"
                        "    stq r1, 0(sp)\n    halt")
-    session = DebugSession(program, backend="dise",
+    session = Session(program, backend="dise",
                            multi_strategy="serial")
     for i in range(300):
         session.watch(f"v{i}")
@@ -63,7 +63,7 @@ def test_bloom_scales_where_serial_cannot():
     source_vars = "\n".join(f"v{i}: .quad {i}" for i in range(300))
     program = assemble(f".data\n{source_vars}\n.text\nmain:\n"
                        "    stq r1, 0(sp)\n    halt")
-    session = DebugSession(program, backend="dise",
+    session = Session(program, backend="dise",
                            multi_strategy="bloom-byte")
     for i in range(300):
         session.watch(f"v{i}")
@@ -85,7 +85,7 @@ def test_vm_watch_of_two_variables_on_one_page():
         stq r2, 8(r1)    ; changes b
         halt
     """)
-    session = DebugSession(program, backend="virtual_memory")
+    session = Session(program, backend="virtual_memory")
     session.watch("a")
     session.watch("b")
     result = session.build_backend().run()
@@ -108,7 +108,7 @@ def test_hardware_silent_store_to_one_of_two_watches():
         stq r2, 8(r1)    ; real change to b
         halt
     """)
-    session = DebugSession(program, backend="hardware")
+    session = Session(program, backend="hardware")
     session.watch("a")
     session.watch("b")
     result = session.build_backend().run()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cpu.machine import Machine
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.errors import UnsupportedWatchpointError
 from repro.isa import assemble
 from repro.isa.opcodes import OpClass
@@ -12,7 +12,7 @@ from tests.conftest import make_watch_loop
 
 
 def _backend(program=None, expressions=("hot",), **options):
-    session = DebugSession(program or make_watch_loop(20),
+    session = Session(program or make_watch_loop(20),
                            backend="binary_rewrite", **options)
     for expression in expressions:
         session.watch(expression)
@@ -73,7 +73,7 @@ def test_zero_spurious_transitions():
 
 
 def test_conditional_compiled_into_handler():
-    session = DebugSession(make_watch_loop(15), backend="binary_rewrite")
+    session = Session(make_watch_loop(15), backend="binary_rewrite")
     session.watch("hot", condition="hot == 123456789")
     backend = session.build_backend()
     result = backend.run()
@@ -82,7 +82,7 @@ def test_conditional_compiled_into_handler():
 
 
 def test_indirect_rejected():
-    session = DebugSession(make_watch_loop(), backend="binary_rewrite")
+    session = Session(make_watch_loop(), backend="binary_rewrite")
     session.watch("*hot_ptr")
     with pytest.raises(UnsupportedWatchpointError):
         session.build_backend()
@@ -126,7 +126,7 @@ def test_scavenged_register_conflict_detected():
         stq r1, 0(r27)   ; store uses the scavenged base register
         halt
     """)
-    session = DebugSession(program, backend="binary_rewrite")
+    session = Session(program, backend="binary_rewrite")
     session.watch("x")
     with pytest.raises(DebuggerError):
         session.build_backend()

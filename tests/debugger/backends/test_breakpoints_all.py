@@ -9,7 +9,7 @@ watchpoints do.
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.debugger.backends import BACKENDS
 from tests.conftest import make_watch_loop
 
@@ -18,7 +18,7 @@ ALL = tuple(BACKENDS)
 
 @pytest.mark.parametrize("backend", ALL)
 def test_unconditional_breakpoint_hits_every_pass(backend):
-    session = DebugSession(make_watch_loop(12), backend=backend)
+    session = Session(make_watch_loop(12), backend=backend)
     session.break_at("loop")
     result = session.build_backend().run()
     assert result.stats.user_transitions >= 12
@@ -27,7 +27,7 @@ def test_unconditional_breakpoint_hits_every_pass(backend):
 @pytest.mark.parametrize("backend", ALL)
 def test_conditional_breakpoint_true_once(backend):
     # `other` holds 3 exactly once per loop body execution window.
-    session = DebugSession(make_watch_loop(12), backend=backend)
+    session = Session(make_watch_loop(12), backend=backend)
     session.break_at("loop", condition="other == 3")
     result = session.build_backend().run()
     assert result.stats.user_transitions == 1
@@ -39,7 +39,7 @@ def test_conditional_breakpoint_true_once(backend):
     ("dise", False),            # predicate compiled into the sequence
 ])
 def test_conditional_breakpoint_spurious_split(backend, expect_spurious):
-    session = DebugSession(make_watch_loop(12), backend=backend)
+    session = Session(make_watch_loop(12), backend=backend)
     session.break_at("loop", condition="other == 99999")
     result = session.build_backend().run()
     assert result.stats.user_transitions == 0
@@ -49,7 +49,7 @@ def test_conditional_breakpoint_spurious_split(backend, expect_spurious):
 
 @pytest.mark.parametrize("backend", ("virtual_memory", "hardware"))
 def test_register_breakpoints_do_not_perturb_results(backend):
-    session = DebugSession(make_watch_loop(12), backend=backend)
+    session = Session(make_watch_loop(12), backend=backend)
     session.break_at("loop")
     debugged = session.build_backend()
     debugged.run()
@@ -58,7 +58,7 @@ def test_register_breakpoints_do_not_perturb_results(backend):
 
 
 def test_breakpoint_and_watchpoint_together():
-    session = DebugSession(make_watch_loop(12), backend="dise")
+    session = Session(make_watch_loop(12), backend="dise")
     session.break_at("loop", condition="other == 5")
     session.watch("hot")
     result = session.build_backend().run()

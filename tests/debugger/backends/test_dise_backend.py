@@ -3,14 +3,14 @@
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.errors import DebuggerError, UnsupportedWatchpointError
 from repro.isa import assemble
 from tests.conftest import make_watch_loop
 
 
 def _run(expressions=("hot",), condition=None, iters=25, **options):
-    session = DebugSession(make_watch_loop(iters), backend="dise", **options)
+    session = Session(make_watch_loop(iters), backend="dise", **options)
     for expression in expressions:
         session.watch(expression, condition=condition)
     backend = session.build_backend()
@@ -27,7 +27,7 @@ def test_no_spurious_transitions_ever():
 def test_program_not_statically_modified():
     program = make_watch_loop(10)
     length_before = len(program)
-    session = DebugSession(program, backend="dise")
+    session = Session(program, backend="dise")
     session.watch("hot")
     backend = session.build_backend()
     # The session binary is untouched; the process image (a private
@@ -89,7 +89,7 @@ def test_indirect_retargets_dar_register():
         stq r3, 0(r1)     ; write *p (b): must trap
         halt
     """)
-    session = DebugSession(program, backend="dise")
+    session = Session(program, backend="dise")
     session.watch("*p")
     backend = session.build_backend()
     result = backend.run()
@@ -116,7 +116,7 @@ def test_evaluate_expression_variant():
 
 
 def test_evaluate_expression_rejects_ranges():
-    session = DebugSession(make_watch_loop(), backend="dise",
+    session = Session(make_watch_loop(), backend="dise",
                            check="evaluate-expression")
     session.watch("arr[0:]")
     with pytest.raises(UnsupportedWatchpointError):
@@ -132,7 +132,7 @@ def test_match_address_value_variant():
 
 
 def test_match_address_value_requires_scalars():
-    session = DebugSession(make_watch_loop(), backend="dise",
+    session = Session(make_watch_loop(), backend="dise",
                            check="match-address-value")
     session.watch("arr[0:]")
     with pytest.raises(UnsupportedWatchpointError):
@@ -180,7 +180,7 @@ def test_auto_strategy_switches_to_bloom():
         stq r2, 0(r1)
         halt
     """)
-    session = DebugSession(program, backend="dise")
+    session = Session(program, backend="dise")
     for name in "abcdef":
         session.watch(name)
     backend = session.build_backend()
@@ -196,7 +196,7 @@ def test_protection_production():
 
 def test_protection_catches_wild_store():
     program = make_watch_loop(5)
-    session = DebugSession(program, backend="dise", protect=True)
+    session = Session(program, backend="dise", protect=True)
     session.watch("hot")
     backend = session.build_backend()
     # Simulate a wild pointer: store straight into the debugger region
@@ -218,7 +218,7 @@ def test_stack_prune_rejected_when_watching_locals():
     program = make_watch_loop(5)
     program.symbols["stack_var"] = type(
         program.symbol("hot"))("stack_var", 0x7FFF_F010, 8, "data")
-    session = DebugSession(program, backend="dise",
+    session = Session(program, backend="dise",
                            prune_stack_stores=True)
     session.watch("stack_var")
     with pytest.raises(DebuggerError):
@@ -226,7 +226,7 @@ def test_stack_prune_rejected_when_watching_locals():
 
 
 def test_stack_prune_installs_identity():
-    session = DebugSession(make_watch_loop(10), backend="dise",
+    session = Session(make_watch_loop(10), backend="dise",
                            prune_stack_stores=True)
     session.watch("hot")
     backend = session.build_backend()
@@ -235,7 +235,7 @@ def test_stack_prune_installs_identity():
 
 
 def test_breakpoint_pc_pattern():
-    session = DebugSession(make_watch_loop(8), backend="dise")
+    session = Session(make_watch_loop(8), backend="dise")
     session.break_at("loop")
     backend = session.build_backend()
     result = backend.run()
@@ -245,7 +245,7 @@ def test_breakpoint_pc_pattern():
 
 def test_breakpoint_codeword_flavour():
     program = make_watch_loop(8)
-    session = DebugSession(program, backend="dise",
+    session = Session(program, backend="dise",
                            breakpoint_codewords=True)
     session.break_at("loop")
     backend = session.build_backend()
@@ -262,7 +262,7 @@ def test_breakpoint_codeword_flavour():
 
 
 def test_conditional_breakpoint_inline():
-    session = DebugSession(make_watch_loop(8), backend="dise")
+    session = Session(make_watch_loop(8), backend="dise")
     session.break_at("loop", condition="other == 3")
     backend = session.build_backend()
     result = backend.run()

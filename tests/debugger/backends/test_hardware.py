@@ -3,14 +3,14 @@
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.errors import UnsupportedWatchpointError
 from repro.isa import assemble
 from tests.conftest import make_watch_loop
 
 
 def test_register_watch_classification():
-    session = DebugSession(make_watch_loop(25), backend="hardware")
+    session = Session(make_watch_loop(25), backend="hardware")
     session.watch("hot")
     result = session.run()
     stats = result.stats
@@ -33,7 +33,7 @@ def test_quad_granularity_partial_watch():
         stb r2, 1(r1)    ; other byte of the same quad
         halt
     """)
-    session = DebugSession(program, backend="hardware")
+    session = Session(program, backend="hardware")
     session.watch("pair")  # symbol covers both bytes; watch first only
     backend = session.build_backend()
     # Narrow the watch manually to the first byte.
@@ -46,14 +46,14 @@ def test_quad_granularity_partial_watch():
 
 
 def test_indirect_rejected():
-    session = DebugSession(make_watch_loop(), backend="hardware")
+    session = Session(make_watch_loop(), backend="hardware")
     session.watch("*hot_ptr")
     with pytest.raises(UnsupportedWatchpointError):
         session.build_backend()
 
 
 def test_range_rejected():
-    session = DebugSession(make_watch_loop(), backend="hardware")
+    session = Session(make_watch_loop(), backend="hardware")
     session.watch("arr[0:]")
     with pytest.raises(UnsupportedWatchpointError):
         session.build_backend()
@@ -73,7 +73,7 @@ def test_fallback_to_vm_beyond_register_count():
         stq r2, 16(r1)   ; c: VM fallback (same page as a/b)
         halt
     """)
-    session = DebugSession(program, backend="hardware", num_registers=2)
+    session = Session(program, backend="hardware", num_registers=2)
     session.watch("a")
     session.watch("b")
     session.watch("c")  # exceeds the two registers
@@ -85,7 +85,7 @@ def test_fallback_to_vm_beyond_register_count():
 
 
 def test_conditional():
-    session = DebugSession(make_watch_loop(10), backend="hardware")
+    session = Session(make_watch_loop(10), backend="hardware")
     session.watch("hot", condition="hot == 77777777")
     result = session.run()
     assert result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1

@@ -1,12 +1,12 @@
 """Single-stepping backend."""
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from tests.conftest import make_watch_loop
 
 
 def _run(condition=None):
-    session = DebugSession(make_watch_loop(20), backend="single_step")
+    session = Session(make_watch_loop(20), backend="single_step")
     session.watch("hot", condition=condition)
     return session.run(run_baseline=True)
 
@@ -34,7 +34,7 @@ def test_conditional_adds_predicate_transitions():
 
 
 def test_breakpoint_via_stepping():
-    session = DebugSession(make_watch_loop(10), backend="single_step")
+    session = Session(make_watch_loop(10), backend="single_step")
     session.break_at("loop")
     result = session.run()
     assert result.user_transitions > 0

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.errors import UnsupportedWatchpointError
 from tests.conftest import make_watch_loop
 
 
 def test_page_protection_installed():
-    session = DebugSession(make_watch_loop(), backend="virtual_memory")
+    session = Session(make_watch_loop(), backend="virtual_memory")
     session.watch("hot")
     backend = session.build_backend()
     assert backend.machine.pagetable.any_protected
@@ -19,7 +19,7 @@ def test_page_protection_installed():
 
 
 def test_transition_classification():
-    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session = Session(make_watch_loop(30), backend="virtual_memory")
     session.watch("hot")
     result = session.run()
     stats = result.stats
@@ -31,7 +31,7 @@ def test_transition_classification():
 
 
 def test_conditional_predicate_transitions():
-    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session = Session(make_watch_loop(30), backend="virtual_memory")
     session.watch("hot", condition="hot == 424242424242")
     result = session.run()
     assert result.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 1
@@ -39,14 +39,14 @@ def test_conditional_predicate_transitions():
 
 
 def test_indirect_rejected():
-    session = DebugSession(make_watch_loop(), backend="virtual_memory")
+    session = Session(make_watch_loop(), backend="virtual_memory")
     session.watch("*hot_ptr")
     with pytest.raises(UnsupportedWatchpointError):
         session.build_backend()
 
 
 def test_range_supported():
-    session = DebugSession(make_watch_loop(30), backend="virtual_memory")
+    session = Session(make_watch_loop(30), backend="virtual_memory")
     session.watch("arr[0:]")
     result = session.run()
     # Every arr store is a watched write that changes content.
@@ -56,7 +56,7 @@ def test_range_supported():
 def test_unwatched_program_unperturbed():
     """The application's results are unchanged under VM watching."""
     program = make_watch_loop(25)
-    session = DebugSession(program, backend="virtual_memory")
+    session = Session(program, backend="virtual_memory")
     session.watch("hot")
     backend = session.build_backend()
     backend.run()

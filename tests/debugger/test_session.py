@@ -1,11 +1,10 @@
-"""DebugSession facade."""
+"""Session facade."""
 
 import pytest
 
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.debugger.backends import BACKENDS, backend_class
-from repro.errors import DebuggerError
 from tests.conftest import make_watch_loop
 
 
@@ -18,7 +17,7 @@ def test_backend_registry():
 
 
 def test_watch_and_run_with_baseline():
-    session = DebugSession(make_watch_loop(), backend="dise")
+    session = Session(make_watch_loop(), backend="dise")
     session.watch("hot")
     result = session.run(run_baseline=True)
     assert result.backend == "dise"
@@ -27,16 +26,16 @@ def test_watch_and_run_with_baseline():
     assert result.spurious_transitions == 0
 
 
-def test_overhead_requires_baseline():
-    session = DebugSession(make_watch_loop(), backend="dise")
+def test_overhead_without_baseline_is_none():
+    session = Session(make_watch_loop(), backend="dise")
     session.watch("hot")
     result = session.run()
-    with pytest.raises(DebuggerError):
-        _ = result.overhead
+    assert result.overhead is None
+    assert result.supported
 
 
 def test_conditional_watch():
-    session = DebugSession(make_watch_loop(), backend="hardware")
+    session = Session(make_watch_loop(), backend="hardware")
     session.watch("hot", condition="hot == 999999999")
     result = session.run()
     assert result.user_transitions == 0
@@ -44,7 +43,7 @@ def test_conditional_watch():
 
 
 def test_numbering_and_delete():
-    session = DebugSession(make_watch_loop())
+    session = Session(make_watch_loop())
     wp1 = session.watch("hot")
     wp2 = session.watch("other")
     assert (wp1.number, wp2.number) == (1, 2)
@@ -53,7 +52,7 @@ def test_numbering_and_delete():
 
 
 def test_breakpoints():
-    session = DebugSession(make_watch_loop(), backend="dise")
+    session = Session(make_watch_loop(), backend="dise")
     bp = session.break_at("loop")
     result = session.run(max_app_instructions=2000)
     assert result.user_transitions > 0
@@ -62,7 +61,7 @@ def test_breakpoints():
 
 
 def test_summary_renders():
-    session = DebugSession(make_watch_loop(), backend="dise")
+    session = Session(make_watch_loop(), backend="dise")
     session.watch("hot")
     result = session.run(run_baseline=True)
     text = result.summary()
@@ -75,7 +74,7 @@ def test_breakpoint_stops_before_instruction_executes():
     breakpointed instruction still pending (a real debugger stops
     before the breakpointed instruction runs), and resuming does not
     re-fire the same breakpoint."""
-    session = DebugSession(make_watch_loop(), backend="hardware")
+    session = Session(make_watch_loop(), backend="hardware")
     session.break_at("loop")
     backend = session.build_backend()
     machine = backend.machine
@@ -96,7 +95,7 @@ def test_breakpoint_stops_before_instruction_executes():
 
 
 def test_multiple_watchpoints_one_session():
-    session = DebugSession(make_watch_loop(), backend="dise")
+    session = Session(make_watch_loop(), backend="dise")
     session.watch("hot")
     session.watch("other")
     result = session.run()

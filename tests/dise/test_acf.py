@@ -211,11 +211,11 @@ def test_figure1_shim():
 def test_acfs_compose_with_watchpoints():
     """The paper: "the watchpoint productions may be combined with any
     other DISE productions"."""
-    from repro.debugger import DebugSession
+    from repro.debugger import Session
     from tests.conftest import make_watch_loop
 
     program = make_watch_loop(10)
-    session = DebugSession(program, backend="dise")
+    session = Session(program, backend="dise")
     session.watch("hot")
     backend = session.build_backend()
     backend.machine.dise_controller.install(

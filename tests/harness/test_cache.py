@@ -1,0 +1,107 @@
+"""The persistent on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import CACHE_FORMAT, ResultCache, code_version
+from repro.harness.experiment import (_BASELINE_CACHE, clear_baseline_cache,
+                                      run_baseline)
+from repro.results import RunResult
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def make_result() -> RunResult:
+    return RunResult("bzip2", "HOT", "dise", 1.31, user_transitions=4)
+
+
+def test_store_then_load_hit(cache):
+    key = cache.key_for({"benchmark": "bzip2", "kind": "HOT"})
+    assert cache.load(key) is None
+    cache.store(key, make_result())
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert loaded.from_cache
+    assert loaded.overhead == 1.31
+    assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+
+def test_distinct_payloads_distinct_keys(cache):
+    key1 = cache.key_for({"benchmark": "bzip2", "kind": "HOT"})
+    key2 = cache.key_for({"benchmark": "bzip2", "kind": "COLD"})
+    assert key1 != key2
+    cache.store(key1, make_result())
+    assert cache.load(key2) is None
+
+
+def test_code_version_mismatch_is_miss_not_error(cache):
+    key = cache.key_for({"cell": 1})
+    cache.store(key, make_result())
+    record = json.loads(cache.path_for(key).read_text())
+    record["code_version"] = "0" * 16
+    cache.path_for(key).write_text(json.dumps(record))
+    assert cache.load(key) is None
+
+
+def test_corrupt_record_is_miss_not_error(cache):
+    key = cache.key_for({"cell": 2})
+    cache.store(key, make_result())
+    cache.path_for(key).write_text("{not json")
+    assert cache.load(key) is None
+    cache.path_for(key).write_text(json.dumps({"format": CACHE_FORMAT}))
+    assert cache.load(key) is None
+
+
+def test_wrong_cache_format_is_miss(cache):
+    key = cache.key_for({"cell": 3})
+    cache.store(key, make_result())
+    record = json.loads(cache.path_for(key).read_text())
+    record["format"] = CACHE_FORMAT + 1
+    cache.path_for(key).write_text(json.dumps(record))
+    assert cache.load(key) is None
+
+
+def test_disabled_cache_never_touches_disk(tmp_path):
+    cache = ResultCache(tmp_path / "cache", enabled=False)
+    key = cache.key_for({"cell": 4})
+    cache.store(key, make_result())
+    assert not (tmp_path / "cache").exists()
+    assert cache.load(key) is None
+
+
+def test_clear_removes_records(cache):
+    for i in range(3):
+        cache.store(cache.key_for({"cell": i}), make_result())
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_code_version_is_stable_in_process():
+    assert code_version() == code_version()
+    assert len(code_version()) == 16
+
+
+def test_run_baseline_populates_disk_store(tiny_settings, tmp_path):
+    cache = ResultCache(tmp_path / "baselines")
+    run_baseline("bzip2", tiny_settings, cache=cache)
+    assert len(cache) == 1
+    # A fresh process (empty in-memory dict) hits the disk record.
+    _BASELINE_CACHE.clear()
+    run_baseline("bzip2", tiny_settings, cache=cache)
+    assert cache.hits == 1
+
+
+def test_clear_baseline_cache_clears_disk_store(tiny_settings, monkeypatch,
+                                                tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "store"))
+    run_baseline("bzip2", tiny_settings)
+    assert (tmp_path / "store").is_dir()
+    assert len(list((tmp_path / "store").glob("*.json"))) == 1
+    clear_baseline_cache()
+    assert not _BASELINE_CACHE
+    assert len(list((tmp_path / "store").glob("*.json"))) == 0

@@ -1,0 +1,131 @@
+"""The parallel experiment engine."""
+
+import io
+
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import CellSpec, execute_spec
+from repro.harness.runner import Runner, RunReport, _execute_remote
+
+
+def make_specs():
+    return [
+        CellSpec.make("bzip2", "HOT", "dise"),
+        CellSpec.make("bzip2", "COLD", "single_step"),
+        CellSpec.make("mcf", "WARM1", "hardware"),
+        CellSpec.make("mcf", "INDIRECT", "hardware"),  # unsupported combo
+    ]
+
+
+def assert_same_cells(parallel, serial):
+    assert len(parallel) == len(serial)
+    for p, s in zip(parallel, serial):
+        assert (p.benchmark, p.kind, p.backend) == \
+            (s.benchmark, s.kind, s.backend)
+        assert p.overhead == s.overhead
+        assert p.unsupported_reason == s.unsupported_reason
+        if s.stats is None:
+            assert p.stats is None
+        else:
+            # Cell-for-cell SimStats equality with the serial path.
+            assert p.stats.to_dict() == s.stats.to_dict()
+
+
+def test_parallel_matches_serial_cell_for_cell(tiny_settings, tmp_path):
+    specs = make_specs()
+    serial = [execute_spec(spec, tiny_settings) for spec in specs]
+    runner = Runner(workers=2, cache=ResultCache(tmp_path / "c"))
+    parallel = runner.run(specs, settings=tiny_settings)
+    assert_same_cells(parallel, serial)
+    report = runner.last_report
+    assert (report.total, report.computed, report.cached, report.failed) == \
+        (4, 4, 0, 0)
+    assert report.instructions > 0
+    assert report.instructions_per_second > 0
+
+
+def test_warm_rerun_recomputes_nothing(tiny_settings, tmp_path):
+    specs = make_specs()
+    cache = ResultCache(tmp_path / "c")
+    cold = Runner(workers=0, cache=cache)
+    first = cold.run(specs, settings=tiny_settings)
+    assert cold.last_report.computed == len(specs)
+
+    warm = Runner(workers=2, cache=cache)
+    second = warm.run(specs, settings=tiny_settings)
+    assert warm.last_report.computed == 0
+    assert warm.last_report.cached == len(specs)
+    assert all(result.from_cache for result in second)
+    assert_same_cells(second, first)
+
+
+def test_serial_runner_fills_cache(tiny_settings, tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    runner = Runner(workers=0, cache=cache)
+    runner.run(make_specs()[:2], settings=tiny_settings)
+    assert len(cache) >= 2  # two cells + shared baselines
+
+
+def _crash_worker(spec, settings):
+    """Module-level (hence picklable) worker that always fails."""
+    raise RuntimeError(f"boom: {spec.benchmark}/{spec.kind}")
+
+
+def _flaky_by_kind(spec, settings):
+    """Fails HOT cells, computes the rest."""
+    if spec.kind == "HOT":
+        raise RuntimeError("flaky HOT cell")
+    return _execute_remote(spec, settings)
+
+
+def test_crashing_worker_retries_then_records_failure(tiny_settings,
+                                                      tmp_path):
+    specs = [CellSpec.make("bzip2", "HOT", "dise")]
+    runner = Runner(workers=2, retries=2, cache=ResultCache(tmp_path / "c"),
+                    worker=_crash_worker)
+    results = runner.run(specs, settings=tiny_settings)
+    report = runner.last_report
+    assert report.failed == 1
+    assert report.retried == 2  # two extra attempts before giving up
+    assert not results[0].supported
+    assert "worker failed" in results[0].unsupported_reason
+    assert "boom" in results[0].unsupported_reason
+
+
+def test_partial_failure_still_completes_grid(tiny_settings, tmp_path):
+    specs = make_specs()
+    runner = Runner(workers=2, retries=0, cache=ResultCache(tmp_path / "c"),
+                    worker=_flaky_by_kind)
+    results = runner.run(specs, settings=tiny_settings)
+    report = runner.last_report
+    assert report.failed == 1
+    assert report.computed == 3
+    by_kind = {result.kind: result for result in results}
+    assert "worker failed" in by_kind["HOT"].unsupported_reason
+    assert by_kind["COLD"].overhead is not None
+
+
+def test_progress_line_streams_telemetry(tiny_settings, tmp_path):
+    stream = io.StringIO()
+    runner = Runner(workers=0, cache=ResultCache(tmp_path / "c"),
+                    progress=True, stream=stream)
+    runner.run(make_specs()[:2], settings=tiny_settings)
+    text = stream.getvalue()
+    assert "[runner] 2/2 cells" in text
+    assert "sim-instr/s" in text
+    assert "ETA" in text
+
+
+def test_report_summary_format():
+    report = RunReport(total=4, computed=2, cached=1, failed=1,
+                       wall_time=2.0, instructions=4_000_000)
+    assert report.done == 4
+    assert report.summary() == \
+        "4 cells: 2 computed, 1 cached, 1 failed in 2.0s (2.00M sim-instr/s)"
+
+
+def test_results_come_back_in_spec_order(tiny_settings, tmp_path):
+    specs = make_specs()
+    runner = Runner(workers=2, cache=ResultCache(tmp_path / "c"))
+    results = runner.run(specs, settings=tiny_settings)
+    assert [(r.benchmark, r.kind) for r in results] == \
+        [(s.benchmark, s.kind) for s in specs]

@@ -18,7 +18,7 @@ import pytest
 from repro.config import MachineConfig
 from repro.cpu.machine import Machine
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.errors import UnsupportedWatchpointError
 from repro.isa.builder import CodeBuilder
 
@@ -85,7 +85,7 @@ def test_backends_preserve_random_program_semantics(seed):
         generate_program(seed).build())
     for backend in BACKENDS:
         program = generate_program(seed).build()
-        session = DebugSession(program, backend=backend)
+        session = Session(program, backend=backend)
         session.watch("v0")
         try:
             debugged = session.build_backend()
@@ -117,7 +117,7 @@ def test_dise_variants_agree(seed):
                     {"multi_strategy": "bloom-bit"},
                     {"protect": True}):
         program = generate_program(seed).build()
-        session = DebugSession(program, backend="dise", **options)
+        session = Session(program, backend="dise", **options)
         session.watch("v0")
         backend = session.build_backend()
         backend.machine.run(max_app_instructions=50_000)
@@ -130,7 +130,7 @@ def test_dise_variants_agree(seed):
 def test_transition_invariants_hold_on_random_programs(seed):
     """DISE never produces spurious transitions, on any program."""
     program = generate_program(seed).build()
-    session = DebugSession(program, backend="dise")
+    session = Session(program, backend="dise")
     session.watch("v0")
     backend = session.build_backend()
     result = backend.machine.run(max_app_instructions=50_000)
@@ -151,7 +151,7 @@ TABLE_CONFIG = MachineConfig()
 
 def _backend_stats(seed, backend, config):
     program = generate_program(seed).build()
-    session = DebugSession(program, backend=backend, config=config)
+    session = Session(program, backend=backend, config=config)
     session.watch("v0")
     debugged = session.build_backend()
     debugged.machine.run(max_app_instructions=50_000)

@@ -10,7 +10,7 @@ import pytest
 
 from repro.cpu.machine import Machine
 from repro.cpu.stats import TransitionKind
-from repro.debugger import DebugSession
+from repro.debugger import Session
 from repro.debugger.backends import BACKENDS
 from tests.conftest import make_watch_loop
 
@@ -19,7 +19,7 @@ ALL_BACKENDS = tuple(BACKENDS)
 
 def _final_state(backend_name, expression="hot"):
     program = make_watch_loop(40)
-    session = DebugSession(program, backend=backend_name)
+    session = Session(program, backend=backend_name)
     session.watch(expression)
     backend = session.build_backend()
     backend.run()
@@ -46,7 +46,7 @@ def test_application_semantics_preserved(backend):
 @pytest.mark.parametrize("backend", ALL_BACKENDS)
 def test_exactly_one_user_transition_for_hot(backend):
     program = make_watch_loop(40)
-    session = DebugSession(program, backend=backend)
+    session = Session(program, backend=backend)
     session.watch("hot")
     backend_obj = session.build_backend()
     result = backend_obj.run()
@@ -56,7 +56,7 @@ def test_exactly_one_user_transition_for_hot(backend):
 @pytest.mark.parametrize("backend", ("dise", "binary_rewrite"))
 def test_embedded_backends_have_zero_spurious_transitions(backend):
     program = make_watch_loop(40)
-    session = DebugSession(program, backend=backend)
+    session = Session(program, backend=backend)
     session.watch("hot")
     result = session.build_backend().run()
     assert result.stats.spurious_transitions == 0
@@ -68,7 +68,7 @@ def test_overhead_ordering_matches_paper():
     overheads = {}
     for backend in ("single_step", "virtual_memory", "hardware", "dise"):
         program = make_watch_loop(60)
-        session = DebugSession(program, backend=backend)
+        session = Session(program, backend=backend)
         session.watch("hot")
         result = session.run(run_baseline=True)
         overheads[backend] = result.overhead
@@ -81,7 +81,7 @@ def test_overhead_ordering_matches_paper():
 def test_conditional_kills_all_transitions_only_for_embedded():
     for backend, expect_spurious in (("hardware", True), ("dise", False)):
         program = make_watch_loop(60)
-        session = DebugSession(program, backend=backend)
+        session = Session(program, backend=backend)
         session.watch("hot", condition="hot == 998877665544332211")
         result = session.build_backend().run()
         assert result.stats.user_transitions == 0
@@ -93,7 +93,7 @@ def test_dise_conditionals_free_of_predicate_cost():
     same (the predicate is folded into the in-app function)."""
     def overhead(condition):
         program = make_watch_loop(60)
-        session = DebugSession(program, backend="dise")
+        session = Session(program, backend="dise")
         session.watch("hot", condition=condition)
         return session.run(run_baseline=True).overhead
 
@@ -104,7 +104,7 @@ def test_dise_conditionals_free_of_predicate_cost():
 
 def test_disabled_watchpoint_never_fires():
     program = make_watch_loop(20)
-    session = DebugSession(program, backend="virtual_memory")
+    session = Session(program, backend="virtual_memory")
     wp = session.watch("hot")
     wp.enabled = False
     backend = session.build_backend()

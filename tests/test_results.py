@@ -1,0 +1,64 @@
+"""The unified, serializable RunResult."""
+
+import pytest
+
+from repro.cpu.stats import SimStats, TransitionKind
+from repro.results import RunResult
+
+
+def make_stats() -> SimStats:
+    stats = SimStats()
+    stats.app_instructions = 1000
+    stats.dise_instructions = 300
+    stats.cycles = 2600
+    stats.transitions[TransitionKind.USER] = 3
+    stats.transitions[TransitionKind.SPURIOUS_PREDICATE] = 7
+    return stats
+
+
+def test_round_trip_preserves_everything():
+    result = RunResult(
+        "bzip2", "HOT", "dise", 1.27,
+        conditional=True,
+        user_transitions=3,
+        spurious_transitions=7,
+        stats=make_stats(),
+        baseline_stats=make_stats(),
+        halted=False,
+        stopped_at_user=True,
+        wall_time=0.125,
+    )
+    clone = RunResult.from_json(result.to_json())
+    assert clone == result
+    # Transition counters survive the enum-key -> string -> enum-key hop.
+    assert clone.stats.transitions[TransitionKind.USER] == 3
+    assert clone.stats.transitions[TransitionKind.SPURIOUS_PREDICATE] == 7
+    assert clone.baseline_stats.cycles == 2600
+    # from_cache is transport state, not payload: never serialized.
+    assert clone.from_cache is False
+
+
+def test_round_trip_unsupported_cell():
+    result = RunResult("gzip", "RANGE", "hardware", None,
+                       unsupported_reason="only 4 debug registers")
+    clone = RunResult.from_json(result.to_json())
+    assert clone == result
+    assert not clone.supported
+    assert clone.stats is None
+
+
+def test_supported_follows_unsupported_reason():
+    assert RunResult("b", "HOT", "dise", None).supported
+    assert not RunResult("b", "HOT", "hw", None, unsupported_reason="x").supported
+
+
+def test_new_fields_are_keyword_only():
+    with pytest.raises(TypeError):
+        RunResult("b", "HOT", "dise", 1.0, False, 0, 0, "", None, make_stats())
+
+
+def test_from_dict_rejects_unknown_format():
+    payload = RunResult("b", "HOT", "dise", 1.0).to_dict()
+    payload["format"] = 999
+    with pytest.raises(ValueError):
+        RunResult.from_dict(payload)
