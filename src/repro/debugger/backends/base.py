@@ -46,6 +46,7 @@ class DebuggerBackend:
         self.watchpoints = list(watchpoints)
         self.breakpoints = list(breakpoints)
         self.config = config or DEFAULT_CONFIG
+        detailed_timing = options.pop("detailed_timing", True)
         self.options = options
 
         # Each backend instance models one debugged *process*: it works
@@ -54,7 +55,8 @@ class DebuggerBackend:
         # only ever appends to its image; the rewriter transforms it.
         self.program = self.transform_program(program.copy())
         self.machine = Machine(self.program, self.config,
-                               trap_handler=self.handle_trap)
+                               trap_handler=self.handle_trap,
+                               detailed_timing=detailed_timing)
         self.resolver = ProgramResolver(self.program)
         self.monitor = WatchpointMonitor(self.watchpoints, self.resolver,
                                          self.machine.memory)

@@ -1,0 +1,46 @@
+"""Differential fuzzing of the debugger backends and interpreters.
+
+The paper's central claim is that its five watchpoint/breakpoint
+implementations are *semantically identical* — they differ only in
+overhead.  That makes the backends a free N-version oracle for each
+other, and the dispatch-table/legacy interpreter split a second oracle
+for the CPU core itself.  This package exploits both:
+
+* :mod:`repro.fuzz.generator` — a seeded random-program generator,
+  constrained to always-terminating, memory-bounded programs with
+  tunable store/branch/load densities and a self-checking epilogue;
+* :mod:`repro.fuzz.oracle` — runs one generated program undebugged on
+  both interpreters and under every backend (on both interpreters),
+  asserting identical final architectural state and identical
+  canonical user-visible stop sequences;
+* :mod:`repro.fuzz.shrinker` — minimizes a failing program spec to a
+  smallest reproducing instruction list;
+* :mod:`repro.fuzz.inject` — named fault injections (mutated stop
+  conditions) used to prove the oracle actually catches bugs;
+* :mod:`repro.fuzz.campaign` — a multi-iteration campaign that fans
+  out over the parallel experiment engine and dumps failure artifacts;
+* :mod:`repro.fuzz.cli` — the ``repro-fuzz`` command-line entry point;
+* :mod:`repro.fuzz.golden` — golden-trace snapshots pinning canonical
+  stop sequences of recorded seeds for regression testing.
+"""
+
+from repro.fuzz.generator import (GeneratorConfig, ProgramSpec, build_program,
+                                  generate_spec)
+from repro.fuzz.oracle import (OracleReport, Stop, StopRecorder,
+                               run_differential)
+from repro.fuzz.shrinker import shrink
+from repro.fuzz.campaign import CampaignResult, run_campaign
+
+__all__ = [
+    "GeneratorConfig",
+    "ProgramSpec",
+    "build_program",
+    "generate_spec",
+    "OracleReport",
+    "Stop",
+    "StopRecorder",
+    "run_differential",
+    "shrink",
+    "CampaignResult",
+    "run_campaign",
+]

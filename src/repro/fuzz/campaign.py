@@ -1,0 +1,226 @@
+"""Multi-iteration fuzz campaigns with parallel fan-out.
+
+A campaign derives one :class:`~repro.fuzz.generator.ProgramSpec` per
+iteration (seed ``base_seed + i``, each bit-reproducible from its own
+reported seed), fans the differential-oracle runs out over the parallel
+experiment engine (:class:`repro.harness.runner.Runner` — the same
+worker-pool/retry machinery the figure grids use), and for every
+failing seed re-runs the oracle in-process, shrinks the spec to a
+minimal reproducer, and dumps a self-contained failure artifact to
+``.repro_fuzz/failure-<seed>.json`` containing the original spec, the
+divergence report, the shrunk spec with *its* report, and the shrunk
+program's disassembly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.config import MachineConfig
+from repro.fuzz.generator import (GeneratorConfig, ProgramSpec,
+                                  build_program, generate_spec)
+from repro.fuzz.oracle import OracleReport, run_differential
+from repro.fuzz.shrinker import instruction_count, shrink
+from repro.harness.cache import ResultCache
+from repro.harness.runner import Runner
+from repro.results import RunResult
+
+DEFAULT_DUMP_DIR = ".repro_fuzz"
+_FAIL_MARKER = "fuzz-divergence:"
+
+
+@dataclass(frozen=True)
+class FuzzCell:
+    """One campaign iteration, shaped like an experiment cell.
+
+    Carries the full program spec (picklable plain data) so worker
+    processes can rebuild and run it — including any fault injection,
+    which travels inside the spec.
+    """
+
+    spec_data: tuple  # ProgramSpec.to_dict() as a hashable json string
+    seed: int
+    config: Optional[MachineConfig] = None
+
+    # The Runner's bookkeeping interface (same shape as CellSpec).
+    @property
+    def benchmark(self) -> str:
+        return f"fuzz-{self.seed}"
+
+    kind = "fuzz"
+    backend = "differential"
+    label = None
+    conditional = False
+
+    @property
+    def spec(self) -> ProgramSpec:
+        return ProgramSpec.from_dict(json.loads(self.spec_data[0]))
+
+    def cache_payload(self, settings) -> dict:
+        """Cell identity for the result cache (unused: caching is off)."""
+        return {"fuzz_spec": json.loads(self.spec_data[0])}
+
+
+def _make_cell(spec: ProgramSpec,
+               config: Optional[MachineConfig]) -> FuzzCell:
+    return FuzzCell((json.dumps(spec.to_dict(), sort_keys=True),),
+                    spec.seed, config)
+
+
+def fuzz_worker(cell: FuzzCell, settings) -> RunResult:
+    """Worker-process entry point: one oracle run, verdict in-band.
+
+    A divergence is *data*, not a crash: it rides back inside
+    ``unsupported_reason`` (prefixed so the parent can tell a fuzz
+    failure from a genuine worker error) and the parent re-runs the
+    seed in-process for the full report.
+    """
+    report = run_differential(cell.spec, cell.config)
+    reason = "" if report.ok else (
+        _FAIL_MARKER + report.divergences[0].describe())
+    return RunResult(
+        cell.benchmark, cell.kind, cell.backend, None,
+        user_transitions=report.stop_count,
+        spurious_transitions=sum(report.spurious.values()),
+        unsupported_reason=reason)
+
+
+@dataclass
+class Failure:
+    """One failing seed, with its shrunk reproducer."""
+
+    seed: int
+    report: OracleReport
+    spec: ProgramSpec
+    shrunk_spec: Optional[ProgramSpec] = None
+    shrunk_report: Optional[OracleReport] = None
+    shrunk_instructions: int = 0
+    artifact_path: Optional[str] = None
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign`."""
+
+    base_seed: int
+    iterations: int
+    failures: list[Failure] = field(default_factory=list)
+    worker_errors: list[str] = field(default_factory=list)
+    total_stops: int = 0
+    total_spurious: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.worker_errors
+
+    def summary(self) -> str:
+        """A short human-readable campaign report (the CLI's output)."""
+        lines = [
+            f"{self.iterations} iterations from seed {self.base_seed}: "
+            f"{len(self.failures)} failing, "
+            f"{self.total_stops} user stops, "
+            f"{self.total_spurious} spurious transitions, "
+            f"{self.wall_time:.1f}s",
+        ]
+        for failure in self.failures:
+            size = failure.shrunk_instructions
+            lines.append(
+                f"  seed {failure.seed}: "
+                f"{failure.report.divergences[0].describe()[:120]}"
+                + (f" (shrunk to {size} instructions,"
+                   f" {failure.artifact_path})" if size else ""))
+        lines.extend(f"  worker error: {err[:120]}"
+                     for err in self.worker_errors)
+        return "\n".join(lines)
+
+
+def run_campaign(base_seed: int, iterations: int, *,
+                 workers: int = 0,
+                 config: Optional[MachineConfig] = None,
+                 generator_config: Optional[GeneratorConfig] = None,
+                 inject: Optional[str] = None,
+                 dump_dir: str | Path = DEFAULT_DUMP_DIR,
+                 shrink_failures: bool = True,
+                 shrink_checks: int = 400,
+                 progress: bool = False) -> CampaignResult:
+    """Fuzz ``iterations`` seeds starting at ``base_seed``.
+
+    With ``workers > 1`` the oracle runs fan out over a process pool;
+    failing seeds are then re-run and shrunk serially in-process (the
+    shrinker's oracle calls are sequential by nature).
+    """
+    started = time.perf_counter()
+    result = CampaignResult(base_seed=base_seed, iterations=iterations)
+
+    cells = []
+    for i in range(iterations):
+        spec = generate_spec(base_seed + i, generator_config)
+        spec.inject = inject
+        cells.append(_make_cell(spec, config))
+
+    runner = Runner(workers=workers, cache=ResultCache(enabled=False),
+                    worker=fuzz_worker, progress=progress)
+    outcomes = runner.run(cells)
+
+    failing: list[FuzzCell] = []
+    for cell, outcome in zip(cells, outcomes):
+        result.total_stops += outcome.user_transitions
+        result.total_spurious += outcome.spurious_transitions
+        if outcome.unsupported_reason.startswith(_FAIL_MARKER):
+            failing.append(cell)
+        elif outcome.unsupported_reason:
+            result.worker_errors.append(
+                f"seed {cell.seed}: {outcome.unsupported_reason}")
+
+    dump = Path(dump_dir)
+    for cell in failing:
+        failure = _investigate(cell, shrink_failures, shrink_checks)
+        failure.artifact_path = str(_dump_artifact(dump, failure))
+        result.failures.append(failure)
+
+    result.wall_time = time.perf_counter() - started
+    return result
+
+
+def _investigate(cell: FuzzCell, do_shrink: bool,
+                 shrink_checks: int) -> Failure:
+    spec = cell.spec
+    report = run_differential(spec, cell.config)
+    failure = Failure(seed=cell.seed, report=report, spec=spec)
+    if report.ok:  # fails in a worker but not here: keep the raw spec
+        return failure
+    if do_shrink:
+        def is_failing(candidate: ProgramSpec) -> bool:
+            return not run_differential(candidate, cell.config).ok
+
+        failure.shrunk_spec = shrink(spec, is_failing,
+                                     max_checks=shrink_checks)
+        failure.shrunk_report = run_differential(failure.shrunk_spec,
+                                                 cell.config)
+        failure.shrunk_instructions = instruction_count(failure.shrunk_spec)
+    return failure
+
+
+def _dump_artifact(dump_dir: Path, failure: Failure) -> Path:
+    dump_dir.mkdir(parents=True, exist_ok=True)
+    artifact = {
+        "seed": failure.seed,
+        "report": failure.report.to_dict(),
+        "spec": failure.spec.to_dict(),
+    }
+    if failure.shrunk_spec is not None:
+        artifact["shrunk_spec"] = failure.shrunk_spec.to_dict()
+        artifact["shrunk_report"] = failure.shrunk_report.to_dict()
+        artifact["shrunk_instructions"] = failure.shrunk_instructions
+        artifact["shrunk_disassembly"] = build_program(
+            failure.shrunk_spec).disassemble()
+    path = dump_dir / f"failure-{failure.seed}.json"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(artifact, indent=2))
+    tmp.replace(path)
+    return path

@@ -1,0 +1,117 @@
+"""The ``repro-fuzz`` command-line tool.
+
+Runs a differential fuzz campaign::
+
+    repro-fuzz --seed 1234 --iterations 200
+    repro-fuzz --iterations 50 --workers 2        # CI smoke job
+    repro-fuzz --inject-bug hw-value-blind        # prove the oracle bites
+
+Every iteration runs one generated program undebugged on both
+interpreters and under all five debugger backends on both interpreters,
+asserting identical final state and identical user-visible stop
+sequences.  Failing seeds are shrunk and dumped as self-contained JSON
+artifacts under ``--dump-dir`` (default ``.repro_fuzz/``).
+
+Golden snapshots (``tests/fuzz/golden/``) are maintained with
+``--write-golden``/``--check-golden``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.campaign import DEFAULT_DUMP_DIR, run_campaign
+from repro.fuzz.generator import GeneratorConfig
+from repro.fuzz.golden import verify_golden, write_golden
+from repro.fuzz.inject import INJECTIONS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz",
+        description="Differential fuzzing of the five debugger backends "
+                    "and both interpreter cores")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; iteration i uses seed+i "
+                             "(default 0)")
+    parser.add_argument("--iterations", type=int, default=100,
+                        help="number of generated programs (default 100)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial in-process)")
+    parser.add_argument("--inject-bug", default=None, metavar="NAME",
+                        choices=sorted(INJECTIONS),
+                        help="apply a named fault injection "
+                             "(see --list-injections)")
+    parser.add_argument("--list-injections", action="store_true",
+                        help="list the available fault injections and exit")
+    parser.add_argument("--dump-dir", default=DEFAULT_DUMP_DIR,
+                        help="failure-artifact directory "
+                             f"(default {DEFAULT_DUMP_DIR})")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="dump failing specs without minimizing them")
+    parser.add_argument("--shrink-checks", type=int, default=400,
+                        help="oracle-run budget per shrink (default 400)")
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="body blocks per generated program")
+    parser.add_argument("--store-density", type=float, default=None,
+                        help="fraction of body ops that are stores")
+    parser.add_argument("--branch-density", type=float, default=None,
+                        help="fraction of body ops that are branches")
+    parser.add_argument("--write-golden", metavar="DIR", default=None,
+                        help="(re)write golden snapshots into DIR and exit")
+    parser.add_argument("--check-golden", metavar="DIR", default=None,
+                        help="verify golden snapshots in DIR and exit")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream the runner's progress line to stderr")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print nothing on success")
+    return parser
+
+
+def _generator_config(args) -> GeneratorConfig | None:
+    overrides = {}
+    if args.blocks is not None:
+        overrides["blocks"] = args.blocks
+    if args.store_density is not None:
+        overrides["store_density"] = args.store_density
+    if args.branch_density is not None:
+        overrides["branch_density"] = args.branch_density
+    return GeneratorConfig(**overrides) if overrides else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the campaign; 0 = no divergence."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_injections:
+        for name in sorted(INJECTIONS):
+            print(f"{name}: {INJECTIONS[name].description}")
+        return 0
+    if args.write_golden is not None:
+        for path in write_golden(args.write_golden):
+            print(f"wrote {path}")
+        return 0
+    if args.check_golden is not None:
+        problems = verify_golden(args.check_golden)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1 if problems else 0
+
+    result = run_campaign(
+        args.seed, args.iterations,
+        workers=args.workers,
+        generator_config=_generator_config(args),
+        inject=args.inject_bug,
+        dump_dir=args.dump_dir,
+        shrink_failures=not args.no_shrink,
+        shrink_checks=args.shrink_checks,
+        progress=args.progress,
+    )
+    if not args.quiet or not result.ok:
+        print(result.summary())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

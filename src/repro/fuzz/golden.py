@@ -1,0 +1,94 @@
+"""Golden-trace snapshots of pinned fuzz seeds.
+
+A golden record pins, for one seed, the canonical user-visible stop
+sequence (recorded under the virtual-memory backend — any backend would
+do, they must agree) and the final architectural state of the
+undebugged run.  The snapshot files live in ``tests/fuzz/golden/`` and
+regress two things hand-written tests can't: that the *generator* is
+bit-stable (a changed program for the same seed invalidates every
+reported seed) and that debugger stop semantics don't drift silently.
+
+Regenerate after an intentional change with::
+
+    repro-fuzz --write-golden tests/fuzz/golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.config import MachineConfig
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import _run_backend, _run_undebugged
+
+GOLDEN_SEEDS = (1, 7, 23, 101, 4242)
+GOLDEN_FORMAT = 1
+_REFERENCE_BACKEND = "virtual_memory"
+
+
+def compute_golden(seed: int,
+                   config: Optional[MachineConfig] = None) -> dict:
+    """The canonical record for ``seed`` (JSON-ready, key-sorted)."""
+    spec = generate_spec(seed)
+    base = _run_undebugged(spec, config, legacy=False)
+    debugged = _run_backend(spec, _REFERENCE_BACKEND, config, legacy=False)
+    if base.error or debugged.error:
+        raise RuntimeError(f"golden seed {seed} failed to run: "
+                           f"{base.error or debugged.error}")
+    return {
+        "format": GOLDEN_FORMAT,
+        "seed": seed,
+        "mode": spec.mode,
+        "stops": [{"breakpoints": list(stop.breakpoints),
+                   "changes": [[name, value]
+                               for name, value in stop.changes]}
+                  for stop in debugged.stops],
+        "final_state": [[name, value] for name, value in base.state],
+        "regs": list(base.regs),
+    }
+
+
+def path_for(directory: str | Path, seed: int) -> Path:
+    """Snapshot file location for ``seed`` inside ``directory``."""
+    return Path(directory) / f"seed-{seed}.json"
+
+
+def write_golden(directory: str | Path,
+                 seeds: Iterable[int] = GOLDEN_SEEDS,
+                 config: Optional[MachineConfig] = None) -> list[Path]:
+    """(Re)write the snapshot files; returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for seed in seeds:
+        path = path_for(directory, seed)
+        path.write_text(json.dumps(compute_golden(seed, config),
+                                   indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def verify_golden(directory: str | Path,
+                  seeds: Optional[Iterable[int]] = None,
+                  config: Optional[MachineConfig] = None) -> list[str]:
+    """Compare current behavior against the snapshots.
+
+    Returns a list of human-readable mismatch descriptions (empty =
+    everything matches).  A missing snapshot file is a mismatch.
+    """
+    problems = []
+    for seed in (GOLDEN_SEEDS if seeds is None else seeds):
+        path = path_for(directory, seed)
+        if not path.exists():
+            problems.append(f"seed {seed}: no snapshot at {path}")
+            continue
+        recorded = json.loads(path.read_text())
+        current = compute_golden(seed, config)
+        if recorded != current:
+            keys = [k for k in current
+                    if recorded.get(k) != current.get(k)]
+            problems.append(
+                f"seed {seed}: drift in {', '.join(keys)} (see {path})")
+    return problems

@@ -1,0 +1,124 @@
+"""Named fault injections: deliberately broken stop conditions.
+
+The oracle is only trustworthy if it *catches* bugs, so each injection
+here mutates one backend's stop condition in a way a real regression
+could — and the test suite asserts the differential oracle flags it and
+the shrinker reduces it to a small reproducer.
+
+An injection is applied by name (carried inside the
+:class:`~repro.fuzz.generator.ProgramSpec`, so worker processes apply
+it too) and patches exactly one backend class; every other backend runs
+pristine, which is what makes the mutation observable as a cross-backend
+divergence.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cpu.machine import TrapKind
+from repro.cpu.stats import TransitionKind
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One named mutation of a backend's stop condition."""
+
+    name: str
+    backend: str  # backend whose class is patched
+    attr: str
+    replacement: Callable
+    description: str
+
+    def target_class(self):
+        """The backend class this injection patches."""
+        from repro.debugger.backends import backend_class
+
+        return backend_class(self.backend)
+
+
+def _hw_value_blind(self, hits):
+    # Mutated stop condition: an address match alone stops the user —
+    # the silent-store (spurious value) filter is gone.
+    if hits:
+        return TransitionKind.USER
+    return TransitionKind.SPURIOUS_ADDRESS
+
+
+def _ss_skip_breakpoints(self, event):
+    # Mutated stop condition: the per-statement breakpoint-address
+    # check was dropped; only watchpoints are re-evaluated.
+    if event.kind is not TrapKind.SINGLE_STEP:
+        return TransitionKind.NONE
+    if not self.watchpoints:
+        return TransitionKind.SPURIOUS_ADDRESS
+    return self.monitor.check_all()
+
+
+def _vm_predicate_blind(self, hits):
+    # Mutated stop condition: conditional watchpoints stop as if they
+    # were unconditional (the predicate is never consulted).
+    if not hits:
+        return TransitionKind.SPURIOUS_ADDRESS
+    for wp in hits:
+        changed, _predicate = self.monitor.check(wp)
+        if changed:
+            return TransitionKind.USER
+    return TransitionKind.SPURIOUS_VALUE
+
+
+def _rw_breakpoints_unconditional(self, pc):
+    # Mutated stop condition: breakpoint conditions are ignored.
+    bp = self._breakpoint_pcs.get(pc)
+    if bp is None or not bp.enabled:
+        return TransitionKind.SPURIOUS_ADDRESS
+    return TransitionKind.USER
+
+
+INJECTIONS: dict[str, Injection] = {
+    inj.name: inj for inj in (
+        Injection("hw-value-blind", "hardware", "classify_store_hit",
+                  _hw_value_blind,
+                  "hardware backend stops on silent stores"),
+        Injection("ss-skip-breakpoints", "single_step", "handle_trap",
+                  _ss_skip_breakpoints,
+                  "single-step backend never hits breakpoints"),
+        Injection("vm-predicate-blind", "virtual_memory",
+                  "classify_store_hit", _vm_predicate_blind,
+                  "virtual-memory backend ignores watchpoint conditions"),
+        Injection("rw-breakpoints-unconditional", "binary_rewrite",
+                  "classify_breakpoint", _rw_breakpoints_unconditional,
+                  "binary-rewrite backend ignores breakpoint conditions"),
+    )
+}
+
+_MISSING = object()
+
+
+@contextmanager
+def applied_injection(name: str | None, backend_name: str):
+    """Apply injection ``name`` while running ``backend_name``.
+
+    No-op when ``name`` is None or targets a different backend.  The
+    patch is installed on the backend *class* and removed on exit, so
+    it covers both backend construction and the run's trap handling.
+    """
+    if name is None:
+        yield
+        return
+    injection = INJECTIONS[name]  # unknown name -> KeyError, on purpose
+    if injection.backend != backend_name:
+        yield
+        return
+    cls = injection.target_class()
+    original = cls.__dict__.get(injection.attr, _MISSING)
+    setattr(cls, injection.attr, injection.replacement)
+    try:
+        yield
+    finally:
+        if original is _MISSING:
+            delattr(cls, injection.attr)
+        else:
+            setattr(cls, injection.attr, original)

@@ -1,0 +1,366 @@
+"""The differential oracle: N backends x 2 interpreters, one verdict.
+
+For one generated :class:`~repro.fuzz.generator.ProgramSpec` the oracle
+runs twelve simulations — the program undebugged on the dispatch-table
+and legacy interpreters, and under each of the five debugger backends
+on both interpreters — and checks:
+
+* **undebugged, table vs legacy**: identical final registers, memory,
+  and full :class:`~repro.cpu.stats.SimStats`;
+* **each backend, table vs legacy**: identical canonical stop sequence
+  and full SimStats — interpreter choice must be invisible;
+* **across backends** (and vs undebugged where applicable): identical
+  final architectural state (compared registers, every program
+  variable, the scratch array, the stack slots, the checksum) and
+  identical canonical stop sequences.  Spurious-transition counts are
+  explicitly *not* compared across backends: they are the mechanism
+  cost the paper measures, and legitimately differ.
+
+Raw stop PCs are **not** comparable across backends — binary rewriting
+shifts text addresses, single-stepping stops at the statement after a
+store, and DISE traps from inside an expansion.  The canonical
+:class:`Stop` record therefore contains only backend-independent facts:
+which breakpoint *numbers* were hit (resolved through each backend's
+own program image) and which watched variables changed to which values
+(diffed against a recorder-private shadow copy).  Data addresses are
+identical everywhere (the data segment base is fixed and transforms
+only append), so watched-variable reads need no translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.config import DEFAULT_CONFIG, MachineConfig
+from repro.cpu.machine import Machine, TrapEvent
+from repro.cpu.stats import TransitionKind
+from repro.debugger.backends import backend_class
+from repro.debugger.watchpoint import Breakpoint, Watchpoint
+from repro.fuzz.generator import (ProgramSpec, SCRATCH_QUADS, STACK_SLOTS,
+                                  build_program, dynamic_budget)
+from repro.isa.program import STACK_TOP
+
+BACKENDS = ("single_step", "virtual_memory", "hardware", "binary_rewrite",
+            "dise")
+#: Registers whose final values must agree across backends.  r26-r29
+#: (ra/gp and the rewriter's scavenged pair) belong to the mechanism,
+#: not the program, and are excluded; r30 is the stack pointer.
+COMPARE_REGS = tuple(range(1, 26)) + (30,)
+QUAD = 8
+
+
+@dataclass(frozen=True)
+class Stop:
+    """One canonical user-visible stop.
+
+    ``breakpoints`` holds the numbers of the breakpoints hit (almost
+    always one); ``changes`` holds ``(variable, new_value)`` for every
+    watched variable whose value differs from the previous stop.  A
+    breakpoint number of ``-1`` marks a user stop at a PC that maps to
+    no breakpoint — itself a divergence, surfaced by comparison.
+    """
+
+    breakpoints: tuple[int, ...] = ()
+    changes: tuple[tuple[str, int], ...] = ()
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``stop(bp#1, v0=0x14)``."""
+        parts = [f"bp#{n}" for n in self.breakpoints]
+        parts += [f"{name}={value:#x}" for name, value in self.changes]
+        return "stop(" + ", ".join(parts) + ")"
+
+
+class StopRecorder:
+    """Interpose on a backend's trap handler; record canonical stops.
+
+    The recorder re-points ``machine.trap_handler`` at itself and
+    forwards every event to the backend's own handler, so backend
+    classification is untouched.  On a USER classification it computes
+    the canonical :class:`Stop` from the backend's *own* program image
+    and memory — at that moment the triggering store has committed in
+    every mechanism (stores commit before trap delivery; single-step
+    traps at the following statement).
+    """
+
+    def __init__(self, backend):
+        self.backend = backend
+        self.stops: list[Stop] = []
+        memory = backend.machine.memory
+        resolver = backend.resolver
+        self._memory = memory
+        self._watch_addrs: dict[str, int] = {}
+        for wp in backend.watchpoints:
+            name = str(wp.expression)
+            self._watch_addrs[name] = resolver.resolve(name)[0]
+        self._shadow = {name: memory.read_int(addr, QUAD)
+                        for name, addr in self._watch_addrs.items()}
+        self._bp_numbers = {bp.resolve_pc(backend.program): bp.number
+                            for bp in backend.breakpoints}
+        self._inner = backend.machine.trap_handler
+        backend.machine.trap_handler = self
+
+    def __call__(self, event: TrapEvent) -> TransitionKind:
+        kind = self._inner(event)
+        if kind is TransitionKind.USER:
+            changes = []
+            for name, addr in self._watch_addrs.items():
+                value = self._memory.read_int(addr, QUAD)
+                if value != self._shadow[name]:
+                    self._shadow[name] = value
+                    changes.append((name, value))
+            breakpoints: tuple[int, ...] = ()
+            if self._bp_numbers:
+                number = self._bp_numbers.get(event.pc, -1)
+                breakpoints = (number,)
+            self.stops.append(Stop(breakpoints, tuple(sorted(changes))))
+        return kind
+
+
+@dataclass
+class RunOutcome:
+    """Final observable state of one of the twelve runs."""
+
+    name: str  # e.g. "dise/table" or "undebugged/legacy"
+    halted: bool = False
+    stops: tuple[Stop, ...] = ()
+    regs: tuple[int, ...] = ()  # values of COMPARE_REGS, in order
+    state: tuple[tuple[str, int], ...] = ()  # named memory words
+    stats: Optional[dict] = None  # SimStats.to_dict()
+    error: Optional[str] = None
+
+    @property
+    def arch_state(self) -> tuple:
+        return (self.halted, self.regs, self.state)
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between two runs."""
+
+    kind: str  # "error" | "termination" | "stops" | "state" | "stats"
+    runs: tuple[str, str]
+    detail: str
+
+    def describe(self) -> str:
+        """One-line rendering used in summaries and failure artifacts."""
+        return f"[{self.kind}] {self.runs[0]} vs {self.runs[1]}: {self.detail}"
+
+
+@dataclass
+class OracleReport:
+    """Everything :func:`run_differential` observed for one spec."""
+
+    seed: int
+    divergences: list[Divergence] = field(default_factory=list)
+    stop_count: int = 0
+    spurious: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def to_dict(self) -> dict:
+        """JSON-ready form, embedded in failure artifacts."""
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "stop_count": self.stop_count,
+            "spurious": self.spurious,
+            "divergences": [
+                {"kind": d.kind, "runs": list(d.runs), "detail": d.detail}
+                for d in self.divergences
+            ],
+        }
+
+
+def _interp_config(base: Optional[MachineConfig], legacy: bool
+                   ) -> MachineConfig:
+    config = base or DEFAULT_CONFIG
+    if config.legacy_interpreter != legacy:
+        config = replace(config, legacy_interpreter=legacy)
+    return config
+
+
+def _final_state(spec: ProgramSpec, program, memory) -> tuple:
+    """Named memory words every run must agree on."""
+    out = []
+    for name in spec.var_init:
+        out.append((name, memory.read_int(program.address_of(name), QUAD)))
+    if spec.epilogue:
+        out.append(("checksum",
+                    memory.read_int(program.address_of("checksum"), QUAD)))
+    scratch = program.address_of("fuzz_scratch")
+    for i in range(SCRATCH_QUADS):
+        out.append((f"scratch[{i}]",
+                    memory.read_int(scratch + i * QUAD, QUAD)))
+    for slot in range(STACK_SLOTS):
+        out.append((f"stack[{slot}]",
+                    memory.read_int(STACK_TOP + slot * QUAD, QUAD)))
+    return tuple(out)
+
+
+def _run_undebugged(spec: ProgramSpec, config: Optional[MachineConfig],
+                    legacy: bool) -> RunOutcome:
+    name = f"undebugged/{'legacy' if legacy else 'table'}"
+    try:
+        program = build_program(spec)
+        machine = Machine(program, _interp_config(config, legacy),
+                          detailed_timing=False)
+        run = machine.run(dynamic_budget(spec))
+        return RunOutcome(
+            name=name, halted=run.halted,
+            regs=tuple(machine.regs[r] for r in COMPARE_REGS),
+            state=_final_state(spec, program, machine.memory),
+            stats=run.stats.to_dict())
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return RunOutcome(name=name, error=f"{type(exc).__name__}: {exc}")
+
+
+def _build_points(spec: ProgramSpec) -> tuple[list[Watchpoint],
+                                              list[Breakpoint]]:
+    watchpoints, breakpoints = [], []
+    for number, point in enumerate(spec.points, start=1):
+        if point.kind == "watch":
+            watchpoints.append(Watchpoint.parse(point.target,
+                                                point.condition, number))
+        else:
+            breakpoints.append(Breakpoint.parse(point.target,
+                                                point.condition, number))
+    return watchpoints, breakpoints
+
+
+def _run_backend(spec: ProgramSpec, backend_name: str,
+                 config: Optional[MachineConfig], legacy: bool) -> RunOutcome:
+    from repro.fuzz.inject import applied_injection
+
+    name = f"{backend_name}/{'legacy' if legacy else 'table'}"
+    try:
+        with applied_injection(spec.inject, backend_name):
+            program = build_program(spec)
+            watchpoints, breakpoints = _build_points(spec)
+            backend = backend_class(backend_name)(
+                program, watchpoints, breakpoints,
+                _interp_config(config, legacy), detailed_timing=False)
+            recorder = StopRecorder(backend)
+            run = backend.run(dynamic_budget(spec))
+        return RunOutcome(
+            name=name, halted=run.halted, stops=tuple(recorder.stops),
+            regs=tuple(backend.machine.regs[r] for r in COMPARE_REGS),
+            state=_final_state(spec, program, backend.machine.memory),
+            stats=run.stats.to_dict())
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return RunOutcome(name=name, error=f"{type(exc).__name__}: {exc}")
+
+
+def _diff_stats(a: dict, b: dict) -> str:
+    keys = sorted(set(a) | set(b))
+    diffs = [f"{k}: {a.get(k)} != {b.get(k)}" for k in keys
+             if a.get(k) != b.get(k)]
+    return "; ".join(diffs)
+
+
+def _diff_state(a: RunOutcome, b: RunOutcome) -> str:
+    parts = []
+    if a.halted != b.halted:
+        parts.append(f"halted {a.halted} != {b.halted}")
+    for reg, va, vb in zip(COMPARE_REGS, a.regs, b.regs):
+        if va != vb:
+            parts.append(f"r{reg} {va:#x} != {vb:#x}")
+    for (name, va), (_, vb) in zip(a.state, b.state):
+        if va != vb:
+            parts.append(f"{name} {va:#x} != {vb:#x}")
+    return "; ".join(parts)
+
+
+def _diff_stops(a: RunOutcome, b: RunOutcome) -> str:
+    if len(a.stops) != len(b.stops):
+        return (f"{len(a.stops)} stops != {len(b.stops)} stops; first={_first_stop_diff(a, b)}")
+    return _first_stop_diff(a, b)
+
+
+def _first_stop_diff(a: RunOutcome, b: RunOutcome) -> str:
+    for i, (sa, sb) in enumerate(zip(a.stops, b.stops)):
+        if sa != sb:
+            return f"stop {i}: {sa.describe()} != {sb.describe()}"
+    return "tail differs"
+
+
+def _compare(report: OracleReport, a: RunOutcome, b: RunOutcome, *,
+             stats: bool, stops: bool) -> None:
+    """Append divergences between two runs to ``report``."""
+    runs = (a.name, b.name)
+    if a.error or b.error:
+        if a.error != b.error:
+            report.divergences.append(Divergence(
+                "error", runs, f"{a.error!r} != {b.error!r}"))
+        return
+    if not a.halted or not b.halted:
+        if a.halted != b.halted:
+            report.divergences.append(Divergence(
+                "termination", runs,
+                f"halted {a.halted} != {b.halted}"))
+    if stops and a.stops != b.stops:
+        report.divergences.append(Divergence("stops", runs,
+                                             _diff_stops(a, b)))
+    state_diff = _diff_state(a, b)
+    if state_diff:
+        report.divergences.append(Divergence("state", runs, state_diff))
+    if stats:
+        stats_diff = _diff_stats(a.stats, b.stats)
+        if stats_diff:
+            report.divergences.append(Divergence("stats", runs, stats_diff))
+
+
+def run_differential(spec: ProgramSpec,
+                     config: Optional[MachineConfig] = None,
+                     backends: tuple[str, ...] = BACKENDS) -> OracleReport:
+    """Run the full differential matrix for one spec.
+
+    Returns an :class:`OracleReport`; ``report.ok`` is the verdict.
+    A non-halting run (budget exhausted), a crash, a final-state
+    mismatch, or a stop-sequence mismatch all surface as divergences.
+    """
+    report = OracleReport(seed=spec.seed)
+
+    base_table = _run_undebugged(spec, config, legacy=False)
+    base_legacy = _run_undebugged(spec, config, legacy=True)
+    if base_table.error:
+        report.divergences.append(Divergence(
+            "error", (base_table.name, base_table.name), base_table.error))
+        return report
+    if not base_table.halted:
+        report.divergences.append(Divergence(
+            "termination", (base_table.name, base_table.name),
+            "undebugged run did not halt within budget (generator bug)"))
+        return report
+    _compare(report, base_table, base_legacy, stats=True, stops=False)
+
+    reference: Optional[RunOutcome] = None
+    for backend_name in backends:
+        table = _run_backend(spec, backend_name, config, legacy=False)
+        legacy = _run_backend(spec, backend_name, config, legacy=True)
+        # Interpreter choice must be invisible per backend.
+        _compare(report, table, legacy, stats=True, stops=True)
+        if table.error:
+            report.divergences.append(Divergence(
+                "error", (table.name, table.name), table.error))
+            continue
+        if not table.halted:
+            report.divergences.append(Divergence(
+                "termination", (table.name, table.name),
+                "debugged run did not halt within budget"))
+        # Debugging must not perturb the application's final state.
+        _compare(report, base_table, table, stats=False, stops=False)
+        # All backends must present the same user-visible stop sequence.
+        if reference is None:
+            reference = table
+            report.stop_count = len(table.stops)
+        else:
+            _compare(report, reference, table, stats=False, stops=True)
+        if table.stats is not None:
+            transitions = table.stats.get("transitions", {})
+            report.spurious[backend_name] = sum(
+                count for key, count in transitions.items()
+                if key.startswith("spurious"))
+    return report

@@ -1,0 +1,241 @@
+"""Greedy spec minimizer for failing fuzz programs.
+
+Given a failing :class:`~repro.fuzz.generator.ProgramSpec` and a
+predicate ("does this spec still fail?"), the shrinker applies
+structure-aware reductions until none helps:
+
+* collapse the outer loop to one pass and inner loops to none;
+* drop the self-checking epilogue;
+* keep only one debug point (trying each);
+* delta-debug each block's body ops (chunked removal, halving chunks);
+* drop empty blocks outright in watch mode (break mode keeps them —
+  block labels are positional and breakpoints target them);
+* drop variables and register initializers nothing references.
+
+Reductions are only accepted when the reduced spec still fails, so the
+result is failing by construction.  The rendered reproducer for an
+injected single-backend bug typically lands well under 20 instructions.
+"""
+
+from __future__ import annotations
+
+from copy import deepcopy
+from typing import Callable, Optional
+
+from repro.fuzz.generator import (Block, ProgramSpec, block_label,
+                                  build_program)
+
+Predicate = Callable[[ProgramSpec], bool]
+
+
+class _Budget:
+    """Caps the number of predicate evaluations (oracle runs)."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spent(self) -> bool:
+        return self.used >= self.limit
+
+    def check(self, predicate: Predicate, spec: ProgramSpec) -> bool:
+        if self.spent():
+            return False
+        self.used += 1
+        return predicate(spec)
+
+
+def shrink(spec: ProgramSpec, is_failing: Predicate,
+           max_checks: int = 400) -> ProgramSpec:
+    """Return a minimal (by these reductions) still-failing spec.
+
+    ``is_failing`` must be True for ``spec`` itself; the returned spec
+    also satisfies it.  At most ``max_checks`` predicate evaluations are
+    spent; whatever was reached by then is returned.
+    """
+    budget = _Budget(max_checks)
+    current = deepcopy(spec)
+    improved = True
+    while improved and not budget.spent():
+        improved = False
+        for reducer in (_reduce_iterations, _reduce_inner_loops,
+                        _drop_epilogue, _reduce_points, _reduce_ops,
+                        _drop_empty_blocks, _drop_unused_vars,
+                        _drop_unused_regs, _drop_conditions):
+            candidate = reducer(current, is_failing, budget)
+            if candidate is not None:
+                current = candidate
+                improved = True
+    return current
+
+
+def instruction_count(spec: ProgramSpec) -> int:
+    """Static length of the rendered reproducer."""
+    return len(build_program(spec).instructions)
+
+
+# -- individual reductions ---------------------------------------------------
+# Each returns a smaller still-failing spec, or None if no reduction held.
+
+
+def _reduce_iterations(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    out = None
+    current = spec
+    while current.iterations > 1:
+        candidate = deepcopy(current)
+        candidate.iterations = 1
+        if budget.check(is_failing, candidate):
+            out = current = candidate
+            continue
+        candidate = deepcopy(current)
+        candidate.iterations = current.iterations // 2
+        if candidate.iterations > 1 and budget.check(is_failing, candidate):
+            out = current = candidate
+            continue
+        break
+    return out
+
+
+def _reduce_inner_loops(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    out = None
+    current = spec
+    for index, block in enumerate(current.blocks):
+        if block.inner_iterations == 0:
+            continue
+        candidate = deepcopy(current)
+        candidate.blocks[index].inner_iterations = 0
+        if budget.check(is_failing, candidate):
+            out = current = candidate
+    return out
+
+
+def _drop_epilogue(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    if not spec.epilogue:
+        return None
+    candidate = deepcopy(spec)
+    candidate.epilogue = False
+    return candidate if budget.check(is_failing, candidate) else None
+
+
+def _reduce_points(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    if len(spec.points) <= 1:
+        return None
+    for point in spec.points:
+        candidate = deepcopy(spec)
+        candidate.points = [deepcopy(point)]
+        if budget.check(is_failing, candidate):
+            return candidate
+    return None
+
+
+def _drop_conditions(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    out = None
+    current = spec
+    for index, point in enumerate(current.points):
+        if point.condition is None:
+            continue
+        candidate = deepcopy(current)
+        candidate.points[index].condition = None
+        if budget.check(is_failing, candidate):
+            out = current = candidate
+    return out
+
+
+def _reduce_ops(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    """ddmin over each block's op list: drop chunks, halving sizes."""
+    out = None
+    current = spec
+    for index in range(len(current.blocks)):
+        reduced = _ddmin_block(current, index, is_failing, budget)
+        if reduced is not None:
+            out = current = reduced
+    return out
+
+
+def _ddmin_block(spec, block_index, is_failing, budget
+                 ) -> Optional[ProgramSpec]:
+    out = None
+    current = spec
+    chunk = max(1, len(current.blocks[block_index].ops) // 2)
+    while True:
+        start = 0
+        shrunk = False
+        while start < len(current.blocks[block_index].ops):
+            candidate = deepcopy(current)
+            del candidate.blocks[block_index].ops[start:start + chunk]
+            if budget.check(is_failing, candidate):
+                out = current = candidate
+                shrunk = True  # same start now names the next chunk
+            else:
+                start += chunk
+        if chunk == 1:
+            if not shrunk:
+                return out
+        else:
+            chunk = max(1, chunk // 2)
+
+
+def _drop_empty_blocks(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    if any(p.kind == "break" for p in spec.points):
+        return None  # block labels are positional; keep them stable
+    empties = [i for i, b in enumerate(spec.blocks)
+               if not b.ops and len(spec.blocks) > 1]
+    out = None
+    current = spec
+    for index in reversed(empties):
+        if len(current.blocks) <= 1:
+            break
+        candidate = deepcopy(current)
+        del candidate.blocks[index]
+        if budget.check(is_failing, candidate):
+            out = current = candidate
+    return out
+
+
+def _referenced_vars(spec) -> set[str]:
+    used = set()
+    for block in spec.blocks:
+        for op in block.ops:
+            var = op.args.get("var")
+            if var is not None:
+                used.add(var)
+    for point in spec.points:
+        if point.kind == "watch":
+            used.add(point.target)
+        if point.condition is not None:
+            used.add(point.condition.split()[0])
+    return used
+
+
+def _drop_unused_vars(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    used = _referenced_vars(spec)
+    unused = [name for name in spec.var_init if name not in used]
+    out = None
+    current = spec
+    for name in unused:
+        candidate = deepcopy(current)
+        del candidate.var_init[name]
+        if budget.check(is_failing, candidate):
+            out = current = candidate
+    return out
+
+
+def _drop_unused_regs(spec, is_failing, budget) -> Optional[ProgramSpec]:
+    """Prune ``reg_init`` entries (rendering already elides unused ones
+    while the epilogue holds them live; once the epilogue is gone this
+    shrinks the artifact's spec too)."""
+    used = set()
+    for block in spec.blocks:
+        for op in block.ops:
+            for key in ("rd", "rs"):
+                if key in op.args:
+                    used.add(op.args[key])
+            if op.args.get("src_is_reg"):
+                used.add(op.args["src"])
+    unused = [reg for reg in spec.reg_init if reg not in used]
+    if not unused or spec.epilogue:
+        return None
+    candidate = deepcopy(spec)
+    for reg in unused:
+        del candidate.reg_init[reg]
+    return candidate if budget.check(is_failing, candidate) else None

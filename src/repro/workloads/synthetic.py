@@ -36,7 +36,9 @@ analysis).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import WorkloadError
 from repro.isa.builder import CodeBuilder
@@ -102,32 +104,44 @@ class _Event:
 class SyntheticWorkload:
     """A generated benchmark: program + metadata."""
 
-    def __init__(self, profile: BenchmarkProfile):
+    def __init__(self, profile: BenchmarkProfile,
+                 seed: Optional[int] = None):
         self.profile = profile
-        self.program = generate_program(profile)
+        self.seed = seed
+        self.program = generate_program(profile, seed=seed)
 
     @property
     def name(self) -> str:
         return self.profile.name
 
 
-def generate_program(profile: BenchmarkProfile) -> Program:
-    """Generate the benchmark program for ``profile``."""
+def generate_program(profile: BenchmarkProfile,
+                     seed: Optional[int] = None) -> Program:
+    """Generate the benchmark program for ``profile``.
+
+    With ``seed=None`` (the default, used by every figure experiment)
+    the countdown phases follow a fixed formula, so the program is a
+    pure function of the profile.  An explicit ``seed`` randomizes the
+    phases instead — bit-reproducibly: the same seed always yields the
+    same program.
+    """
     if profile.event_store_fraction >= 0.98:
         raise WorkloadError(
             f"{profile.name}: event stores consume "
             f"{profile.event_store_fraction:.0%} of all stores; the "
             "profile leaves no room for scratch stores")
 
-    builder = _WorkloadBuilder(profile)
+    builder = _WorkloadBuilder(profile, seed)
     return builder.build()
 
 
 class _WorkloadBuilder:
     """Emits the program for one profile."""
 
-    def __init__(self, profile: BenchmarkProfile):
+    def __init__(self, profile: BenchmarkProfile,
+                 seed: Optional[int] = None):
         self.profile = profile
+        self.rng = None if seed is None else random.Random(seed)
         self.b = CodeBuilder(profile.name)
         # The profile fixes total stores per segment; scratch stores are
         # whatever the event stores leave over.
@@ -233,11 +247,16 @@ class _WorkloadBuilder:
         b.lda(R_ALU_A, 1, "zero")
         b.lda(R_ALU_B, 2, "zero")
         b.lda(R_ALU_C, 3, "zero")
-        # Stagger countdown phases deterministically.
+        # Stagger countdown phases: fixed formula by default, seeded
+        # RNG when the caller asked for a randomized (but reproducible)
+        # variant.
         for stagger, (name, event) in enumerate(self.events.items()):
             if event.period:
                 reg = self._countdown_reg(name)
-                initial = 1 + (7 * (stagger + 1)) % event.period
+                if self.rng is None:
+                    initial = 1 + (7 * (stagger + 1)) % event.period
+                else:
+                    initial = 1 + self.rng.randrange(event.period)
                 b.lda(reg, initial, "zero")
         for name, target in (("hot_change", self.profile.hot),
                              ("warm1_change", self.profile.warm1)):

@@ -1,0 +1,1 @@
+"""Differential fuzzing: generator, oracle, shrinker, campaign."""

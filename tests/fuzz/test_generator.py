@@ -1,0 +1,123 @@
+"""The seeded program generator: determinism, constraints, termination."""
+
+import json
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.cpu.machine import Machine
+from repro.fuzz.generator import (GeneratorConfig, ProgramSpec, build_program,
+                                  dynamic_budget, generate_spec)
+from repro.isa.opcodes import Opcode
+
+SEED_RANGE = range(0, 30)
+
+#: Opcodes a generated program must never contain: indirect control
+#: flow would be unbounded, and raw app traps are classified
+#: differently by different backends (a false divergence).
+FORBIDDEN_OPCODES = {Opcode.TRAP, Opcode.CTRAP, Opcode.JSR, Opcode.JMP,
+                     Opcode.RET}
+#: ra/gp plus the register pair the binary rewriter scavenges.
+FORBIDDEN_REGS = {26, 27, 28, 29}
+
+
+def _disassemble(seed: int) -> str:
+    return build_program(generate_spec(seed)).disassemble()
+
+
+def test_spec_is_bit_reproducible_from_seed():
+    for seed in (0, 1, 99, 123456):
+        assert generate_spec(seed).to_dict() == generate_spec(seed).to_dict()
+        assert _disassemble(seed) == _disassemble(seed)
+
+
+def test_distinct_seeds_give_distinct_programs():
+    programs = {_disassemble(seed) for seed in SEED_RANGE}
+    assert len(programs) > len(SEED_RANGE) // 2
+
+
+def test_spec_round_trips_through_json():
+    for seed in (3, 17, 255):
+        spec = generate_spec(seed)
+        wire = json.dumps(spec.to_dict(), sort_keys=True)
+        restored = ProgramSpec.from_dict(json.loads(wire))
+        assert restored.to_dict() == spec.to_dict()
+        assert (build_program(restored).disassemble()
+                == build_program(spec).disassemble())
+
+
+def test_modes_never_mix_and_both_occur():
+    modes = set()
+    for seed in SEED_RANGE:
+        spec = generate_spec(seed)
+        kinds = {p.kind for p in spec.points}
+        assert len(kinds) == 1, f"seed {seed} mixes watch and break points"
+        assert spec.points, f"seed {seed} has no debug points"
+        modes |= kinds
+    assert modes == {"watch", "break"}
+
+
+def test_no_forbidden_opcodes_or_registers():
+    for seed in SEED_RANGE:
+        program = build_program(generate_spec(seed))
+        for instr in program.instructions:
+            assert instr.opcode not in FORBIDDEN_OPCODES, \
+                f"seed {seed}: {instr.opcode.name}"
+            for reg in (instr.rd, instr.rs1, instr.rs2):
+                assert reg not in FORBIDDEN_REGS, \
+                    f"seed {seed}: touches r{reg}"
+
+
+def test_every_instruction_is_a_statement_start():
+    program = build_program(generate_spec(5))
+    assert program.statement_starts == set(range(len(program.instructions)))
+
+
+def test_block_anchors_resolve_as_labels():
+    spec = generate_spec(11)
+    program = build_program(spec)
+    for index in range(len(spec.blocks)):
+        assert program.pc_of_label(f"block_{index}") is not None
+
+
+def test_programs_terminate_within_dynamic_budget():
+    for seed in (0, 4, 9, 21):
+        spec = generate_spec(seed)
+        machine = Machine(build_program(spec), DEFAULT_CONFIG,
+                          detailed_timing=False)
+        run = machine.run(dynamic_budget(spec))
+        assert run.halted, f"seed {seed} did not halt within budget"
+
+
+def test_generator_config_shapes_output():
+    cfg = GeneratorConfig(blocks=2, store_density=0.0, branch_density=0.0,
+                          load_density=0.0, epilogue=False)
+    spec = generate_spec(7, cfg)
+    assert len(spec.blocks) == 2
+    assert not spec.epilogue
+    kinds = {op.kind for block in spec.blocks for op in block.ops}
+    assert kinds <= {"alu", "shift"}
+
+
+def test_store_heavy_config_produces_stores():
+    cfg = GeneratorConfig(store_density=1.0)
+    spec = generate_spec(7, cfg)
+    kinds = {op.kind for block in spec.blocks for op in block.ops}
+    assert kinds <= {"store_var", "silent_store", "store_scratch",
+                     "store_stack"}
+    assert kinds & {"store_var", "store_scratch", "store_stack"}
+
+
+def test_iterations_stay_in_configured_range():
+    cfg = GeneratorConfig(min_iterations=3, max_iterations=5)
+    for seed in SEED_RANGE:
+        assert 3 <= generate_spec(seed, cfg).iterations <= 5
+
+
+@pytest.mark.slow
+def test_wide_seed_sweep_renders_and_terminates():
+    for seed in range(100, 200):
+        spec = generate_spec(seed)
+        machine = Machine(build_program(spec), DEFAULT_CONFIG,
+                          detailed_timing=False)
+        assert machine.run(dynamic_budget(spec)).halted

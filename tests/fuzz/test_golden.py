@@ -1,0 +1,44 @@
+"""Golden-trace snapshots: the generator and stop semantics are pinned."""
+
+import json
+from pathlib import Path
+
+from repro.fuzz.golden import (GOLDEN_FORMAT, GOLDEN_SEEDS, compute_golden,
+                               path_for, verify_golden, write_golden)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def test_checked_in_snapshots_match_current_behavior():
+    problems = verify_golden(GOLDEN_DIR)
+    assert problems == [], "\n".join(problems)
+
+
+def test_snapshot_files_exist_for_every_seed():
+    for seed in GOLDEN_SEEDS:
+        record = json.loads(path_for(GOLDEN_DIR, seed).read_text())
+        assert record["format"] == GOLDEN_FORMAT
+        assert record["seed"] == seed
+        assert record["mode"] in ("watch", "break")
+
+
+def test_compute_golden_is_deterministic():
+    seed = GOLDEN_SEEDS[0]
+    assert compute_golden(seed) == compute_golden(seed)
+
+
+def test_missing_snapshot_is_reported(tmp_path):
+    problems = verify_golden(tmp_path, seeds=[GOLDEN_SEEDS[0]])
+    assert len(problems) == 1
+    assert "no snapshot" in problems[0]
+
+
+def test_drift_is_detected_and_named(tmp_path):
+    seed = GOLDEN_SEEDS[0]
+    write_golden(tmp_path, seeds=[seed])
+    assert verify_golden(tmp_path, seeds=[seed]) == []
+    record = json.loads(path_for(tmp_path, seed).read_text())
+    record["final_state"][0][1] += 1
+    path_for(tmp_path, seed).write_text(json.dumps(record))
+    [problem] = verify_golden(tmp_path, seeds=[seed])
+    assert "final_state" in problem

@@ -1,0 +1,102 @@
+"""Fault injection: the oracle must catch every seeded backend bug."""
+
+import pytest
+
+from repro.debugger.backends import backend_class
+from repro.fuzz.generator import Block, BodyOp, DebugPoint, ProgramSpec
+from repro.fuzz.inject import INJECTIONS, applied_injection
+from repro.fuzz.oracle import run_differential
+from repro.fuzz.shrinker import instruction_count, shrink
+
+
+def test_registry_is_complete_and_resolvable():
+    assert set(INJECTIONS) == {"hw-value-blind", "ss-skip-breakpoints",
+                               "vm-predicate-blind",
+                               "rw-breakpoints-unconditional"}
+    for injection in INJECTIONS.values():
+        assert injection.description
+        assert hasattr(injection.target_class(), injection.attr)
+
+
+def test_injection_is_applied_and_restored():
+    injection = INJECTIONS["hw-value-blind"]
+    original = getattr(injection.target_class(), injection.attr)
+    with applied_injection("hw-value-blind", "hardware"):
+        assert getattr(injection.target_class(), injection.attr) \
+            is not original
+    assert getattr(injection.target_class(), injection.attr) is original
+
+
+def test_mismatched_backend_is_a_noop():
+    injection = INJECTIONS["hw-value-blind"]
+    original = getattr(injection.target_class(), injection.attr)
+    with applied_injection("hw-value-blind", "dise"):
+        assert getattr(injection.target_class(), injection.attr) is original
+    with applied_injection(None, "hardware"):
+        assert getattr(injection.target_class(), injection.attr) is original
+
+
+def _break_spec() -> ProgramSpec:
+    """Minimal break-mode spec: one bp, hit once per outer iteration."""
+    return ProgramSpec(
+        seed=0,
+        reg_init={1: 40},
+        var_init={"v0": 5},
+        blocks=[Block(ops=[BodyOp("store_var", {"rs": 1, "var": "v0"})])],
+        iterations=3,
+        points=[DebugPoint("break", "block_0")],
+        epilogue=False,
+        inject="ss-skip-breakpoints",
+    )
+
+
+def test_injected_stop_bug_is_caught_and_shrinks_small():
+    spec = _break_spec()
+    report = run_differential(spec)
+    assert not report.ok
+    assert any(d.kind == "stops" for d in report.divergences)
+
+    def is_failing(candidate):
+        return not run_differential(candidate).ok
+
+    shrunk = shrink(spec, is_failing)
+    assert not run_differential(shrunk).ok  # still a reproducer
+    assert instruction_count(shrunk) <= 20
+
+
+def test_uninjected_spec_is_clean():
+    spec = _break_spec()
+    spec.inject = None
+    assert run_differential(spec).ok
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(INJECTIONS))
+def test_every_injection_is_caught_in_a_short_campaign(name):
+    """Scan generated seeds until the fault shows, then shrink it.
+
+    This is the acceptance drill: a deliberately broken backend must be
+    caught by fuzzing alone and minimized to <= 20 instructions.
+    """
+    failing = None
+    for seed in range(40):
+        spec = generate_failing_candidate(seed, name)
+        if not run_differential(spec).ok:
+            failing = spec
+            break
+    assert failing is not None, f"{name} never caught in 40 seeds"
+
+    def is_failing(candidate):
+        return not run_differential(candidate).ok
+
+    shrunk = shrink(failing, is_failing)
+    assert not run_differential(shrunk).ok
+    assert instruction_count(shrunk) <= 20
+
+
+def generate_failing_candidate(seed: int, inject: str) -> ProgramSpec:
+    from repro.fuzz.generator import generate_spec
+
+    spec = generate_spec(seed)
+    spec.inject = inject
+    return spec

@@ -1,0 +1,43 @@
+"""Hypothesis properties: any seed yields a valid, agreeing program."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.cpu.machine import Machine
+from repro.fuzz.generator import (ProgramSpec, build_program, dynamic_budget,
+                                  generate_spec)
+from repro.fuzz.oracle import run_differential
+
+seeds = st.integers(min_value=0, max_value=2 ** 32 - 1)
+
+
+@given(seed=seeds)
+@settings(deadline=None, max_examples=40)
+def test_generation_is_a_pure_function_of_the_seed(seed):
+    assert generate_spec(seed).to_dict() == generate_spec(seed).to_dict()
+
+
+@given(seed=seeds)
+@settings(deadline=None, max_examples=25)
+def test_spec_survives_serialization(seed):
+    spec = generate_spec(seed)
+    restored = ProgramSpec.from_dict(spec.to_dict())
+    assert restored.to_dict() == spec.to_dict()
+
+
+@given(seed=seeds)
+@settings(deadline=None, max_examples=15)
+def test_any_seed_terminates_within_budget(seed):
+    spec = generate_spec(seed)
+    machine = Machine(build_program(spec), DEFAULT_CONFIG,
+                      detailed_timing=False)
+    assert machine.run(dynamic_budget(spec)).halted
+
+
+@pytest.mark.slow
+@given(seed=st.integers(min_value=0, max_value=2 ** 20))
+@settings(deadline=None, max_examples=25)
+def test_any_seed_passes_the_differential_oracle(seed):
+    report = run_differential(generate_spec(seed))
+    assert report.ok, report.divergences[0].describe()

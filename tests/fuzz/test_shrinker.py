@@ -1,0 +1,85 @@
+"""The spec shrinker, exercised with cheap synthetic predicates."""
+
+from repro.fuzz.generator import (Block, BodyOp, DebugPoint, ProgramSpec,
+                                  build_program, generate_spec)
+from repro.fuzz.shrinker import instruction_count, shrink
+
+
+def _has_marker(spec: ProgramSpec) -> bool:
+    """The 'bug': any store to v0 anywhere in the program."""
+    return any(op.kind == "store_var" and op.args.get("var") == "v0"
+               for block in spec.blocks for op in block.ops)
+
+
+def _bulky_spec() -> ProgramSpec:
+    filler = [BodyOp("alu", {"op": "addq", "rd": 2, "rs": 2, "src": 1,
+                             "src_is_reg": False})] * 6
+    marker = BodyOp("store_var", {"rs": 1, "var": "v0"})
+    return ProgramSpec(
+        seed=0,
+        reg_init={1: 40, 2: 7, 3: 9},
+        var_init={"v0": 5, "v1": 6, "v2": 7},
+        blocks=[Block(ops=list(filler)),
+                Block(ops=list(filler) + [marker] + list(filler),
+                      inner_iterations=3),
+                Block(ops=list(filler))],
+        iterations=5,
+        points=[DebugPoint("watch", "v0"),
+                DebugPoint("watch", "v1", "v1 > 3"),
+                DebugPoint("watch", "v2")],
+        epilogue=True,
+    )
+
+
+def test_shrink_reaches_the_marker_core():
+    spec = _bulky_spec()
+    assert _has_marker(spec)
+    shrunk = shrink(spec, _has_marker)
+    assert _has_marker(shrunk)  # failing by construction
+    ops = [op for block in shrunk.blocks for op in block.ops]
+    assert len(ops) == 1 and ops[0].kind == "store_var"
+    assert shrunk.iterations == 1
+    assert all(b.inner_iterations == 0 for b in shrunk.blocks)
+    assert not shrunk.epilogue
+    assert len(shrunk.points) == 1
+    assert instruction_count(shrunk) < instruction_count(spec)
+
+
+def test_shrink_respects_check_budget():
+    calls = 0
+
+    def counting(spec):
+        nonlocal calls
+        calls += 1
+        return _has_marker(spec)
+
+    shrunk = shrink(_bulky_spec(), counting, max_checks=10)
+    assert calls <= 10
+    assert _has_marker(shrunk)
+
+
+def test_shrink_never_returns_a_passing_spec():
+    spec = generate_spec(2)
+
+    def has_any_store(candidate):
+        return any(op.kind.startswith("store")
+                   for block in candidate.blocks for op in block.ops)
+
+    if not has_any_store(spec):
+        spec.blocks[0].ops.append(BodyOp("store_stack", {"rs": 1, "slot": 0}))
+    shrunk = shrink(spec, has_any_store)
+    assert has_any_store(shrunk)
+
+
+def test_break_mode_keeps_block_labels_positional():
+    spec = _bulky_spec()
+    spec.points = [DebugPoint("break", "block_2")]
+    shrunk = shrink(spec, _has_marker)
+    # block_2 must still exist so the breakpoint can resolve.
+    assert len(shrunk.blocks) >= 3
+    assert build_program(shrunk).pc_of_label("block_2") is not None
+
+
+def test_instruction_count_matches_rendering():
+    spec = generate_spec(6)
+    assert instruction_count(spec) == len(build_program(spec).instructions)

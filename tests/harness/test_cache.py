@@ -56,6 +56,34 @@ def test_corrupt_record_is_miss_not_error(cache):
     assert cache.load(key) is None
 
 
+def test_truncated_record_is_miss_not_error(cache):
+    # Simulate a crash mid-write: the record exists but is cut short at
+    # every possible byte boundary.  Each prefix must read as a miss.
+    key = cache.key_for({"cell": "truncated"})
+    cache.store(key, make_result())
+    full = cache.path_for(key).read_bytes()
+    for cut in (0, 1, len(full) // 2, len(full) - 1):
+        cache.path_for(key).write_bytes(full[:cut])
+        assert cache.load(key) is None, f"prefix of {cut} bytes hit"
+    # The slot is silently rewritable afterwards.
+    cache.store(key, make_result())
+    assert cache.load(key).overhead == 1.31
+
+
+def test_interrupted_store_leaves_no_partial_record(cache, monkeypatch):
+    # A crash while serializing the result must not leave the key's
+    # final path (or a stray temp file) behind.
+    key = cache.key_for({"cell": "crash"})
+    result = make_result()
+    monkeypatch.setattr(result, "to_dict",
+                        lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    with pytest.raises(RuntimeError):
+        cache.store(key, result)
+    assert not cache.path_for(key).exists()
+    assert list(cache.directory.glob("*.tmp")) == []
+    assert cache.load(key) is None
+
+
 def test_wrong_cache_format_is_miss(cache):
     key = cache.key_for({"cell": 3})
     cache.store(key, make_result())

@@ -124,3 +124,38 @@ def test_watch_expression_mapping():
 def test_never_true_condition():
     condition = never_true_condition("HOT")
     assert condition.startswith("hot ==")
+
+
+def test_seeded_generation_is_reproducible():
+    from repro.workloads.synthetic import generate_program
+
+    profile = profile_for("crafty")
+    text = [i.disassemble()
+            for i in generate_program(profile, seed=99).instructions]
+    again = [i.disassemble()
+             for i in generate_program(profile, seed=99).instructions]
+    assert text == again
+
+
+def test_seeded_generation_differs_from_default_and_other_seeds():
+    from repro.workloads.synthetic import generate_program
+
+    profile = profile_for("crafty")
+
+    def phases(program):
+        return [i.disassemble() for i in program.instructions
+                if i.disassemble().startswith("lda")]
+
+    default = phases(generate_program(profile))
+    assert phases(generate_program(profile, seed=1)) != default
+    assert phases(generate_program(profile, seed=1)) != \
+        phases(generate_program(profile, seed=2))
+
+
+def test_seeded_program_still_runs():
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    workload = SyntheticWorkload(profile_for("bzip2"), seed=5)
+    assert workload.seed == 5
+    machine = Machine(workload.program, detailed_timing=False)
+    assert machine.run(3_000).stats.app_instructions == 3_000
