@@ -138,6 +138,10 @@ class MachineConfig:
     # Run the pre-dispatch-table interpreter (kept for differential
     # validation of the table-driven rewrite; scheduled for removal).
     legacy_interpreter: bool = False
+    # Auto-checkpoint every N application instructions during Machine.run
+    # (0 disables).  Checkpoints land in the machine's CheckpointStore
+    # and power reverse-continue/reverse-step (see repro.replay).
+    checkpoint_interval: int = 0
 
     def with_(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""

@@ -43,6 +43,7 @@ debugger, and are not re-fired for the same fetch on resume.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import Enum, unique
 from typing import Callable, Optional
@@ -67,6 +68,7 @@ from repro.isa.program import (INSTRUCTION_BYTES, Program, STACK_TOP,
 from repro.isa.registers import DISE_REG_BASE, SP, ZERO_REG
 from repro.memory.main_memory import MainMemory
 from repro.memory.pagetable import PageTable
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
 
 
 @unique
@@ -190,6 +192,14 @@ class Machine:
         # it for the same fetch when the interactive run resumes.
         self._fetch_trap_resume_pc: Optional[int] = None
 
+        # Periodic auto-checkpointing (see repro.replay): disabled until
+        # configured or enable_checkpoints() is called.
+        self.checkpoint_store: Optional[CheckpointStore] = None
+        self._checkpoint_interval = self.config.checkpoint_interval
+        self._checkpoint_fn: Callable[[], object] = self.snapshot
+        if self._checkpoint_interval > 0:
+            self.checkpoint_store = CheckpointStore()
+
         self._handlers = self._build_handler_table()
 
         self._load_program()
@@ -232,6 +242,118 @@ class Machine:
         self.stats = SimStats()
         if self.timing is not None:
             self.timing.reset_counters()
+
+    # -- snapshots ---------------------------------------------------------
+    #
+    # The machine implements the Snapshotable protocol (see
+    # repro.replay): snapshot() captures every piece of mutable state —
+    # architectural, microarchitectural, DISE, debug substrate, and
+    # mid-expansion fetch state — so restore() rewinds a run exactly,
+    # including a run paused inside a replacement sequence.  Memory is
+    # captured copy-on-write (see MainMemory.snapshot), so checkpoints
+    # of a large, mostly-idle footprint stay cheap.  restore() mutates
+    # components in place and never replaces bound objects (handler
+    # tables, the timing model's commit binding, the trap handler).
+
+    def snapshot(self) -> dict:
+        """Capture all mutable machine state as an opaque blob.
+
+        The blob shares memory pages copy-on-write with the live
+        machine and references installed productions by identity, so it
+        is cheap but (when productions or an active expansion exist)
+        only restorable in this process.  A blob from an undebugged
+        machine contains plain data only and pickles cleanly — the
+        harness persists such blobs as warm-start checkpoints.
+        """
+        expansion = self._expansion
+        dise_return = self._dise_return
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "halted": self.halted,
+            "stats": self.stats.to_dict(),
+            "memory": self.memory.snapshot(),
+            "pagetable": self.pagetable.snapshot(),
+            "dise_regs": self.dise_regs.snapshot(),
+            "dise_engine": self.dise_engine.snapshot(),
+            "dise_controller": self.dise_controller.snapshot(),
+            "timing": (self.timing.snapshot()
+                       if self.timing is not None else None),
+            "expansion": (
+                list(expansion) if expansion is not None else None,
+                self._exp_index, self._trigger_pc, self._in_dise_function,
+                ((dise_return[0], list(dise_return[1]), dise_return[2])
+                 if dise_return is not None else None),
+                self._expansion_did_store),
+            "hw_watch_ranges": list(self.hw_watch_ranges),
+            "breakpoint_registers": set(self.breakpoint_registers),
+            "single_step": self.single_step,
+            "statement_pcs": self.statement_pcs,
+            "instrumentation_pcs": self.instrumentation_pcs,
+            "stop_on_user": self.stop_on_user,
+            "stopped_at_user": self.stopped_at_user,
+            "fetch_trap_resume_pc": self._fetch_trap_resume_pc,
+            "last_store": (self.last_store_addr, self.last_store_size,
+                           self.last_store_value),
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Rewind the machine to a previous :meth:`snapshot`.
+
+        The blob stays valid (memory re-freezes shared pages), so one
+        checkpoint can be restored repeatedly.  Program text is *not*
+        part of machine state: instructions appended to the program
+        after the snapshot remain visible, while ``statement_pcs``
+        (debug substrate) rewinds with the snapshot — call
+        :meth:`reload_text` after restoring across an append to re-sync
+        statement boundaries.
+        """
+        self.regs = list(blob["regs"])
+        self.pc = blob["pc"]
+        self.halted = blob["halted"]
+        self.stats = SimStats.from_dict(blob["stats"])
+        self.memory.restore(blob["memory"])
+        self.pagetable.restore(blob["pagetable"])
+        self.dise_regs.restore(blob["dise_regs"])
+        self.dise_engine.restore(blob["dise_engine"])
+        self.dise_controller.restore(blob["dise_controller"])
+        if self.timing is not None and blob["timing"] is not None:
+            self.timing.restore(blob["timing"])
+        (expansion, self._exp_index, self._trigger_pc,
+         self._in_dise_function, dise_return,
+         self._expansion_did_store) = blob["expansion"]
+        self._expansion = list(expansion) if expansion is not None else None
+        self._dise_return = (
+            (dise_return[0], list(dise_return[1]), dise_return[2])
+            if dise_return is not None else None)
+        self.hw_watch_ranges = list(blob["hw_watch_ranges"])
+        self.breakpoint_registers = set(blob["breakpoint_registers"])
+        self.single_step = blob["single_step"]
+        self.statement_pcs = blob["statement_pcs"]
+        self.instrumentation_pcs = blob["instrumentation_pcs"]
+        self.stop_on_user = blob["stop_on_user"]
+        self.stopped_at_user = blob["stopped_at_user"]
+        self._fetch_trap_resume_pc = blob["fetch_trap_resume_pc"]
+        (self.last_store_addr, self.last_store_size,
+         self.last_store_value) = blob["last_store"]
+
+    def state_fingerprint(self) -> str:
+        """Digest of architectural state, for differential checks.
+
+        Covers registers, PC, halt flag, DISE registers, page
+        protections, and memory contents (canonical across page-
+        residency layouts).  Statistics and microarchitectural state
+        are deliberately excluded: two runs that agree architecturally
+        fingerprint equal even if measured differently.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((
+            tuple(self.regs), self.pc, self.halted,
+            self.dise_regs.snapshot(),
+            tuple(sorted(self.pagetable.snapshot().items())),
+        )).encode())
+        digest.update(self.memory.state_fingerprint().encode())
+        return digest.hexdigest()
 
     def _build_handler_table(self) -> tuple:
         """Bind the dispatch table, pre-selected for the timing mode.
@@ -359,17 +481,65 @@ class Machine:
         """
         limit = max_app_instructions if max_app_instructions is not None else -1
         self.stopped_at_user = False
+        if self.checkpoint_store is not None and self._checkpoint_interval > 0:
+            self._run_chunked(limit)
+        else:
+            self._dispatch_run(limit)
+        stats = self.stats
+        stats.cycles = self.timing.total_cycles if self.timing is not None \
+            else stats.total_instructions
+        return MachineRun(stats=stats, halted=self.halted,
+                         stopped_at_user=self.stopped_at_user)
+
+    def _dispatch_run(self, limit: int) -> None:
         if self.config.legacy_interpreter:
             self._run_legacy(limit)
         elif self.timing is not None:
             self._run_table_timed(limit)
         else:
             self._run_table_functional(limit)
+
+    def _run_chunked(self, limit: int) -> None:
+        """Run in checkpoint-interval chunks, snapshotting at boundaries.
+
+        The hot interpreter loops are untouched: they are simply invoked
+        with limits clipped to the next interval boundary, and a
+        checkpoint is taken *between* chunks (never mid-instruction, so
+        chunking is invisible to program semantics — a chunked run is
+        bit-identical to an unchunked one).
+        """
+        interval = self._checkpoint_interval
+        store = self.checkpoint_store
         stats = self.stats
-        stats.cycles = self.timing.total_cycles if self.timing is not None \
-            else stats.total_instructions
-        return MachineRun(stats=stats, halted=self.halted,
-                         stopped_at_user=self.stopped_at_user)
+        while not self.halted and not self.stopped_at_user:
+            app = stats.app_instructions
+            if limit >= 0 and app >= limit:
+                break
+            boundary = (app // interval + 1) * interval
+            chunk = boundary if limit < 0 else min(limit, boundary)
+            self._dispatch_run(chunk)
+            if (not self.halted and not self.stopped_at_user
+                    and stats.app_instructions >= boundary):
+                store.add(Checkpoint(stats.app_instructions,
+                                     self._checkpoint_fn()))
+
+    def enable_checkpoints(self, interval: Optional[int] = None,
+                           store: Optional[CheckpointStore] = None,
+                           snapshot_fn=None) -> CheckpointStore:
+        """Turn on periodic auto-checkpointing during :meth:`run`.
+
+        ``snapshot_fn`` overrides what gets captured (the reverse
+        controller passes the owning backend's ``snapshot`` so debugger
+        bookkeeping rides along); default is :meth:`snapshot`.
+        """
+        if interval is None:
+            interval = self._checkpoint_interval or self.config.checkpoint_interval
+        if interval <= 0:
+            raise ValueError(f"checkpoint interval {interval} must be > 0")
+        self._checkpoint_interval = interval
+        self.checkpoint_store = store if store is not None else CheckpointStore()
+        self._checkpoint_fn = snapshot_fn or self.snapshot
+        return self.checkpoint_store
 
     def _run_table_timed(self, limit: int) -> None:
         """Dispatch-table loop with the timing model attached."""

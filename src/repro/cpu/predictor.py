@@ -108,6 +108,22 @@ class BranchPredictor:
         self.lookups = 0
         self.mispredictions = 0
 
+    def snapshot(self) -> tuple:
+        """Capture tables, history, BTB, RAS, and counters."""
+        return (bytes(self._gshare), bytes(self._bimodal),
+                bytes(self._chooser), self._history, dict(self._btb),
+                list(self._ras), self.lookups, self.mispredictions)
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the predictor to a previous :meth:`snapshot`."""
+        (gshare, bimodal, chooser, self._history, btb, ras,
+         self.lookups, self.mispredictions) = blob
+        self._gshare = bytearray(gshare)
+        self._bimodal = bytearray(bimodal)
+        self._chooser = bytearray(chooser)
+        self._btb = dict(btb)
+        self._ras = list(ras)
+
     @property
     def misprediction_rate(self) -> float:
         return self.mispredictions / self.lookups if self.lookups else 0.0

@@ -266,6 +266,34 @@ class TimingModel:
         self.dtlb.reset_counters()
         self.predictor.reset_counters()
 
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture cycle/port state plus all microarchitectural state.
+
+        The blob holds mutable state only; configuration (and the
+        ``commit`` binding chosen at construction) is untouched by
+        :meth:`restore`.
+        """
+        return (self.cycles, self._slots, self._loads_this_cycle,
+                self._stores_this_cycle, self.offthread, self.flushes,
+                self.fetch_lines, self._last_fetch_line,
+                self._last_fetch_page, self._last_data_page,
+                self.caches.snapshot(), self.itlb.snapshot(),
+                self.dtlb.snapshot(), self.predictor.snapshot())
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the timing model to a previous :meth:`snapshot`."""
+        (self.cycles, self._slots, self._loads_this_cycle,
+         self._stores_this_cycle, self.offthread, self.flushes,
+         self.fetch_lines, self._last_fetch_line,
+         self._last_fetch_page, self._last_data_page,
+         caches, itlb, dtlb, predictor) = blob
+        self.caches.restore(caches)
+        self.itlb.restore(itlb)
+        self.dtlb.restore(dtlb)
+        self.predictor.restore(predictor)
+
     # -- results -----------------------------------------------------------------
 
     @property

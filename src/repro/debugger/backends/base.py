@@ -47,6 +47,7 @@ class DebuggerBackend:
         self.breakpoints = list(breakpoints)
         self.config = config or DEFAULT_CONFIG
         detailed_timing = options.pop("detailed_timing", True)
+        warm_checkpoint = options.pop("warm_checkpoint", None)
         self.options = options
 
         # Each backend instance models one debugged *process*: it works
@@ -57,6 +58,19 @@ class DebuggerBackend:
         self.machine = Machine(self.program, self.config,
                                trap_handler=self.handle_trap,
                                detailed_timing=detailed_timing)
+        # A warm-start checkpoint (from an *undebugged* run of the same
+        # program/config — see repro.harness.experiment) restores before
+        # the monitor captures initial values and before prepare()
+        # installs the mechanism, so debugger state lands on top of the
+        # warmed machine exactly as if the debugger attached here.
+        self.warm_started = warm_checkpoint is not None
+        if warm_checkpoint is not None:
+            if self.transforms_program:
+                raise ValueError(
+                    f"backend {self.name!r} transforms the program; a "
+                    f"checkpoint of the original binary cannot be "
+                    f"restored into it")
+            self.machine.restore(warm_checkpoint)
         self.resolver = ProgramResolver(self.program)
         self.monitor = WatchpointMonitor(self.watchpoints, self.resolver,
                                          self.machine.memory)
@@ -130,6 +144,45 @@ class DebuggerBackend:
                 return TransitionKind.USER
             best = TransitionKind.SPURIOUS_PREDICATE
         return best
+
+    # -- snapshots ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture machine + debugger bookkeeping as an opaque blob.
+
+        Covers the machine (which includes the armed substrate:
+        breakpoint registers, watch ranges, protections, productions),
+        the monitor's previous-value mirror, per-point enabled flags,
+        and backend-specific counters via :meth:`_snapshot_extra`.
+        """
+        return {
+            "machine": self.machine.snapshot(),
+            "monitor": self.monitor.snapshot(),
+            "wp_enabled": tuple(wp.enabled for wp in self.watchpoints),
+            "bp_enabled": tuple(bp.enabled for bp in self.breakpoints),
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore(self, blob: dict) -> None:
+        """Rewind backend + machine to a previous :meth:`snapshot`."""
+        self.machine.restore(blob["machine"])
+        self.monitor.restore(blob["monitor"])
+        for wp, enabled in zip(self.watchpoints, blob["wp_enabled"]):
+            wp.enabled = enabled
+        for bp, enabled in zip(self.breakpoints, blob["bp_enabled"]):
+            bp.enabled = enabled
+        self._restore_extra(blob["extra"])
+
+    def state_fingerprint(self) -> str:
+        """Architectural digest (delegates to the machine)."""
+        return self.machine.state_fingerprint()
+
+    def _snapshot_extra(self):
+        """Backend-specific mutable state (counters); None by default."""
+        return None
+
+    def _restore_extra(self, extra) -> None:
+        """Restore what :meth:`_snapshot_extra` captured."""
 
     # -- run ------------------------------------------------------------------------
 

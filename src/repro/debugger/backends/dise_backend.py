@@ -240,6 +240,19 @@ class DiseBackend(DebuggerBackend):
         seq.append(original_slot)
         return seq
 
+    # -- snapshots ---------------------------------------------------------------
+
+    def _snapshot_extra(self):
+        # The production set, DISE registers, and handler-region memory
+        # ride in the machine snapshot; only the backend's own trap
+        # counters mutate after prepare().
+        return (self._handler_traps, self._error_traps,
+                self._false_positive_calls)
+
+    def _restore_extra(self, extra) -> None:
+        (self._handler_traps, self._error_traps,
+         self._false_positive_calls) = extra
+
     # -- trap handling -----------------------------------------------------------
 
     def handle_trap(self, event: TrapEvent) -> TransitionKind:

@@ -54,6 +54,7 @@ class DebuggerShell:
                                     config=config, **backend_options)
         self.program = program
         self._backend_obj = None
+        self._controller = None  # ReverseController once running
         self._instructions_run = 0
         self._exited = False
 
@@ -86,6 +87,10 @@ class DebuggerShell:
             "q": self.do_quit,
             "r": self.do_run,
             "w": self.do_watch,
+            "rc": self.do_reverse_continue,
+            "reverse-continue": self.do_reverse_continue,
+            "reverse-step": self.do_rewind,
+            "rs": self.do_rewind,
         }
 
     @property
@@ -135,7 +140,7 @@ class DebuggerShell:
         raise ShellError(f"no watchpoint or breakpoint number {number}")
 
     def do_info(self, args: list[str]) -> str:
-        """info watchpoints|breakpoints|stats|backend"""
+        """info watchpoints|breakpoints|stats|backend|checkpoints"""
         topic = args[0] if args else "watchpoints"
         if topic.startswith("watch"):
             if not self.session.watchpoints:
@@ -155,6 +160,13 @@ class DebuggerShell:
         if topic == "backend":
             return (f"backend: {self.session.backend_name} "
                     f"options: {self.session.backend_options}")
+        if topic.startswith("checkpoint"):
+            if self._controller is None or not len(self._controller.store):
+                return "No checkpoints."
+            return "\n".join(
+                f"{i}: at {cp.app_instructions:,} instructions "
+                f"(stops seen: {cp.meta.get('stops_seen', '?')})"
+                for i, cp in enumerate(self._controller.store))
         raise ShellError(f"unknown info topic {topic!r}")
 
     def do_backend(self, args: list[str]) -> str:
@@ -176,12 +188,13 @@ class DebuggerShell:
 
     def _invalidate(self) -> None:
         self._backend_obj = None
+        self._controller = None
         self._instructions_run = 0
 
     def _ensure_backend(self):
         if self._backend_obj is None:
-            self._backend_obj = self.session.build_backend()
-            self._backend_obj.machine.stop_on_user = True
+            self._controller = self.session.start_interactive()
+            self._backend_obj = self._controller.backend
         return self._backend_obj
 
     def do_run(self, args: list[str]) -> str:
@@ -199,7 +212,7 @@ class DebuggerShell:
         backend = self._ensure_backend()
         machine = backend.machine
         target = machine.stats.app_instructions + budget
-        result = machine.run(max_app_instructions=target)
+        result = self._controller.resume(max_app_instructions=target)
         self._instructions_run = machine.stats.app_instructions
         if result.stopped_at_user:
             return self._describe_stop(backend)
@@ -208,6 +221,38 @@ class DebuggerShell:
                     f"{self._instructions_run:,} instructions.")
         return (f"Ran {budget:,} instructions without a hit "
                 f"(total {self._instructions_run:,}).")
+
+    def do_checkpoint(self, args: list[str]) -> str:
+        """checkpoint — snapshot the current state for later rewinds."""
+        self._ensure_backend()
+        checkpoint = self._controller.checkpoint_now(note="user")
+        return (f"Checkpoint at {checkpoint.app_instructions:,} "
+                f"instructions ({len(self._controller.store)} held).")
+
+    def do_rewind(self, args: list[str]) -> str:
+        """rewind [N] (reverse-step) — step back N app instructions."""
+        instructions = 1
+        if args:
+            if not args[0].isdigit():
+                raise ShellError("usage: rewind [N]")
+            instructions = int(args[0])
+        backend = self._ensure_backend()
+        self._controller.reverse_step(instructions)
+        self._instructions_run = backend.machine.stats.app_instructions
+        return (f"Rewound to {self._instructions_run:,} instructions "
+                f"(pc={backend.machine.pc:#x}).")
+
+    def do_reverse_continue(self, args: list[str]) -> str:
+        """reverse-continue (rc) — run back to the previous stop."""
+        backend = self._ensure_backend()
+        if not self._controller.stops:
+            return "No stops recorded; nothing to reverse to."
+        record = self._controller.reverse_continue()
+        self._instructions_run = backend.machine.stats.app_instructions
+        if record is None:
+            return (f"No earlier stop; rewound to the start of history "
+                    f"({self._instructions_run:,} instructions).")
+        return self._describe_stop(backend)
 
     def _describe_stop(self, backend) -> str:
         lines = [f"Stopped after {self._instructions_run:,} instructions "

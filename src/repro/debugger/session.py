@@ -84,6 +84,25 @@ class Session:
         return cls(self.program, self.watchpoints, self.breakpoints,
                    self.config, **self.backend_options)
 
+    def start_interactive(self, checkpoint_interval: int = 10_000,
+                          checkpoint_capacity: int = 64,
+                          record_fingerprints: bool = False):
+        """Build the backend wrapped in a reverse-execution controller.
+
+        The controller runs the program stop-to-stop (``resume``),
+        auto-checkpoints every ``checkpoint_interval`` application
+        instructions, and supports ``reverse_continue``/``reverse_step``
+        via restore + deterministic re-execution (see
+        :class:`repro.replay.ReverseController`).
+        """
+        from repro.replay import ReverseController
+
+        backend = self.build_backend()
+        return ReverseController(
+            backend, interval=checkpoint_interval,
+            capacity=checkpoint_capacity,
+            record_fingerprints=record_fingerprints)
+
     def run(self, max_app_instructions: Optional[int] = None,
             run_baseline: bool = False) -> RunResult:
         """Run the debugged program.

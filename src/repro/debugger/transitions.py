@@ -61,6 +61,15 @@ class WatchpointMonitor:
         """The last value captured for ``wp``."""
         return self._previous[id(wp)]
 
+    def snapshot(self) -> dict[int, object]:
+        """Capture the previous-value mirror (keys are live watchpoint
+        identities, so blobs are same-process only)."""
+        return dict(self._previous)
+
+    def restore(self, blob: dict[int, object]) -> None:
+        """Reset the mirror to a previous :meth:`snapshot`."""
+        self._previous = dict(blob)
+
     def check(self, wp: Watchpoint) -> tuple[bool, Optional[bool]]:
         """Re-evaluate one watchpoint.
 

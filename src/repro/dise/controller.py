@@ -21,6 +21,7 @@ The controller therefore:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.config import DiseConfig
@@ -159,3 +160,26 @@ class DiseController:
     @property
     def installed_productions(self) -> tuple[Production, ...]:
         return tuple(entry.production for entry in self._installed)
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the install table and trust set.
+
+        Entries are copied (their ``active``/``order`` fields mutate on
+        activate/deactivate); the productions themselves are shared.
+        """
+        return (tuple(dataclasses.replace(entry)
+                      for entry in self._installed),
+                frozenset(self.trusted_principals))
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the install table to a previous :meth:`snapshot`.
+
+        The paired engine must be restored separately (the machine's
+        snapshot does both, keeping them consistent).
+        """
+        installed, trusted = blob
+        self._installed = [dataclasses.replace(entry)
+                           for entry in installed]
+        self.trusted_principals = set(trusted)

@@ -167,3 +167,26 @@ class DiseEngine:
         """Zero the expansion counters."""
         self.expansions = 0
         self.instructions_inserted = 0
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture installed productions (with priorities) and counters.
+
+        Productions are immutable pattern/template pairs, so the blob
+        references them directly; only the installed set and match
+        priorities are reconstructed on :meth:`restore`.
+        """
+        installed = tuple((production, self._order[id(production)])
+                          for production in self._productions)
+        return (installed, self._next_order, self.enabled,
+                self.expansions, self.instructions_inserted)
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the engine to a previous :meth:`snapshot`."""
+        (installed, next_order, self.enabled,
+         self.expansions, self.instructions_inserted) = blob
+        self.clear()
+        for production, order in installed:
+            self.add(production, order)
+        self._next_order = next_order

@@ -54,3 +54,10 @@ class DiseRegisterFile:
     def snapshot(self) -> tuple[int, ...]:
         """An immutable copy of all register values."""
         return tuple(self._values)
+
+    def restore(self, blob: tuple[int, ...]) -> None:
+        """Reset every register to a previous :meth:`snapshot`."""
+        if len(blob) != len(self._values):
+            raise DiseError(f"snapshot has {len(blob)} registers, "
+                            f"file has {len(self._values)}")
+        self._values = list(blob)

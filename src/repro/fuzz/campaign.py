@@ -23,7 +23,7 @@ from typing import Optional
 from repro.config import MachineConfig
 from repro.fuzz.generator import (GeneratorConfig, ProgramSpec,
                                   build_program, generate_spec)
-from repro.fuzz.oracle import OracleReport, run_differential
+from repro.fuzz.oracle import BACKENDS, OracleReport, run_differential
 from repro.fuzz.shrinker import instruction_count, shrink
 from repro.harness.cache import ResultCache
 from repro.harness.runner import Runner
@@ -45,6 +45,8 @@ class FuzzCell:
     spec_data: tuple  # ProgramSpec.to_dict() as a hashable json string
     seed: int
     config: Optional[MachineConfig] = None
+    #: Also run the snapshot/restore leg (one backend, seed-rotated).
+    checkpoint_leg: bool = False
 
     # The Runner's bookkeeping interface (same shape as CellSpec).
     @property
@@ -65,10 +67,17 @@ class FuzzCell:
         return {"fuzz_spec": json.loads(self.spec_data[0])}
 
 
-def _make_cell(spec: ProgramSpec,
-               config: Optional[MachineConfig]) -> FuzzCell:
+def _make_cell(spec: ProgramSpec, config: Optional[MachineConfig],
+               checkpoint_leg: bool = False) -> FuzzCell:
     return FuzzCell((json.dumps(spec.to_dict(), sort_keys=True),),
-                    spec.seed, config)
+                    spec.seed, config, checkpoint_leg)
+
+
+def _checkpoint_backend(cell: FuzzCell) -> Optional[str]:
+    """The backend the cell's checkpoint leg exercises (seed-rotated)."""
+    if not cell.checkpoint_leg:
+        return None
+    return BACKENDS[cell.seed % len(BACKENDS)]
 
 
 def fuzz_worker(cell: FuzzCell, settings) -> RunResult:
@@ -79,7 +88,8 @@ def fuzz_worker(cell: FuzzCell, settings) -> RunResult:
     failure from a genuine worker error) and the parent re-runs the
     seed in-process for the full report.
     """
-    report = run_differential(cell.spec, cell.config)
+    report = run_differential(cell.spec, cell.config,
+                              checkpoint_backend=_checkpoint_backend(cell))
     reason = "" if report.ok else (
         _FAIL_MARKER + report.divergences[0].describe())
     return RunResult(
@@ -147,12 +157,15 @@ def run_campaign(base_seed: int, iterations: int, *,
                  dump_dir: str | Path = DEFAULT_DUMP_DIR,
                  shrink_failures: bool = True,
                  shrink_checks: int = 400,
+                 checkpoint_leg: bool = False,
                  progress: bool = False) -> CampaignResult:
     """Fuzz ``iterations`` seeds starting at ``base_seed``.
 
     With ``workers > 1`` the oracle runs fan out over a process pool;
     failing seeds are then re-run and shrunk serially in-process (the
-    shrinker's oracle calls are sequential by nature).
+    shrinker's oracle calls are sequential by nature).  With
+    ``checkpoint_leg`` each seed additionally exercises mid-program
+    snapshot/restore under one backend (rotated by seed).
     """
     started = time.perf_counter()
     result = CampaignResult(base_seed=base_seed, iterations=iterations)
@@ -161,7 +174,7 @@ def run_campaign(base_seed: int, iterations: int, *,
     for i in range(iterations):
         spec = generate_spec(base_seed + i, generator_config)
         spec.inject = inject
-        cells.append(_make_cell(spec, config))
+        cells.append(_make_cell(spec, config, checkpoint_leg))
 
     runner = Runner(workers=workers, cache=ResultCache(enabled=False),
                     worker=fuzz_worker, progress=progress)
@@ -190,13 +203,15 @@ def run_campaign(base_seed: int, iterations: int, *,
 def _investigate(cell: FuzzCell, do_shrink: bool,
                  shrink_checks: int) -> Failure:
     spec = cell.spec
-    report = run_differential(spec, cell.config)
+    ckpt = _checkpoint_backend(cell)
+    report = run_differential(spec, cell.config, checkpoint_backend=ckpt)
     failure = Failure(seed=cell.seed, report=report, spec=spec)
     if report.ok:  # fails in a worker but not here: keep the raw spec
         return failure
     if do_shrink:
         def is_failing(candidate: ProgramSpec) -> bool:
-            return not run_differential(candidate, cell.config).ok
+            return not run_differential(candidate, cell.config,
+                                        checkpoint_backend=ckpt).ok
 
         failure.shrunk_spec = shrink(spec, is_failing,
                                      max_checks=shrink_checks)

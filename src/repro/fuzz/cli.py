@@ -52,6 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="dump failing specs without minimizing them")
     parser.add_argument("--shrink-checks", type=int, default=400,
                         help="oracle-run budget per shrink (default 400)")
+    parser.add_argument("--checkpoint-leg", action="store_true",
+                        help="also exercise mid-program snapshot/restore "
+                             "under one backend per seed (seed-rotated)")
     parser.add_argument("--blocks", type=int, default=None,
                         help="body blocks per generated program")
     parser.add_argument("--store-density", type=float, default=None,
@@ -106,6 +109,7 @@ def main(argv: list[str] | None = None) -> int:
         dump_dir=args.dump_dir,
         shrink_failures=not args.no_shrink,
         shrink_checks=args.shrink_checks,
+        checkpoint_leg=args.checkpoint_leg,
         progress=args.progress,
     )
     if not args.quiet or not result.ok:

@@ -128,6 +128,7 @@ class RunOutcome:
     state: tuple[tuple[str, int], ...] = ()  # named memory words
     stats: Optional[dict] = None  # SimStats.to_dict()
     error: Optional[str] = None
+    fingerprint: str = ""  # Machine.state_fingerprint (checkpoint legs)
 
     @property
     def arch_state(self) -> tuple:
@@ -270,6 +271,8 @@ def _diff_state(a: RunOutcome, b: RunOutcome) -> str:
     for (name, va), (_, vb) in zip(a.state, b.state):
         if va != vb:
             parts.append(f"{name} {va:#x} != {vb:#x}")
+    if a.fingerprint and b.fingerprint and a.fingerprint != b.fingerprint:
+        parts.append("state fingerprint differs")
     return "; ".join(parts)
 
 
@@ -312,14 +315,92 @@ def _compare(report: OracleReport, a: RunOutcome, b: RunOutcome, *,
             report.divergences.append(Divergence("stats", runs, stats_diff))
 
 
+def checkpoint_leg(spec: ProgramSpec, backend_name: str,
+                   config: Optional[MachineConfig] = None,
+                   legacy: bool = False) -> list[Divergence]:
+    """Exercise snapshot/restore mid-program under one backend.
+
+    Three runs of the same debugged program:
+
+    * an uninterrupted reference run to the budget;
+    * a run interrupted at half the budget to take a snapshot, then
+      finished ("ckpt-finish");
+    * the same machine restored from that snapshot and finished again
+      ("ckpt-replay").
+
+    All three must agree bit-for-bit on the canonical stop sequence,
+    final architectural state, full SimStats, *and* the machine's
+    ``state_fingerprint`` — taking a checkpoint must be invisible, and
+    restoring one must deterministically reproduce the suffix.  The
+    recorder's shadow state lives outside the machine, so it is saved
+    and restored alongside the snapshot.
+    """
+    from repro.fuzz.inject import applied_injection
+
+    budget = dynamic_budget(spec)
+    half = max(budget // 2, 1)
+    interp = "legacy" if legacy else "table"
+
+    def _outcome(name, backend, recorder, run) -> RunOutcome:
+        return RunOutcome(
+            name=name, halted=run.halted, stops=tuple(recorder.stops),
+            regs=tuple(backend.machine.regs[r] for r in COMPARE_REGS),
+            state=_final_state(spec, backend.program,
+                               backend.machine.memory),
+            stats=run.stats.to_dict(),
+            fingerprint=backend.state_fingerprint())
+
+    try:
+        with applied_injection(spec.inject, backend_name):
+            watchpoints, breakpoints = _build_points(spec)
+            reference = backend_class(backend_name)(
+                build_program(spec), watchpoints, breakpoints,
+                _interp_config(config, legacy), detailed_timing=False)
+            ref_recorder = StopRecorder(reference)
+            ref = _outcome(f"{backend_name}/{interp}/ckpt-ref", reference,
+                           ref_recorder, reference.run(budget))
+
+            watchpoints, breakpoints = _build_points(spec)
+            backend = backend_class(backend_name)(
+                build_program(spec), watchpoints, breakpoints,
+                _interp_config(config, legacy), detailed_timing=False)
+            recorder = StopRecorder(backend)
+            backend.run(half)
+            blob = backend.snapshot()
+            saved_stops = list(recorder.stops)
+            saved_shadow = dict(recorder._shadow)
+            finish = _outcome(f"{backend_name}/{interp}/ckpt-finish",
+                              backend, recorder, backend.run(budget))
+            backend.restore(blob)
+            recorder.stops[:] = saved_stops
+            recorder._shadow = dict(saved_shadow)
+            replay = _outcome(f"{backend_name}/{interp}/ckpt-replay",
+                              backend, recorder, backend.run(budget))
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return [Divergence(
+            "error", (f"{backend_name}/{interp}/ckpt",) * 2,
+            f"{type(exc).__name__}: {exc}")]
+
+    report = OracleReport(seed=spec.seed)
+    _compare(report, ref, finish, stats=True, stops=True)
+    _compare(report, finish, replay, stats=True, stops=True)
+    return report.divergences
+
+
 def run_differential(spec: ProgramSpec,
                      config: Optional[MachineConfig] = None,
-                     backends: tuple[str, ...] = BACKENDS) -> OracleReport:
+                     backends: tuple[str, ...] = BACKENDS,
+                     checkpoint_backend: Optional[str] = None
+                     ) -> OracleReport:
     """Run the full differential matrix for one spec.
 
     Returns an :class:`OracleReport`; ``report.ok`` is the verdict.
     A non-halting run (budget exhausted), a crash, a final-state
     mismatch, or a stop-sequence mismatch all surface as divergences.
+
+    ``checkpoint_backend`` additionally runs the snapshot/restore
+    :func:`checkpoint_leg` under the named backend on both
+    interpreters, folding its divergences into the report.
     """
     report = OracleReport(seed=spec.seed)
 
@@ -363,4 +444,9 @@ def run_differential(spec: ProgramSpec,
             report.spurious[backend_name] = sum(
                 count for key, count in transitions.items()
                 if key.startswith("spurious"))
+    if checkpoint_backend is not None:
+        for legacy in (False, True):
+            report.divergences.extend(
+                checkpoint_leg(spec, checkpoint_backend, config,
+                               legacy=legacy))
     return report

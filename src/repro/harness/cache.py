@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import pickle
 import tempfile
 from pathlib import Path
 from typing import Optional
@@ -150,3 +151,100 @@ class ResultCache:
         if not self.directory.is_dir():
             return 0
         return sum(1 for _ in self.directory.glob("*.json"))
+
+
+def default_warm_cache() -> "WarmCheckpointCache":
+    """The environment-configured warm-checkpoint store."""
+    return WarmCheckpointCache(default_cache_dir(), enabled=cache_enabled())
+
+
+class WarmCheckpointCache:
+    """Persisted post-warm-up machine checkpoints.
+
+    Blobs live as pickles under ``<cache_dir>/checkpoints/``, keyed by
+    a content hash of the *shared prefix identity* — benchmark, machine
+    config, warm-up instruction count, timing fidelity — plus the code
+    version.  Every experiment cell that differs only in its debug plan
+    (backend, watchpoints, options) shares one prefix blob and resumes
+    from it instead of re-simulating the warm-up interval.
+
+    Only checkpoints of *undebugged* machines are stored here: those
+    blobs are plain data (no live productions or handler closures) and
+    pickle cleanly.  As with :class:`ResultCache`, any unreadable,
+    truncated, or version-mismatched file is a miss, never an error.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 enabled: bool = True):
+        base = Path(directory) if directory else Path(default_cache_dir())
+        self.directory = base / "checkpoints"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, payload: dict) -> str:
+        """Content hash of a prefix-identity payload (plus code version)."""
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        digest = hashlib.sha256()
+        digest.update(code_version().encode())
+        digest.update(b"\0")
+        digest.update(canonical.encode())
+        return digest.hexdigest()[:32]
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of a key's pickled checkpoint."""
+        return self.directory / f"{key}.pkl"
+
+    def load(self, key: str) -> Optional[object]:
+        """The stored checkpoint blob for ``key``, or ``None`` on miss."""
+        if not self.enabled:
+            return None
+        try:
+            payload = self.path_for(key).read_bytes()
+            record = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any corruption is a miss
+            self.misses += 1
+            return None
+        if (not isinstance(record, dict)
+                or record.get("code_version") != code_version()):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record.get("blob")
+
+    def store(self, key: str, blob: object) -> None:
+        """Persist ``blob`` under ``key`` (atomic write-and-rename)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {"code_version": code_version(), "blob": blob}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(record, handle, pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every stored checkpoint; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.pkl"))

@@ -12,16 +12,21 @@ from the ``REPRO_SCALE`` environment variable, default 1.0).
 
 Figure grids run through the parallel experiment engine: ``--workers N``
 fans cells out over N worker processes (0 = in-process serial, the
-default), and results persist in the on-disk cache (``.repro_cache/``
-or ``--cache-dir``) so an interrupted or repeated run only recomputes
+default), and results persist in the on-disk cache (``--cache-dir``,
+the ``REPRO_CACHE_DIR`` environment variable, or ``.repro_cache/``, in
+that order) so an interrupted or repeated run only recomputes
 invalidated cells.  ``--expect-warm`` fails the invocation if any cell
 had to be recomputed — CI uses it to guard the cache path.
+``--warm-start`` resumes cells from a shared post-warm-up checkpoint
+(one per benchmark/config) instead of re-simulating each cell's
+warm-up prefix.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import os
 import sys
 import time
 
@@ -79,8 +84,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--expect-warm", action="store_true",
                         help="fail if any figure cell had to be recomputed "
                              "(cache-regression guard)")
+    parser.add_argument("--warm-start", action="store_true",
+                        help="resume cells from a shared post-warm-up "
+                             "checkpoint instead of re-simulating each "
+                             "cell's warm-up prefix")
     args = parser.parse_args(argv)
-    settings = ExperimentSettings.scaled(args.scale)
+    settings = ExperimentSettings.scaled(args.scale,
+                                         warm_start=args.warm_start)
+
+    if args.cache_dir is not None:
+        # Make the explicit directory the environment default too, so
+        # worker processes and the warm-checkpoint store agree with the
+        # result cache on where persistent state lives.
+        os.environ["REPRO_CACHE_DIR"] = str(args.cache_dir)
 
     if args.no_cache:
         cache = ResultCache(enabled=False)

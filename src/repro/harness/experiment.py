@@ -30,9 +30,11 @@ from typing import Any, Optional
 
 from repro.config import MachineConfig, default_scale
 from repro.cpu.machine import Machine, MachineRun
+from repro.debugger.backends import backend_class
 from repro.debugger.session import Session
 from repro.errors import UnsupportedWatchpointError
-from repro.harness.cache import ResultCache, default_cache
+from repro.harness.cache import (ResultCache, WarmCheckpointCache,
+                                 default_cache, default_warm_cache)
 from repro.results import RunResult
 from repro.workloads.benchmarks import (build_benchmark, watch_expression,
                                         never_true_condition)
@@ -47,18 +49,30 @@ _DEFAULT_WARMUP = 50_000
 
 @dataclass(frozen=True)
 class ExperimentSettings:
-    """Instruction budgets for one experiment family."""
+    """Instruction budgets for one experiment family.
+
+    ``warm_start`` makes cells resume from a shared post-warm-up
+    checkpoint of the *undebugged* machine instead of simulating their
+    own warm-up prefix (see :func:`warm_checkpoint`).  It is opt-in:
+    with it, the warm-up interval runs without the debug mechanism
+    installed, so mechanism-induced microarchitectural pollution of the
+    warm-up (e.g. DISE expansions in the caches) is not reproduced —
+    architectural state is identical either way.
+    """
 
     measure_instructions: int = _DEFAULT_MEASURE
     warmup_instructions: int = _DEFAULT_WARMUP
+    warm_start: bool = False
 
     @classmethod
-    def scaled(cls, scale: Optional[float] = None) -> "ExperimentSettings":
+    def scaled(cls, scale: Optional[float] = None, *,
+               warm_start: bool = False) -> "ExperimentSettings":
         """Settings multiplied by ``scale`` (default: ``REPRO_SCALE``)."""
         factor = default_scale() if scale is None else scale
         return cls(
             measure_instructions=int(_DEFAULT_MEASURE * factor),
             warmup_instructions=int(_DEFAULT_WARMUP * factor),
+            warm_start=warm_start,
         )
 
 
@@ -119,17 +133,96 @@ class CellSpec:
 
 
 _BASELINE_CACHE: dict[tuple, MachineRun] = {}
+_WARM_CACHE: dict[tuple, object] = {}
 
 
 def clear_baseline_cache() -> None:
-    """Drop all cached baseline runs, in memory *and* on disk.
+    """Drop all cached baseline runs and warm-start checkpoints, in
+    memory *and* on disk.
 
-    The on-disk store cleared is the environment-configured default
+    The on-disk stores cleared are the environment-configured defaults
     (``REPRO_CACHE_DIR``); caches pointed at explicit directories are
     the caller's to manage.
     """
     _BASELINE_CACHE.clear()
+    _WARM_CACHE.clear()
     default_cache().clear()
+    default_warm_cache().clear()
+
+
+def warm_payload(benchmark: str, settings: "ExperimentSettings",
+                 config: Optional[MachineConfig],
+                 detailed_timing: bool = True) -> dict:
+    """The JSON-able prefix identity hashed into the warm-cache key.
+
+    Deliberately excludes everything cell-specific (backend, kind,
+    watchpoints, options, measure budget): cells that differ only in
+    debug plan share one prefix.
+    """
+    return {
+        "warm_checkpoint": True,
+        "benchmark": benchmark,
+        "config": asdict(config) if config else None,
+        "warmup_instructions": settings.warmup_instructions,
+        "detailed_timing": detailed_timing,
+    }
+
+
+def warm_checkpoint(benchmark: str,
+                    settings: Optional["ExperimentSettings"] = None,
+                    config: Optional[MachineConfig] = None, *,
+                    detailed_timing: bool = True,
+                    cache: Optional[WarmCheckpointCache] = None) -> object:
+    """The post-warm-up checkpoint of an undebugged ``benchmark`` run.
+
+    Computed at most once per (benchmark, config, warm-up budget,
+    timing fidelity): cached in memory per process and pickled on disk
+    so parallel workers and later invocations load instead of
+    re-simulating the prefix.
+    """
+    settings = settings or ExperimentSettings.scaled()
+    mem_key = (benchmark, settings.warmup_instructions, config,
+               detailed_timing)
+    blob = _WARM_CACHE.get(mem_key)
+    if blob is not None:
+        return blob
+    cache = default_warm_cache() if cache is None else cache
+    disk_key = (cache.key_for(warm_payload(benchmark, settings, config,
+                                           detailed_timing))
+                if cache.enabled else None)
+    if disk_key is not None:
+        blob = cache.load(disk_key)
+        if blob is not None:
+            _WARM_CACHE[mem_key] = blob
+            return blob
+    machine = Machine(build_benchmark(benchmark), config,
+                      detailed_timing=detailed_timing)
+    machine.run(settings.warmup_instructions)
+    blob = machine.snapshot()
+    _WARM_CACHE[mem_key] = blob
+    if disk_key is not None:
+        cache.store(disk_key, blob)
+    return blob
+
+
+def _warm_checkpoint_for(spec: CellSpec,
+                         settings: "ExperimentSettings") -> Optional[object]:
+    """The warm-start blob for ``spec``, or None when it must run cold.
+
+    Backends that statically transform the program (binary rewriting)
+    cannot restore a checkpoint of the original binary; they fall back
+    to simulating their own warm-up.
+    """
+    if not settings.warm_start or settings.warmup_instructions <= 0:
+        return None
+    try:
+        if backend_class(spec.backend).transforms_program:
+            return None
+    except Exception:  # noqa: BLE001 - unknown backend errors later
+        return None
+    detailed = dict(spec.options).get("detailed_timing", True)
+    return warm_checkpoint(spec.benchmark, settings, spec.config,
+                           detailed_timing=detailed)
 
 
 def run_baseline(benchmark: str,
@@ -174,8 +267,12 @@ def execute_spec(spec: CellSpec,
     """Run one cell in-process, bypassing the on-disk cache."""
     settings = settings or ExperimentSettings.scaled()
     started = time.perf_counter()
+    warm_blob = _warm_checkpoint_for(spec, settings)
+    options = dict(spec.options)
+    if warm_blob is not None:
+        options["warm_checkpoint"] = warm_blob
     session = Session(build_benchmark(spec.benchmark), backend=spec.backend,
-                      config=spec.config, **dict(spec.options))
+                      config=spec.config, **options)
     try:
         if spec.watch_expressions is None:
             condition = (never_true_condition(spec.kind)
@@ -193,7 +290,8 @@ def execute_spec(spec: CellSpec,
                          unsupported_reason=str(exc),
                          wall_time=time.perf_counter() - started)
 
-    debugged.machine.run(settings.warmup_instructions)
+    if not debugged.warm_started:
+        debugged.machine.run(settings.warmup_instructions)
     debugged.machine.reset_stats()
     result = debugged.machine.run(settings.measure_instructions)
     baseline = run_baseline(spec.benchmark, settings)
@@ -211,6 +309,7 @@ def execute_spec(spec: CellSpec,
         halted=result.halted,
         stopped_at_user=result.stopped_at_user,
         wall_time=time.perf_counter() - started,
+        warm_started=debugged.warm_started,
     )
 
 

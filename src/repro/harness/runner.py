@@ -52,6 +52,8 @@ class RunReport:
     retried: int = 0
     wall_time: float = 0.0
     instructions: int = 0  # simulated instructions in *computed* cells
+    warmed: int = 0  # computed cells that resumed from a warm checkpoint
+    prefixes: int = 0  # distinct warm prefixes ensured before fan-out
 
     @property
     def done(self) -> int:
@@ -67,8 +69,10 @@ class RunReport:
 
     def summary(self) -> str:
         """One-line rendering for logs and the CLI."""
+        warm = (f", {self.warmed} warm-started "
+                f"({self.prefixes} shared prefixes)" if self.warmed else "")
         return (f"{self.total} cells: {self.computed} computed, "
-                f"{self.cached} cached, {self.failed} failed in "
+                f"{self.cached} cached, {self.failed} failed{warm} in "
                 f"{self.wall_time:.1f}s "
                 f"({self.instructions_per_second / 1e6:.2f}M sim-instr/s)")
 
@@ -115,6 +119,10 @@ class Runner:
             else:
                 misses.append((index, spec, key))
 
+        if misses and settings.warm_start:
+            report.prefixes = self._ensure_warm_prefixes(
+                [spec for _, spec, _ in misses], settings)
+
         if misses:
             if self.workers <= 1:
                 self._run_serial(misses, settings, results, report, started)
@@ -125,6 +133,36 @@ class Runner:
         self._emit_progress(report, started, final=True)
         self.last_report = report
         return results
+
+    # -- warm-start prefixes -----------------------------------------------
+
+    def _ensure_warm_prefixes(self, specs: list[CellSpec],
+                              settings: ExperimentSettings) -> int:
+        """Compute (and persist) every distinct shared warm-up prefix.
+
+        Runs before fan-out so worker processes find the checkpoints in
+        the on-disk store instead of each re-simulating the warm-up.
+        Returns the number of distinct prefixes ensured.
+        """
+        from repro.debugger.backends import backend_class
+        from repro.harness.experiment import warm_checkpoint
+
+        if settings.warmup_instructions <= 0:
+            return 0
+        prefixes = set()
+        for spec in specs:
+            try:
+                if backend_class(spec.backend).transforms_program:
+                    continue  # runs cold; no shared prefix
+            except Exception:  # noqa: BLE001 - unknown backend fails later
+                continue
+            detailed = dict(spec.options).get("detailed_timing", True)
+            prefixes.add((spec.benchmark, spec.config, detailed))
+        for benchmark, config, detailed in sorted(
+                prefixes, key=lambda p: (p[0], repr(p[1]), p[2])):
+            warm_checkpoint(benchmark, settings, config,
+                            detailed_timing=detailed)
+        return len(prefixes)
 
     # -- execution paths ---------------------------------------------------
 
@@ -195,6 +233,8 @@ class Runner:
                         result: RunResult) -> None:
         results[index] = result
         report.computed += 1
+        if result.warm_started:
+            report.warmed += 1
         if result.stats is not None:
             report.instructions += result.stats.total_instructions
         if key is not None:

@@ -87,6 +87,15 @@ class SetAssociativeCache:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self) -> tuple:
+        """Capture cache contents and counters."""
+        return ([list(ways) for ways in self._sets], self.hits, self.misses)
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the cache to a previous :meth:`snapshot`."""
+        sets, self.hits, self.misses = blob
+        self._sets = [list(ways) for ways in sets]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses
@@ -138,3 +147,13 @@ class CacheHierarchy:
         self.l1i.reset_counters()
         self.l1d.reset_counters()
         self.l2.reset_counters()
+
+    def snapshot(self) -> tuple:
+        """Capture all three levels."""
+        return (self.l1i.snapshot(), self.l1d.snapshot(), self.l2.snapshot())
+
+    def restore(self, blob: tuple) -> None:
+        """Reset all three levels to a previous :meth:`snapshot`."""
+        self.l1i.restore(blob[0])
+        self.l1d.restore(blob[1])
+        self.l2.restore(blob[2])

@@ -89,6 +89,17 @@ class PageTable:
     def protected_pages(self) -> frozenset[int]:
         return frozenset(self._protections)
 
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> dict[int, int]:
+        """Capture the protection map."""
+        return dict(self._protections)
+
+    def restore(self, blob: dict[int, int]) -> None:
+        """Reset protections to a previous :meth:`snapshot`."""
+        self._protections = dict(blob)
+        self.any_protected = bool(self._protections)
+
     # -- fault checks (consulted by the machine) ------------------------------
 
     def check_store(self, address: int, size: int) -> bool:

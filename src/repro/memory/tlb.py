@@ -62,6 +62,15 @@ class Tlb:
         self.hits = 0
         self.misses = 0
 
+    def snapshot(self) -> tuple:
+        """Capture TLB contents and counters."""
+        return ([list(ways) for ways in self._sets], self.hits, self.misses)
+
+    def restore(self, blob: tuple) -> None:
+        """Reset the TLB to a previous :meth:`snapshot`."""
+        sets, self.hits, self.misses = blob
+        self._sets = [list(ways) for ways in sets]
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

@@ -1,0 +1,44 @@
+"""Checkpointing and deterministic replay.
+
+Everything with mutable simulator state — :class:`~repro.cpu.machine.
+Machine` and its components, and the debugger backends — implements the
+:class:`Snapshotable` protocol: ``snapshot()`` captures state as an
+opaque blob, ``restore(blob)`` rewinds to it, and (for the classes where
+a differential identity is meaningful) ``state_fingerprint()`` digests
+the architectural state.  Because the interpreter is deterministic,
+restore + re-execute reproduces a run bit-for-bit; that one property
+powers everything in this package:
+
+* :class:`Checkpoint` / :class:`CheckpointStore` — periodic snapshots
+  taken automatically during ``Machine.run``;
+* :class:`ReverseController` — ``reverse-continue`` / ``reverse-step``
+  as restore-nearest-checkpoint + deterministic re-execution;
+* harness warm-start (see :mod:`repro.harness.experiment`) — experiment
+  cells sharing a warm-up prefix resume from a persisted checkpoint.
+
+See DESIGN.md, "Checkpoint & deterministic replay".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+from repro.replay.reverse import ReverseController, StopRecord
+
+
+@runtime_checkable
+class Snapshotable(Protocol):
+    """The uniform capture/restore interface of mutable simulator state."""
+
+    def snapshot(self) -> Any:
+        """Capture mutable state as an opaque blob."""
+        ...
+
+    def restore(self, blob: Any) -> None:
+        """Rewind to a previously captured blob (which stays valid)."""
+        ...
+
+
+__all__ = ["Snapshotable", "Checkpoint", "CheckpointStore",
+           "ReverseController", "StopRecord"]

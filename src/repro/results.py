@@ -49,6 +49,10 @@ class RunResult:
     stopped_at_user: bool = False
     wall_time: float = 0.0
     from_cache: bool = False
+    #: Whether the run resumed from a shared post-warm-up checkpoint
+    #: instead of executing its own warm-up prefix (see
+    #: ``repro.harness.experiment.warm_checkpoint``).
+    warm_started: bool = False
 
     @property
     def supported(self) -> bool:
@@ -91,6 +95,7 @@ class RunResult:
             "halted": self.halted,
             "stopped_at_user": self.stopped_at_user,
             "wall_time": self.wall_time,
+            "warm_started": self.warm_started,
         }
 
     def to_json(self, *, indent: Optional[int] = None) -> str:
@@ -121,6 +126,7 @@ class RunResult:
             halted=data.get("halted", True),
             stopped_at_user=data.get("stopped_at_user", False),
             wall_time=data.get("wall_time", 0.0),
+            warm_started=data.get("warm_started", False),
         )
 
     @classmethod

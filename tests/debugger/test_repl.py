@@ -154,3 +154,73 @@ def test_adding_watchpoint_resets_run():
     shell.execute("watch other")  # invalidates the running machine
     out = shell.execute("continue 100")
     assert "Stopped after" in out or "Ran" in out
+
+
+# -- reverse debugging ------------------------------------------------------
+
+
+def test_checkpoint_command():
+    shell = _shell()
+    shell.execute("run 100")
+    out = shell.execute("checkpoint")
+    assert out.startswith("Checkpoint at 100 instructions")
+    assert "held" in out
+    assert "at 100 instructions" in shell.execute("info checkpoints")
+
+
+def test_info_checkpoints_before_running():
+    assert _shell().execute("info checkpoints") == "No checkpoints."
+
+
+def test_rewind_command():
+    shell = _shell()
+    shell.execute("run 100")
+    out = shell.execute("rewind 30")
+    assert out == f"Rewound to 70 instructions (pc={shell._backend_obj.machine.pc:#x})."
+    # Default step is one instruction; both spellings work.
+    shell.execute("rewind")
+    assert "Rewound to 69 instructions" in shell.execute("rs 0")
+    assert "usage" in shell.execute("rewind nope")
+
+
+@pytest.mark.parametrize("backend", ("dise", "single_step"))
+def test_reverse_continue_relands_previous_stop(backend):
+    shell = _shell(backend=backend)
+    shell.execute("break loop")
+    outputs = [shell.execute("continue") for _ in range(3)]
+    out = shell.execute("reverse-continue")
+    assert out == outputs[1]  # back on stop 2 of 3, verbatim
+    # Going forward again reproduces stop 3 verbatim.
+    assert shell.execute("continue") == outputs[2]
+
+
+def test_reverse_continue_abbreviation_and_no_stops():
+    shell = _shell()
+    assert "No stops recorded" in shell.execute("rc")
+    shell.execute("break loop")
+    shell.execute("continue")
+    out = shell.execute("rc")  # only one stop: rewind to genesis
+    assert "start of history (0 instructions)" in out
+
+
+def test_reverse_continue_after_exit():
+    shell = _shell(iters=5)
+    shell.execute("break loop")
+    last = ""
+    while True:
+        out = shell.execute("continue")
+        if "exited" in out:
+            break
+        last = out
+    assert "Stopped after" in shell.execute("rc")
+    assert shell.execute("continue") != ""
+
+
+def test_rewind_across_watchpoint_edit():
+    shell = _shell()
+    shell.execute("watch hot")
+    shell.execute("run 100")
+    shell.execute("watch other")  # invalidates backend + controller
+    assert shell._controller is None
+    out = shell.execute("rewind 10")  # fresh controller, fresh history
+    assert "Rewound to 0 instructions" in out

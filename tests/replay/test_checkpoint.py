@@ -1,0 +1,104 @@
+"""Unit tests: copy-on-write memory snapshots and the checkpoint store."""
+
+import pytest
+
+from repro.memory.main_memory import MainMemory, PAGE_BYTES
+from repro.replay import Snapshotable
+from repro.replay.checkpoint import Checkpoint, CheckpointStore
+
+
+class TestMemoryCow:
+    def test_snapshot_restores_exact_bytes(self):
+        memory = MainMemory()
+        memory.write_int(0x1000, 8, 0xDEADBEEF)
+        memory.write_int(0x2000, 8, 42)
+        blob = memory.snapshot()
+        memory.write_int(0x1000, 8, 7)
+        memory.write_int(0x9000, 8, 9)
+        memory.restore(blob)
+        assert memory.read_int(0x1000, 8) == 0xDEADBEEF
+        assert memory.read_int(0x2000, 8) == 42
+        assert memory.read_int(0x9000, 8) == 0
+
+    def test_snapshot_is_copy_on_write(self):
+        memory = MainMemory()
+        memory.write_int(0x1000, 8, 1)
+        memory.write_int(0x1000 + PAGE_BYTES, 8, 2)
+        blob = memory.snapshot()
+        # Snapshot shares pages: no copies yet, every page frozen.
+        assert memory.frozen_pages == len(blob)
+        # A write clones only the touched page.
+        memory.write_int(0x1000, 8, 99)
+        assert memory.frozen_pages == len(blob) - 1
+        # The blob still holds the pre-write value.
+        memory.restore(blob)
+        assert memory.read_int(0x1000, 8) == 1
+
+    def test_blob_survives_repeated_restores(self):
+        memory = MainMemory()
+        memory.write_int(0x1000, 8, 5)
+        blob = memory.snapshot()
+        for value in (10, 20, 30):
+            memory.write_int(0x1000, 8, value)
+            memory.restore(blob)
+            assert memory.read_int(0x1000, 8) == 5
+
+    def test_fingerprint_tracks_content_not_layout(self):
+        a, b = MainMemory(), MainMemory()
+        a.write_int(0x1000, 8, 77)
+        b.write_int(0x1000, 8, 77)
+        # b additionally materialized an all-zero page; fingerprints
+        # hash content, so an untouched zero page is invisible.
+        b.write_int(0x5000, 8, 0)
+        assert a.state_fingerprint() == b.state_fingerprint()
+        b.write_int(0x1000, 8, 78)
+        assert a.state_fingerprint() != b.state_fingerprint()
+
+    def test_memory_satisfies_snapshotable(self):
+        assert isinstance(MainMemory(), Snapshotable)
+
+
+class TestCheckpointStore:
+    def test_add_and_lookup(self):
+        store = CheckpointStore()
+        for n in (0, 100, 200, 300):
+            store.add(Checkpoint(n, blob=n))
+        assert len(store) == 4
+        assert store.nearest_at_or_before(250).app_instructions == 200
+        assert store.nearest_at_or_before(300).app_instructions == 300
+        assert store.nearest_at_or_before(-1) is None
+        assert store.oldest.app_instructions == 0
+        assert store.newest.app_instructions == 300
+
+    def test_rejects_decreasing_instruction_counts(self):
+        store = CheckpointStore()
+        store.add(Checkpoint(100, blob=None))
+        store.add(Checkpoint(100, blob=None))  # equal is allowed
+        with pytest.raises(ValueError):
+            store.add(Checkpoint(99, blob=None))
+
+    def test_predicate_filters_candidates(self):
+        store = CheckpointStore()
+        for n, stops in ((0, 0), (100, 0), (200, 1), (300, 2)):
+            store.add(Checkpoint(n, blob=None, meta={"stops_seen": stops}))
+        found = store.nearest_at_or_before(
+            300, predicate=lambda c: c.meta["stops_seen"] <= 0)
+        assert found.app_instructions == 100
+
+    def test_capacity_thins_but_keeps_newest(self):
+        store = CheckpointStore(capacity=8)
+        for n in range(0, 2000, 100):
+            store.add(Checkpoint(n, blob=None))
+        assert len(store) <= 8
+        assert store.newest.app_instructions == 1900
+        assert store.oldest.app_instructions == 0
+
+    def test_trim_after_keeps_restored_checkpoint(self):
+        store = CheckpointStore()
+        for n in (0, 100, 200, 300):
+            store.add(Checkpoint(n, blob=None))
+        store.trim_after(100)
+        assert [c.app_instructions for c in store] == [0, 100]
+        # Forward execution can re-add past the trim point.
+        store.add(Checkpoint(150, blob=None))
+        assert store.newest.app_instructions == 150

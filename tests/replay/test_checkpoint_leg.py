@@ -1,0 +1,46 @@
+"""The fuzz oracle's snapshot/restore leg.
+
+Every golden seed must satisfy the full differential invariant *plus*
+the checkpoint leg (snapshot mid-run, finish, restore, finish again —
+all bit-identical) on both interpreter cores.
+"""
+
+import pytest
+
+from repro.fuzz.campaign import _checkpoint_backend, _make_cell
+from repro.fuzz.generator import generate_spec
+from repro.fuzz.oracle import BACKENDS, checkpoint_leg, run_differential
+
+GOLDEN_SEEDS = (1, 7, 23, 101, 4242)
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_golden_seed_differential_with_checkpoint_leg(seed):
+    spec = generate_spec(seed)
+    backend = BACKENDS[seed % len(BACKENDS)]
+    report = run_differential(spec, checkpoint_backend=backend)
+    assert report.ok, [d.describe() for d in report.divergences]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("legacy", (False, True),
+                         ids=("table", "legacy"))
+def test_checkpoint_leg_clean_on_every_backend(backend, legacy):
+    spec = generate_spec(7)
+    divergences = checkpoint_leg(spec, backend, legacy=legacy)
+    assert not divergences, [d.describe() for d in divergences]
+
+
+def test_campaign_cell_rotates_checkpoint_backend():
+    cells = [_make_cell(generate_spec(seed), None, True)
+             for seed in range(len(BACKENDS))]
+    assert [_checkpoint_backend(c) for c in cells] == list(BACKENDS)
+    cold = _make_cell(generate_spec(0), None)
+    assert _checkpoint_backend(cold) is None
+
+
+def test_checkpoint_leg_reports_errors_as_divergences():
+    spec = generate_spec(1)
+    divergences = checkpoint_leg(spec, "no-such-backend")
+    assert divergences
+    assert divergences[0].kind == "error"

@@ -1,0 +1,123 @@
+"""Reverse-continue/reverse-step via the ReverseController.
+
+The acceptance property: reverse-continue from the k-th stop lands on
+the (k-1)-th stop with an *identical* canonical stop record — same
+instruction count, same PC, same architectural fingerprint — on at
+least two backends (DISE and single-step).
+"""
+
+import pytest
+
+from repro.debugger.session import Session
+from repro.replay.reverse import DEFAULT_INTERVAL
+from tests.conftest import make_watch_loop
+
+BACKENDS = ("dise", "single_step")
+
+
+def _controller(backend, iters=60):
+    session = Session(make_watch_loop(iters), backend=backend)
+    session.break_at("loop")
+    return session.start_interactive(checkpoint_interval=2_000,
+                                     record_fingerprints=True)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reverse_continue_lands_on_previous_stop(backend):
+    controller = _controller(backend)
+    for _ in range(5):
+        result = controller.resume()
+        assert result.stopped_at_user
+    assert len(controller.stops) == 5
+    previous = controller.stops[-2]
+
+    record = controller.reverse_continue()
+    machine = controller.machine
+    assert record.ordinal == previous.ordinal == 3
+    assert record.app_instructions == previous.app_instructions
+    assert record.pc == previous.pc
+    assert record.fingerprint == previous.fingerprint
+    assert machine.stats.app_instructions == previous.app_instructions
+    assert machine.pc == previous.pc
+    assert machine.state_fingerprint() == previous.fingerprint
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reverse_then_forward_reproduces_stops(backend):
+    controller = _controller(backend)
+    for _ in range(4):
+        controller.resume()
+    original = list(controller.stops)
+
+    controller.reverse_continue()
+    controller.reverse_continue()
+    assert len(controller.stops) == 2
+    controller.resume()
+    controller.resume()
+    assert controller.stops == original
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reverse_continue_past_halt_lands_on_last_stop(backend):
+    controller = _controller(backend, iters=10)
+    stops = 0
+    while controller.resume().stopped_at_user:
+        stops += 1
+    assert controller.machine.halted
+    last = controller.stops[-1]
+
+    record = controller.reverse_continue()
+    assert record == last
+    assert (controller.machine.stats.app_instructions
+            == last.app_instructions)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reverse_continue_without_earlier_stop_rewinds_to_genesis(backend):
+    controller = _controller(backend)
+    controller.resume()  # first stop
+    assert controller.reverse_continue() is None
+    assert controller.machine.stats.app_instructions == 0
+    assert not controller.stops
+    # History replays identically from genesis.
+    result = controller.resume()
+    assert result.stopped_at_user
+    assert controller.stops[0].ordinal == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_reverse_step_exact_instruction_counts(backend):
+    controller = _controller(backend)
+    for _ in range(3):
+        controller.resume()
+    here = controller.machine.stats.app_instructions
+    fingerprint = controller.machine.state_fingerprint()
+
+    controller.reverse_step(5)
+    assert controller.machine.stats.app_instructions == here - 5
+
+    # Stepping forward again restores the identical state.
+    controller.resume(max_app_instructions=here)
+    assert controller.machine.stats.app_instructions == here
+    assert controller.machine.state_fingerprint() == fingerprint
+
+
+def test_stops_match_across_backends():
+    """The replayed stop stream is backend-independent (app counts may
+    shift by mechanism, but ordinals and per-backend determinism hold)."""
+    records = {}
+    for backend in BACKENDS:
+        controller = _controller(backend)
+        for _ in range(4):
+            controller.resume()
+        controller.reverse_continue()
+        records[backend] = controller.stops[-1].ordinal
+    assert records["dise"] == records["single_step"] == 2
+
+
+def test_checkpoint_now_and_default_interval():
+    controller = _controller("dise")
+    assert DEFAULT_INTERVAL == 10_000
+    checkpoint = controller.checkpoint_now(note="before-the-bug")
+    assert checkpoint.meta["note"] == "before-the-bug"
+    assert checkpoint.meta["stops_seen"] == 0

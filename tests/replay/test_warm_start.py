@@ -1,0 +1,96 @@
+"""Harness warm-start: cells sharing a warm-up prefix resume from one
+persisted checkpoint instead of re-simulating it."""
+
+import pytest
+
+from repro.harness.cache import WarmCheckpointCache, default_warm_cache
+from repro.harness.experiment import (CellSpec, ExperimentSettings,
+                                      execute_spec, warm_checkpoint)
+from repro.harness.runner import Runner
+from repro.results import RunResult
+
+COLD = ExperimentSettings(measure_instructions=6_000,
+                          warmup_instructions=4_000)
+WARM = ExperimentSettings(measure_instructions=6_000,
+                          warmup_instructions=4_000, warm_start=True)
+
+
+def _spec(backend="dise", **kwargs):
+    return CellSpec.make("bzip2", "hot", backend, **kwargs)
+
+
+def test_warm_cell_skips_prefix_and_matches_cold_semantics():
+    cold = execute_spec(_spec(), COLD)
+    warm = execute_spec(_spec(), WARM)
+    assert not cold.warm_started
+    assert warm.warm_started
+    # The reported instruction count excludes the shared prefix.
+    assert warm.stats.app_instructions == WARM.measure_instructions
+    # Architectural behaviour is identical: same user transitions.
+    assert warm.user_transitions == cold.user_transitions
+    assert warm.halted == cold.halted
+
+
+def test_transforming_backend_falls_back_to_cold():
+    result = execute_spec(_spec("binary_rewrite"), WARM)
+    assert not result.warm_started
+    assert result.supported
+
+
+def test_zero_warmup_runs_cold():
+    settings = ExperimentSettings(measure_instructions=3_000,
+                                  warmup_instructions=0, warm_start=True)
+    result = execute_spec(_spec(), settings)
+    assert not result.warm_started
+
+
+def test_prefix_is_computed_once_and_shared(tmp_path):
+    cache = WarmCheckpointCache(tmp_path)
+    blob = warm_checkpoint("bzip2", WARM, cache=cache)
+    assert len(cache) == 1
+    # A second request for the same prefix is a pure disk/memory hit.
+    again = warm_checkpoint("bzip2", WARM, cache=cache)
+    assert again is blob
+    assert cache.stores == 1
+
+
+def test_warm_cache_survives_corruption(tmp_path):
+    cache = WarmCheckpointCache(tmp_path)
+    key = cache.key_for({"x": 1})
+    assert cache.load(key) is None  # miss, not error
+    cache.store(key, {"blob": True})
+    cache.path_for(key).write_bytes(b"not a pickle")
+    assert cache.load(key) is None
+
+
+def test_runner_ensures_one_prefix_for_many_cells():
+    runner = Runner(workers=0, settings=WARM)
+    specs = [_spec(b) for b in ("dise", "single_step", "hardware",
+                                "virtual_memory")]
+    results = runner.run(specs)
+    assert all(isinstance(r, RunResult) and r.warm_started
+               for r in results)
+    assert runner.last_report.prefixes == 1
+    assert runner.last_report.warmed == len(specs)
+    assert "warm-started" in runner.last_report.summary()
+
+
+def test_warm_started_survives_the_result_cache():
+    runner = Runner(workers=0, settings=WARM)
+    runner.run([_spec()])
+    rerun = Runner(workers=0, settings=WARM).run([_spec()])
+    assert rerun[0].from_cache
+    assert rerun[0].warm_started
+
+
+def test_warm_and_cold_results_cache_separately():
+    warm = Runner(workers=0, settings=WARM).run([_spec()])[0]
+    cold = Runner(workers=0, settings=COLD).run([_spec()])[0]
+    assert warm.warm_started and not cold.warm_started
+    assert not cold.from_cache  # distinct cache identities
+
+
+def test_default_warm_cache_honours_cache_dir_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+    cache = default_warm_cache()
+    assert str(cache.directory).startswith(str(tmp_path / "here"))
