@@ -1,17 +1,34 @@
-"""Interpreter throughput: legacy if/elif chain vs dispatch table.
+"""Interpreter throughput: legacy chain vs dispatch table vs compiled.
 
 Measures functional-mode (``detailed_timing=False``) interpreter speed
 in simulated instructions per wall-clock second on the Figure 3
-workloads, plain and with a DISE watchpoint-style expansion active, for
-both interpreter paths (``MachineConfig.legacy_interpreter`` selects the
-old one).  Records before/after numbers to
-``benchmarks/results/interpreter_throughput.txt`` and asserts:
+workloads and records the numbers to
+``benchmarks/results/interpreter_throughput.txt``.
 
-* the tentpole target — the dispatch table is >=1.5x the legacy
-  interpreter in plain functional mode (geometric mean), and
-* an anti-regression bound — the measured speedups stay within 20% of
-  the committed baseline ratios (ratios, not absolute inst/s, so the
-  check is machine-independent and usable as a CI smoke test).
+Two exhibits share the file:
+
+* **legacy vs table** (plain and with a DISE watchpoint-style
+  expansion active): short cold cells, ratio-checked against the
+  committed baseline from when the dispatch table landed.
+* **table vs compiled** (plain): *steady-state* cells — each machine
+  warms through ``WARM_INSTRUCTIONS`` first (populating the decode
+  cache, the warm-up counters, and the block cache), then the rate is
+  the best of ``MEASURE_WINDOWS`` timed windows of
+  ``MEASURE_INSTRUCTIONS`` each.  Best-of-N on *both* sides keeps the
+  ratio fair while shaving scheduler noise, which on shared CI
+  machines swings single-window rates by +-30%.  The compiled tier is
+  only measured plain: with productions installed, store-bearing
+  blocks deliberately fall back to the table path (expansion semantics
+  are not compiled), so there is no speedup to claim there.
+
+Asserts:
+
+* table/legacy plain geomean >= 1.5x and both table/legacy geomeans
+  within 20% of the committed baselines (ratios, not absolute inst/s,
+  so the check is machine-independent and usable as a CI smoke test);
+* compiled/table plain geomean >= COMPILED_FLOOR_SPEEDUP (3.0x) — the
+  CI regression floor under the 5x bench target recorded in the
+  results file.
 
 Run directly with::
 
@@ -36,14 +53,27 @@ from repro.workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
 
 APP_INSTRUCTIONS = 40_000
 
+# Steady-state cells (table vs compiled): warm first, then time the
+# best of N measurement windows.
+WARM_INSTRUCTIONS = 2_000_000
+MEASURE_INSTRUCTIONS = 2_000_000
+MEASURE_WINDOWS = 3
+
 LEGACY = MachineConfig(legacy_interpreter=True)
 TABLE = MachineConfig()
+COMPILED = MachineConfig(interpreter="compiled")
 
 # Committed baseline speedups (geomean table/legacy, measured when the
 # dispatch table landed).  The smoke check fails when a measured
 # speedup drops more than 20% below its baseline.
 BASELINE_SPEEDUP = {"plain": 1.77, "dise": 1.75}
 REGRESSION_TOLERANCE = 0.8
+
+# The compiled tier's bench target is >=5x over the table geomean
+# (recorded in the results file); the CI floor is deliberately lower
+# so shared-runner noise cannot fail a healthy build.
+COMPILED_TARGET_SPEEDUP = 5.0
+COMPILED_FLOOR_SPEEDUP = 3.0
 
 
 def _watch_production() -> Production:
@@ -56,16 +86,36 @@ def _watch_production() -> Production:
         name="throughput-watch")
 
 
-def _throughput(name: str, config: MachineConfig, with_dise: bool) -> float:
-    program = build_benchmark(name)
-    machine = Machine(program, config, detailed_timing=False,
+def _machine(name: str, config: MachineConfig, with_dise: bool) -> Machine:
+    machine = Machine(build_benchmark(name), config, detailed_timing=False,
                       trap_handler=lambda event: TransitionKind.NONE)
     if with_dise:
         machine.dise_controller.install(_watch_production())
+    return machine
+
+
+def _throughput(name: str, config: MachineConfig, with_dise: bool) -> float:
+    machine = _machine(name, config, with_dise)
     start = time.perf_counter()
     machine.run(max_app_instructions=APP_INSTRUCTIONS)
     elapsed = time.perf_counter() - start
     return machine.stats.total_instructions / elapsed
+
+
+def _steady_state(name: str, config: MachineConfig) -> float:
+    """Warm, then return the best inst/s over MEASURE_WINDOWS windows."""
+    machine = _machine(name, config, with_dise=False)
+    machine.run(max_app_instructions=WARM_INSTRUCTIONS)
+    best = 0.0
+    target = WARM_INSTRUCTIONS
+    for _ in range(MEASURE_WINDOWS):
+        before = machine.stats.total_instructions
+        target += MEASURE_INSTRUCTIONS
+        start = time.perf_counter()
+        machine.run(max_app_instructions=target)
+        elapsed = time.perf_counter() - start
+        best = max(best, (machine.stats.total_instructions - before) / elapsed)
+    return best
 
 
 def _geomean(values: list[float]) -> float:
@@ -97,6 +147,27 @@ def test_interpreter_throughput(results_dir):
         f"geomean speedup (dise):  {geo_dise:.2f}x",
         f"committed baseline: plain {BASELINE_SPEEDUP['plain']:.2f}x, "
         f"dise {BASELINE_SPEEDUP['dise']:.2f}x",
+        "",
+        "Compiled tier, steady state (plain; warm "
+        f"{WARM_INSTRUCTIONS:,}, best of {MEASURE_WINDOWS} x "
+        f"{MEASURE_INSTRUCTIONS:,}-instruction windows)",
+        "",
+        f"{'benchmark':<10} {'table':>12} {'compiled':>12} {'speedup':>8}",
+    ]
+    compiled_speedups = []
+    for name in BENCHMARK_NAMES:
+        table = _steady_state(name, TABLE)
+        compiled = _steady_state(name, COMPILED)
+        speedup = compiled / table
+        compiled_speedups.append(speedup)
+        lines.append(f"{name:<10} {table:>12,.0f} {compiled:>12,.0f} "
+                     f"{speedup:>7.2f}x")
+    geo_compiled = _geomean(compiled_speedups)
+    lines += [
+        "",
+        f"geomean speedup (compiled/table, plain): {geo_compiled:.2f}x",
+        f"bench target: >={COMPILED_TARGET_SPEEDUP:.0f}x; "
+        f"CI floor: >={COMPILED_FLOOR_SPEEDUP:.1f}x",
     ]
     record(results_dir, "interpreter_throughput", "\n".join(lines))
 
@@ -107,3 +178,7 @@ def test_interpreter_throughput(results_dir):
         f"plain speedup {geo_plain:.2f}x regressed >20% vs baseline"
     assert geo_dise >= REGRESSION_TOLERANCE * BASELINE_SPEEDUP["dise"], \
         f"dise speedup {geo_dise:.2f}x regressed >20% vs baseline"
+    # Compiled-tier regression floor (the bench target is 5x; the CI
+    # floor leaves headroom for slow shared runners).
+    assert geo_compiled >= COMPILED_FLOOR_SPEEDUP, \
+        f"compiled speedup {geo_compiled:.2f}x < {COMPILED_FLOOR_SPEEDUP}x"

@@ -138,6 +138,18 @@ class MachineConfig:
     # Run the pre-dispatch-table interpreter (kept for differential
     # validation of the table-driven rewrite; scheduled for removal).
     legacy_interpreter: bool = False
+    # Interpreter tier: "table" (dispatch-table, the default), "legacy"
+    # (equivalent to legacy_interpreter=True), or "compiled" (basic
+    # blocks fused into generated Python closures; see
+    # repro.cpu.compiled).  legacy_interpreter=True wins over this
+    # field so existing call sites keep their meaning.
+    interpreter: str = "table"
+    # Chain-loop visits before the compiled tier compiles a block at an
+    # entry pc (see repro.cpu.compiled).  The default keeps large
+    # workloads from compiling redundant chunk-boundary blocks after
+    # run-limit resumes; differential harnesses drop it to 1 so tiny
+    # programs compile eagerly and cache-invalidation bugs surface.
+    compiled_hot_threshold: int = 4
     # Auto-checkpoint every N application instructions during Machine.run
     # (0 disables).  Checkpoints land in the machine's CheckpointStore
     # and power reverse-continue/reverse-step (see repro.replay).
@@ -146,6 +158,11 @@ class MachineConfig:
     def with_(self, **kwargs) -> "MachineConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
+
+    @property
+    def effective_interpreter(self) -> str:
+        """The interpreter tier that will actually run."""
+        return "legacy" if self.legacy_interpreter else self.interpreter
 
 
 def default_workers() -> int:

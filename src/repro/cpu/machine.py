@@ -192,6 +192,19 @@ class Machine:
         # it for the same fetch when the interactive run resumes.
         self._fetch_trap_resume_pc: Optional[int] = None
 
+        # Code-version counter: bumped by reload_text, patch_text, and
+        # self-modifying stores into text pages.  The compiled execution
+        # tier keys its block cache on it (plus the DISE engine's own
+        # version counter), so any code mutation drops compiled blocks.
+        self.text_version = 0
+        interp = ("legacy" if self.config.legacy_interpreter
+                  else self.config.interpreter)
+        if interp not in ("table", "legacy", "compiled"):
+            raise ValueError(f"unknown interpreter {interp!r}; expected "
+                             "'table', 'legacy', or 'compiled'")
+        self._interp = interp
+        self._compiled = None  # lazily created CompiledTier
+
         # Periodic auto-checkpointing (see repro.replay): disabled until
         # configured or enable_checkpoints() is called.
         self.checkpoint_store: Optional[CheckpointStore] = None
@@ -210,6 +223,7 @@ class Machine:
         program = self.program
         self._text: list[Instruction] = program.instructions
         self._text_base = TEXT_BASE
+        self._text_end = TEXT_BASE + INSTRUCTION_BYTES * len(self._text)
         for item in program.data_items:
             symbol = program.symbols[item.name]
             if item.init:
@@ -220,11 +234,54 @@ class Machine:
             program.pc_of_index(i) for i in program.statement_starts)
 
     def reload_text(self) -> None:
-        """Re-read the program's instruction list (after appends)."""
-        self._text = self.program.instructions
+        """Re-read the program's instruction list (after appends).
+
+        Bumps the code version: compiled blocks and decode records that
+        predate the reload must not survive it.  Every instruction's
+        ``decoded`` cache is dropped (re-decoded lazily) because the
+        caller may have rewritten instruction fields in place — the
+        machine cannot tell which slots changed.
+        """
+        new_text = self.program.instructions
+        for inst in new_text:
+            inst.decoded = None
+        self._text = new_text
+        self._text_end = TEXT_BASE + INSTRUCTION_BYTES * len(new_text)
+        self.text_version += 1
         self.statement_pcs = frozenset(
             self.program.pc_of_index(i)
             for i in self.program.statement_starts)
+
+    def patch_text(self, pc: int, instruction: Instruction) -> None:
+        """Replace the instruction at ``pc`` (self-modifying code API).
+
+        Bumps the code version so every interpreter tier observes the
+        new encoding: the table/legacy tiers read the slot directly, and
+        the compiled tier drops its block cache.
+        """
+        index = (pc - self._text_base) >> 2
+        if (pc & 3) or index < 0 or index >= len(self._text):
+            raise SimulationError(f"patch outside text: pc={pc:#x}")
+        instruction.decoded = None
+        self._text[index] = instruction
+        self.text_version += 1
+
+    def _note_text_store(self, ea: int, size: int) -> None:
+        """A store overlapped the text region: invalidate cached decode
+        state.  Text is not memory-backed (instructions are records, not
+        encodings), so the architectural effect of such a store is only
+        on the data bytes; but any cached decode records and compiled
+        blocks covering the stored-to slots must be dropped so a
+        subsequent ``patch_text``-style mutation cannot execute stale
+        state.
+        """
+        self.text_version += 1
+        text = self._text
+        first = (max(ea, self._text_base) - self._text_base) >> 2
+        last = (min(ea + size, self._text_end) - 1 - self._text_base) >> 2
+        for index in range(first, last + 1):
+            if 0 <= index < len(text):
+                text[index].decoded = None
 
     def load_appended_data(self) -> None:
         """Write initializers of data items appended after construction."""
@@ -336,6 +393,14 @@ class Machine:
         self._fetch_trap_resume_pc = blob["fetch_trap_resume_pc"]
         (self.last_store_addr, self.last_store_size,
          self.last_store_value) = blob["last_store"]
+        # The snapshot may predate text mutations and carry a different
+        # DISE production set; compiled blocks must never survive a
+        # restore.  Cheaper than fingerprinting code versions into the
+        # blob, and restore frequency is nowhere near block-compile
+        # frequency.  (text_version is cache-coherency state, not
+        # machine state: it is deliberately not snapshotted.)
+        if self._compiled is not None:
+            self._compiled.flush()
 
     def state_fingerprint(self) -> str:
         """Digest of architectural state, for differential checks.
@@ -492,8 +557,14 @@ class Machine:
                          stopped_at_user=self.stopped_at_user)
 
     def _dispatch_run(self, limit: int) -> None:
-        if self.config.legacy_interpreter:
+        interp = self._interp
+        if interp == "legacy":
             self._run_legacy(limit)
+        elif interp == "compiled":
+            if self._compiled is None:
+                from repro.cpu.compiled import CompiledTier
+                self._compiled = CompiledTier(self)
+            self._compiled.run(limit)
         elif self.timing is not None:
             self._run_table_timed(limit)
         else:
@@ -831,6 +902,8 @@ class Machine:
         pagetable = self.pagetable
         faulted = pagetable.any_protected and pagetable.check_store(ea, size)
         memory.write_int(ea, size, value)
+        if ea < self._text_end and ea + size > self._text_base:
+            self._note_text_store(ea, size)
         if faulted:
             self.stats.page_fault_traps += 1
             self.deliver_trap(TrapEvent(TrapKind.PAGE_FAULT, self.pc,
@@ -1196,6 +1269,8 @@ class Machine:
                 observer(ea, size, value, memory.read_int(ea, size))
             faulted = pagetable.any_protected and pagetable.check_store(ea, size)
             memory.write_int(ea, size, value)
+            if ea < self._text_end and ea + size > self._text_base:
+                self._note_text_store(ea, size)
             if faulted:
                 stats.page_fault_traps += 1
                 self.deliver_trap(TrapEvent(TrapKind.PAGE_FAULT, self.pc,

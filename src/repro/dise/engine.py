@@ -44,6 +44,10 @@ class DiseEngine:
         self._order: dict[int, int] = {}
         self._next_order = 0
         self.enabled = True
+        # Bumped on every production install/remove/clear; consumers
+        # (the compiled execution tier's block cache) key cached state
+        # on it so any production-set mutation invalidates them.
+        self.version = 0
         self.expansions = 0
         self.instructions_inserted = 0
 
@@ -60,6 +64,7 @@ class DiseEngine:
         returned by :meth:`remove`); by default the production gets the
         next (lowest) priority.  Returns the order assigned.
         """
+        self.version += 1
         if order is None:
             order = self._next_order
             self._next_order += 1
@@ -90,6 +95,7 @@ class DiseEngine:
     def remove(self, production: Production) -> int:
         """Withdraw a production from all buckets; returns its install
         order so a later :meth:`add` can restore its match priority."""
+        self.version += 1
         self._productions.remove(production)
         for bucket in (self._by_pc, self._by_codeword):
             for plist in bucket.values():
@@ -104,6 +110,7 @@ class DiseEngine:
 
     def clear(self) -> None:
         """Remove every production."""
+        self.version += 1
         self._productions.clear()
         self._by_pc.clear()
         self._by_codeword.clear()

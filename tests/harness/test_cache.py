@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.harness.cache import CACHE_FORMAT, ResultCache, code_version
+from repro.harness.cache import (CACHE_FORMAT, ResultCache,
+                                 WarmCheckpointCache, code_version)
 from repro.harness.experiment import (_BASELINE_CACHE, clear_baseline_cache,
                                       run_baseline)
 from repro.results import RunResult
@@ -82,6 +83,65 @@ def test_interrupted_store_leaves_no_partial_record(cache, monkeypatch):
     assert not cache.path_for(key).exists()
     assert list(cache.directory.glob("*.tmp")) == []
     assert cache.load(key) is None
+
+
+@pytest.fixture
+def warm_cache(tmp_path):
+    return WarmCheckpointCache(tmp_path / "warm")
+
+
+def test_warm_cache_corrupt_pickle_is_miss_not_error(warm_cache):
+    key = warm_cache.key_for({"benchmark": "bzip2"})
+    warm_cache.store(key, {"pc": 0x1000})
+    warm_cache.path_for(key).write_bytes(b"\x80\x05not a pickle")
+    assert warm_cache.load(key) is None
+    # A non-dict record (valid pickle, wrong shape) is also a miss.
+    import pickle
+
+    warm_cache.path_for(key).write_bytes(pickle.dumps(["not", "a", "dict"]))
+    assert warm_cache.load(key) is None
+
+
+def test_warm_cache_truncated_pickle_is_miss_not_error(warm_cache):
+    # Simulate a crash mid-write: the checkpoint pickle exists but is
+    # cut short at every interesting byte boundary.  Each prefix must
+    # read as a miss, never raise, and the slot stays rewritable.
+    key = warm_cache.key_for({"benchmark": "mcf"})
+    warm_cache.store(key, {"regs": list(range(32))})
+    full = warm_cache.path_for(key).read_bytes()
+    for cut in (0, 1, len(full) // 2, len(full) - 1):
+        warm_cache.path_for(key).write_bytes(full[:cut])
+        assert warm_cache.load(key) is None, f"prefix of {cut} bytes hit"
+    warm_cache.store(key, {"regs": [7]})
+    assert warm_cache.load(key) == {"regs": [7]}
+
+
+def test_warm_cache_code_version_mismatch_is_miss(warm_cache):
+    import pickle
+
+    key = warm_cache.key_for({"benchmark": "gcc"})
+    warm_cache.store(key, {"pc": 4})
+    record = pickle.loads(warm_cache.path_for(key).read_bytes())
+    record["code_version"] = "0" * 16
+    warm_cache.path_for(key).write_bytes(pickle.dumps(record))
+    assert warm_cache.load(key) is None
+
+
+def test_warm_cache_interrupted_store_leaves_no_partial_record(
+        warm_cache, monkeypatch):
+    import pickle as pickle_module
+
+    key = warm_cache.key_for({"benchmark": "twolf"})
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(pickle_module, "dump", boom)
+    with pytest.raises(RuntimeError):
+        warm_cache.store(key, {"pc": 8})
+    assert not warm_cache.path_for(key).exists()
+    assert list(warm_cache.directory.glob("*.tmp")) == []
+    assert warm_cache.load(key) is None
 
 
 def test_wrong_cache_format_is_miss(cache):

@@ -46,6 +46,22 @@ def test_watch_expression_override(tiny_settings):
     assert cell.kind == "N=2"
 
 
+def test_interpreter_axis_is_sweepable_and_cycle_identical(tiny_settings):
+    """``interpreter=`` is a cell axis: distinct cache identity per
+    tier, identical measured overhead (tiers agree cycle-for-cycle)."""
+    from repro.harness.experiment import CellSpec
+
+    cells = {interp: run_cell("mcf", "HOT", "dise", settings=tiny_settings,
+                              interpreter=interp)
+             for interp in ("table", "legacy", "compiled")}
+    overheads = {c.overhead for c in cells.values()}
+    assert len(overheads) == 1, cells
+    payloads = [CellSpec.make("mcf", "HOT", "dise", interpreter=interp)
+                .cache_payload(tiny_settings)
+                for interp in ("table", "legacy", "compiled")]
+    assert len({str(p) for p in payloads}) == 3
+
+
 def test_settings_scaling():
     settings = ExperimentSettings.scaled(2.0)
     default = ExperimentSettings()

@@ -23,11 +23,10 @@ def test_golden_seed_differential_with_checkpoint_leg(seed):
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
-@pytest.mark.parametrize("legacy", (False, True),
-                         ids=("table", "legacy"))
-def test_checkpoint_leg_clean_on_every_backend(backend, legacy):
+@pytest.mark.parametrize("interp", ("table", "legacy", "compiled"))
+def test_checkpoint_leg_clean_on_every_backend(backend, interp):
     spec = generate_spec(7)
-    divergences = checkpoint_leg(spec, backend, legacy=legacy)
+    divergences = checkpoint_leg(spec, backend, interp=interp)
     assert not divergences, [d.describe() for d in divergences]
 
 

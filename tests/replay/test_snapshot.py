@@ -93,6 +93,62 @@ def test_restore_across_reload_text():
     assert machine.stats.app_instructions == 50
 
 
+def test_restore_across_code_versions_with_compiled_tier():
+    """Restoring a snapshot taken under older code must not resurrect
+    compiled blocks: text is not snapshotted, so after a mid-run patch
+    the restored machine must re-execute through the *patched* code,
+    identically to the first post-patch run."""
+    from repro.isa import assemble
+
+    config = MachineConfig(interpreter="compiled")
+    machine = Machine(assemble("""
+    main:
+        lda r1, 0
+        lda r3, 200
+    loop:
+        addq r1, 1, r1
+        subq r3, 1, r3
+        bne r3, loop
+        halt
+    """), config)
+    machine.run(max_app_instructions=302)  # loop block is hot + cached
+    blob = machine.snapshot()
+
+    patch = assemble("main:\n    addq r1, 100, r1\n    halt\n") \
+        .instructions[0]
+    machine.patch_text(machine._text_base + 4 * 2, patch)
+    machine.run()
+    first_finish = machine.state_fingerprint()
+    first_cycles = machine.stats.cycles
+    assert machine.regs[1] == 100 + 100 * 100
+
+    machine.restore(blob)
+    assert machine._compiled.blocks == {}  # no stale blocks survive
+    machine.run()
+    assert machine.state_fingerprint() == first_finish
+    assert machine.stats.cycles == first_cycles
+
+
+@pytest.mark.parametrize("interval", (None, 40))
+def test_restore_across_reload_text_compiled(interval):
+    """The compiled tier composes with reload_text-after-restore (and
+    with auto-checkpointing): appended code stays callable and the
+    block cache never serves blocks from before the reload."""
+    config = MachineConfig(interpreter="compiled",
+                           checkpoint_interval=interval or 0)
+    program = make_watch_loop(50)
+    machine = Machine(program, config)
+    machine.run(50)
+    blob = machine.snapshot()
+
+    program.append_function("late", [Instruction(Opcode.HALT)])
+    machine.reload_text()
+    machine.restore(blob)
+    assert machine._compiled is None or machine._compiled.blocks == {}
+    machine.run(120)
+    assert machine.stats.app_instructions == 120
+
+
 def test_memory_restore_preserves_blob_for_reuse():
     machine = _machine()
     machine.run(3_000)
