@@ -1,0 +1,226 @@
+"""Session-server storm: many concurrent clients against one server.
+
+The acceptance drill for ``repro.server``: a storm of clients (1,000 by
+default) each opens a session, debugs a tiny program to a watchpoint
+stop, inspects state, and closes.  A slice of the storm additionally
+drives ``reverse-continue`` and checks the re-landed stop is
+*bit-identical* (ordinal, pc, state fingerprint) to the same script run
+on a local, in-process ``CommandDispatcher`` — the wire must add
+nothing.  The run asserts **zero dropped sessions** (no ``busy``
+rejections, no ``session-lost``), proves a repeated ``experiment`` cell
+is answered cache-first on the warm pass, and reports sessions/s plus
+the per-verb p99 latencies the server itself collected (``info
+server``).
+
+Run as a pytest benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_server_storm.py -q
+
+or directly, e.g. for the CI mini-storm::
+
+    PYTHONPATH=src:. python benchmarks/bench_server_storm.py \\
+        --clients 32 --p99-floor 2000
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import Optional
+
+from benchmarks.conftest import RESULTS_DIR, record
+from repro.debugger.dispatcher import CommandDispatcher
+from repro.isa import assemble
+from repro.server.client import AsyncDebugClient
+from repro.server.server import DebugServer, ServerConfig
+
+STORM_CLIENTS = 1000
+STORM_WORKERS = 4
+#: Simultaneously connected clients (bounds sockets/file descriptors;
+#: the rest of the storm queues behind the semaphore like arrivals).
+STORM_CONCURRENCY = 64
+#: Every Nth client runs the reverse-continue parity script.
+REVERSE_EVERY = 16
+
+STORM_ASM = """
+.data
+hot: .quad 0
+.text
+main:
+    lda r1, hot
+loop:
+    ldq r2, 0(r1)
+    addq r2, 1, r2
+    stq r2, 0(r1)
+    cmpeq r2, 40, r3
+    beq r3, loop
+    halt
+"""
+
+#: The parity script: two stops forward, rewind, reverse-continue.
+REVERSE_SCRIPT = [("watch", ["hot"]), ("run", []), ("continue", []),
+                  ("rewind", ["2"]), ("reverse-continue", [])]
+
+EXPERIMENT_ARGS = {"benchmark": "mcf", "kind": "HOT", "backend": "dise",
+                   "measure": 2000, "warmup": 1000}
+
+
+def local_reverse_stops() -> list[Optional[dict]]:
+    """The ground truth the remote parity slice must reproduce."""
+    dispatcher = CommandDispatcher(assemble(STORM_ASM, name="local"),
+                                   record_fingerprints=True)
+    return [dispatcher.dispatch(verb, args).data.get("stop")
+            for verb, args in REVERSE_SCRIPT]
+
+
+async def _one_client(port: int, index: int,
+                      expected_stops: list[Optional[dict]],
+                      tally: dict) -> None:
+    async with await AsyncDebugClient.connect("127.0.0.1", port) as client:
+        sid = await client.open_session(asm=STORM_ASM, name=f"c{index}")
+        if index % REVERSE_EVERY == 0:
+            stops = []
+            for verb, args in REVERSE_SCRIPT:
+                result = await client.command(sid, verb, args)
+                stops.append(result.get("stop"))
+            tally["reverse_total"] += 1
+            if stops == expected_stops:
+                tally["reverse_identical"] += 1
+        else:
+            await client.command(sid, "watch",
+                                 ["hot", "if", "hot", "==", "3"])
+            stop = await client.command(sid, "run", [])
+            assert stop["stopped_at_user"], f"client {index} missed its stop"
+            value = (await client.command(sid, "print", ["hot"]))["value"]
+            assert value == 3, f"client {index} read hot={value}"
+        await client.close_session(sid)
+        tally["completed"] += 1
+
+
+async def _storm(config: ServerConfig, clients: int,
+                 concurrency: int) -> dict:
+    server = await DebugServer(config).start()
+    expected_stops = await asyncio.get_running_loop().run_in_executor(
+        None, local_reverse_stops)
+    tally = {"completed": 0, "reverse_total": 0, "reverse_identical": 0}
+    gate = asyncio.Semaphore(concurrency)
+
+    async def admit(index: int) -> None:
+        async with gate:
+            await _one_client(server.port, index, expected_stops, tally)
+
+    try:
+        started = time.perf_counter()
+        await asyncio.gather(*(admit(i) for i in range(clients)))
+        elapsed = time.perf_counter() - started
+
+        async with await AsyncDebugClient.connect(
+                "127.0.0.1", server.port) as client:
+            cold = (await client.request("experiment",
+                                         EXPERIMENT_ARGS))["result"]
+            warm = (await client.request("experiment",
+                                         EXPERIMENT_ARGS))["result"]
+            snapshot = (await client.request(
+                "info", ["server"]))["result"]["server"]
+    finally:
+        await server.stop()
+
+    return {"clients": clients, "elapsed_s": elapsed, "tally": tally,
+            "sessions": snapshot["sessions"], "verbs": snapshot["verbs"],
+            "experiment_cold_cached": cold["from_cache"],
+            "experiment_warm_cached": warm["from_cache"]}
+
+
+def run_storm(clients: int = STORM_CLIENTS, workers: int = STORM_WORKERS,
+              use_processes: bool = True,
+              concurrency: int = STORM_CONCURRENCY,
+              state_dir: str = ".repro_server") -> dict:
+    config = ServerConfig(
+        workers=workers, use_processes=use_processes,
+        # The storm is an acceptance run, not an admission test: size
+        # the budget so no client is turned away.
+        max_sessions=max(clients, concurrency),
+        state_dir=state_dir)
+    return asyncio.run(_storm(config, clients, concurrency))
+
+
+def render(report: dict) -> str:
+    tally = report["tally"]
+    sessions = report["sessions"]
+    rate = report["clients"] / report["elapsed_s"]
+    lines = [
+        f"server storm: {report['clients']} clients, "
+        f"{report['elapsed_s']:.2f}s wall, {rate:.1f} sessions/s",
+        f"  sessions: {sessions['opened']} opened / "
+        f"{sessions['closed']} closed / {sessions['rejected']} rejected / "
+        f"{sessions['lost']} lost",
+        f"  reverse-continue parity: {tally['reverse_identical']}/"
+        f"{tally['reverse_total']} bit-identical",
+        f"  experiment warm pass from cache: "
+        f"{report['experiment_warm_cached']}",
+        "  per-verb p99:",
+    ]
+    for verb, stats in report["verbs"].items():
+        lines.append(f"    {verb:<17s} {stats['count']:>6d} calls  "
+                     f"p99 {stats['p99_ms']:8.2f} ms")
+    return "\n".join(lines)
+
+
+def check(report: dict, p99_floor_ms: Optional[float] = None) -> None:
+    """The acceptance assertions (shared by pytest and the CLI)."""
+    tally = report["tally"]
+    sessions = report["sessions"]
+    assert tally["completed"] == report["clients"], \
+        f"dropped {report['clients'] - tally['completed']} session(s)"
+    assert sessions["rejected"] == 0, "admission rejected storm clients"
+    assert sessions["lost"] == 0, "worker crash lost sessions mid-storm"
+    assert tally["reverse_total"] > 0
+    assert tally["reverse_identical"] == tally["reverse_total"], \
+        "remote reverse-continue diverged from the local ground truth"
+    assert report["experiment_warm_cached"], \
+        "repeated experiment was recomputed instead of served from cache"
+    if p99_floor_ms is not None:
+        worst = max((stats["p99_ms"], verb)
+                    for verb, stats in report["verbs"].items())
+        assert worst[0] <= p99_floor_ms, \
+            f"p99 of {worst[1]!r} is {worst[0]:.1f}ms " \
+            f"(floor {p99_floor_ms:.0f}ms)"
+
+
+def test_server_storm(benchmark, results_dir, tmp_path):
+    report = benchmark.pedantic(
+        lambda: run_storm(clients=200, workers=2, use_processes=False,
+                          state_dir=str(tmp_path / "repro_server")),
+        rounds=1, iterations=1)
+    record(results_dir, "server_storm", render(report))
+    check(report)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="storm a repro session server and report "
+                    "sessions/s and per-verb p99 latency")
+    parser.add_argument("--clients", type=int, default=STORM_CLIENTS)
+    parser.add_argument("--workers", type=int, default=STORM_WORKERS)
+    parser.add_argument("--threads", action="store_true",
+                        help="thread shards instead of worker processes")
+    parser.add_argument("--concurrency", type=int,
+                        default=STORM_CONCURRENCY)
+    parser.add_argument("--p99-floor", type=float, default=None,
+                        metavar="MS",
+                        help="fail if any verb's p99 exceeds this")
+    parser.add_argument("--state-dir", default=".repro_server")
+    args = parser.parse_args(argv)
+    report = run_storm(clients=args.clients, workers=args.workers,
+                       use_processes=not args.threads,
+                       concurrency=args.concurrency,
+                       state_dir=args.state_dir)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record(RESULTS_DIR, "server_storm", render(report))
+    check(report, p99_floor_ms=args.p99_floor)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

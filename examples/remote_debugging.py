@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Debug-as-a-service: one server, two concurrent remote sessions.
+
+Boots a session server in-process (the same ``DebugServer`` that
+``repro-server`` runs), then drives two independent debug sessions
+through the synchronous client — both pinned to worker shards, both
+isolated from each other — and finishes with a ``reverse-continue``
+over the wire plus the server's own per-verb latency report.
+
+Run:  python examples/remote_debugging.py
+"""
+
+from repro.debugger.repl import RemoteShell
+from repro.server.client import DebugClient
+from repro.server.server import ServerConfig, ServerThread
+
+SESSION = [
+    "watch warm1",
+    "run",                # stop 1
+    "continue",           # stop 2
+    "print warm1",
+    "reverse-continue",   # back to stop 1 — bit-identical, remotely
+    "print warm1",
+]
+
+
+def main() -> None:
+    config = ServerConfig(use_processes=False, workers=2,
+                          state_dir=".repro_server")
+    with ServerThread(config) as server:
+        print(f"server listening on 127.0.0.1:{server.port}")
+        with DebugClient("127.0.0.1", server.port) as client:
+            # Session A: the ordinary REPL surface, executed remotely.
+            shell = RemoteShell(client, "twolf")
+            for command in SESSION:
+                output = shell.execute(command)
+                print(f"(repro-db) {command}")
+                if output:
+                    print(output)
+
+            # Session B: structured access on the same server — its
+            # machine state is invisible to (and isolated from) A's.
+            sid = client.open_session(benchmark="mcf")
+            stop = client.command(sid, "run", ["50000"])
+            print(f"\nsession B ran {stop['app_instructions']:,} "
+                  f"instructions (pc={stop['pc']:#x}) without touching "
+                  f"session A")
+            client.close_session(sid)
+            shell.execute("quit")
+
+            print("\n" + client.request("info", ["server"])["text"])
+
+
+if __name__ == "__main__":
+    main()

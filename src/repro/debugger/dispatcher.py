@@ -1,0 +1,446 @@
+"""Transport-agnostic debugger command dispatch.
+
+:class:`CommandDispatcher` is the single implementation of the debugger
+verb set (``watch``, ``break``, ``run``, ``reverse-continue``, ...).
+Every verb returns a :class:`CommandResult` carrying both a structured,
+JSON-able ``data`` payload and the human-readable ``text`` rendering —
+the terminal REPL (:class:`repro.debugger.repl.DebuggerShell`) prints
+the text, while the session server (:mod:`repro.server`) ships the data
+over the wire.  Failures raise :class:`CommandError`, which carries a
+stable machine-readable ``code`` so remote callers get structured
+error replies instead of a dead connection.
+
+The dispatcher owns one :class:`~repro.debugger.session.Session` and,
+once running, one :class:`~repro.replay.ReverseController`; it is the
+unit of state the server pins to a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.config import MachineConfig
+from repro.debugger.expressions import parse_expression
+from repro.debugger.session import Session, _undebugged_run
+from repro.errors import ReproError
+from repro.isa.program import Program
+
+DEFAULT_STEP = 1_000_000
+
+#: Stable machine-readable failure codes (the server's wire contract).
+BAD_REQUEST = "bad-request"
+UNKNOWN_VERB = "unknown-verb"
+COMMAND_FAILED = "command-failed"
+REPLAY_DIVERGENCE = "replay-divergence"
+
+
+class CommandError(ReproError):
+    """A structured command failure (bad syntax, unknown name, ...)."""
+
+    def __init__(self, message: str, code: str = BAD_REQUEST):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass
+class CommandResult:
+    """One verb's outcome: structured payload + human rendering."""
+
+    verb: str
+    data: dict = field(default_factory=dict)
+    text: str = ""
+
+
+class CommandDispatcher:
+    """Execute debugger verbs against one session; return structure."""
+
+    #: Verb name -> handler method name (dashes become underscores).
+    VERBS = {
+        "watch": "cmd_watch",
+        "break": "cmd_break",
+        "delete": "cmd_delete",
+        "info": "cmd_info",
+        "backend": "cmd_backend",
+        "run": "cmd_run",
+        "continue": "cmd_continue",
+        "checkpoint": "cmd_checkpoint",
+        "rewind": "cmd_rewind",
+        "reverse-continue": "cmd_reverse_continue",
+        "print": "cmd_print",
+        "x": "cmd_x",
+        "overhead": "cmd_overhead",
+    }
+
+    def __init__(self, program: Program, backend: str = "dise",
+                 config: Optional[MachineConfig] = None, *,
+                 record_fingerprints: bool = False,
+                 default_step: int = DEFAULT_STEP,
+                 **backend_options):
+        self.session = Session(program, backend=backend,
+                               config=config, **backend_options)
+        self.program = program
+        self.record_fingerprints = record_fingerprints
+        self.default_step = default_step
+        self._backend_obj = None
+        self._controller = None  # ReverseController once running
+        self._instructions_run = 0
+
+    # -- dispatch ----------------------------------------------------------
+
+    @classmethod
+    def verbs(cls) -> tuple[str, ...]:
+        """Every verb this dispatcher understands."""
+        return tuple(cls.VERBS)
+
+    def dispatch(self, verb: str, args: list[str]) -> CommandResult:
+        """Run one verb; raise :class:`CommandError` on any failure."""
+        method_name = self.VERBS.get(verb)
+        if method_name is None:
+            raise CommandError(f"Undefined command: {verb!r}. Try 'help'.",
+                               code=UNKNOWN_VERB)
+        handler: Callable[[list[str]], CommandResult] = \
+            getattr(self, method_name)
+        try:
+            return handler(list(args))
+        except CommandError:
+            raise
+        except ReproError as exc:
+            raise CommandError(f"error: {exc}", code=COMMAND_FAILED) from exc
+
+    # -- breakpoint/watchpoint management ----------------------------------
+
+    @staticmethod
+    def _split_condition(args: list[str]) -> tuple[str, Optional[str]]:
+        if "if" in args:
+            split = args.index("if")
+            return " ".join(args[:split]), " ".join(args[split + 1:])
+        return " ".join(args), None
+
+    def cmd_watch(self, args: list[str]) -> CommandResult:
+        """watch EXPR [if COND] — set a (conditional) watchpoint."""
+        if not args:
+            raise CommandError("usage: watch EXPR [if COND]")
+        expression, condition = self._split_condition(args)
+        wp = self.session.watch(expression, condition=condition)
+        self._invalidate()
+        return CommandResult(
+            "watch",
+            {"number": wp.number, "kind": "watchpoint",
+             "describe": wp.describe()},
+            f"Watchpoint {wp.number}: {wp.describe()}")
+
+    def cmd_break(self, args: list[str]) -> CommandResult:
+        """break LOCATION [if COND] — set a (conditional) breakpoint."""
+        if not args:
+            raise CommandError("usage: break LOCATION [if COND]")
+        location, condition = self._split_condition(args)
+        target: object = location
+        if location.startswith("0x") or location.isdigit():
+            target = int(location, 0)
+        bp = self.session.break_at(target, condition=condition)
+        self._invalidate()
+        return CommandResult(
+            "break",
+            {"number": bp.number, "kind": "breakpoint",
+             "describe": bp.describe()},
+            f"Breakpoint {bp.number}: {bp.describe()}")
+
+    def cmd_delete(self, args: list[str]) -> CommandResult:
+        """delete N — remove watchpoint/breakpoint number N."""
+        if len(args) != 1 or not args[0].isdigit():
+            raise CommandError("usage: delete N")
+        number = int(args[0])
+        for point in self.session.watchpoints + self.session.breakpoints:
+            if point.number == number:
+                self.session.delete(point)
+                self._invalidate()
+                return CommandResult("delete", {"number": number},
+                                     f"Deleted {number}")
+        raise CommandError(f"no watchpoint or breakpoint number {number}")
+
+    def cmd_info(self, args: list[str]) -> CommandResult:
+        """info watchpoints|breakpoints|stats|backend|checkpoints"""
+        topic = args[0] if args else "watchpoints"
+        if topic.startswith("watch"):
+            points = [{"number": wp.number, "describe": wp.describe(),
+                       "enabled": wp.enabled}
+                      for wp in self.session.watchpoints]
+            if not points:
+                return CommandResult("info", {"topic": "watchpoints",
+                                              "watchpoints": []},
+                                     "No watchpoints.")
+            text = "\n".join(
+                f"{p['number']}: {p['describe']}"
+                f"{'' if p['enabled'] else ' (disabled)'}" for p in points)
+            return CommandResult("info", {"topic": "watchpoints",
+                                          "watchpoints": points}, text)
+        if topic.startswith("break"):
+            points = [{"number": bp.number, "describe": bp.describe(),
+                       "enabled": bp.enabled}
+                      for bp in self.session.breakpoints]
+            if not points:
+                return CommandResult("info", {"topic": "breakpoints",
+                                              "breakpoints": []},
+                                     "No breakpoints.")
+            text = "\n".join(f"{p['number']}: {p['describe']}"
+                             for p in points)
+            return CommandResult("info", {"topic": "breakpoints",
+                                          "breakpoints": points}, text)
+        if topic == "stats":
+            if self._backend_obj is None:
+                return CommandResult("info", {"topic": "stats",
+                                              "stats": None},
+                                     "The program is not being run.")
+            stats = self._backend_obj.machine.stats
+            return CommandResult("info", {"topic": "stats",
+                                          "stats": stats.to_dict()},
+                                 stats.summary())
+        if topic == "backend":
+            return CommandResult(
+                "info",
+                {"topic": "backend", "backend": self.session.backend_name,
+                 "options": dict(self.session.backend_options)},
+                f"backend: {self.session.backend_name} "
+                f"options: {self.session.backend_options}")
+        if topic.startswith("checkpoint"):
+            if self._controller is None or not len(self._controller.store):
+                return CommandResult("info", {"topic": "checkpoints",
+                                              "checkpoints": []},
+                                     "No checkpoints.")
+            checkpoints = [
+                {"index": i, "app_instructions": cp.app_instructions,
+                 "stops_seen": cp.meta.get("stops_seen")}
+                for i, cp in enumerate(self._controller.store)]
+            text = "\n".join(
+                f"{c['index']}: at {c['app_instructions']:,} instructions "
+                f"(stops seen: "
+                f"{'?' if c['stops_seen'] is None else c['stops_seen']})"
+                for c in checkpoints)
+            return CommandResult("info", {"topic": "checkpoints",
+                                          "checkpoints": checkpoints}, text)
+        raise CommandError(f"unknown info topic {topic!r}")
+
+    def cmd_backend(self, args: list[str]) -> CommandResult:
+        """backend NAME [key=value ...] — choose the implementation."""
+        if not args:
+            raise CommandError("usage: backend NAME [key=value ...]")
+        self.session.backend_name = args[0]
+        options = {}
+        for pair in args[1:]:
+            if "=" not in pair:
+                raise CommandError(f"bad option {pair!r}; use key=value")
+            key, value = pair.split("=", 1)
+            options[key] = parse_option_value(value)
+        self.session.backend_options = options
+        self._invalidate()
+        return CommandResult("backend",
+                             {"backend": args[0], "options": options},
+                             f"backend set to {args[0]}")
+
+    # -- execution ---------------------------------------------------------
+
+    def _invalidate(self) -> None:
+        self._backend_obj = None
+        self._controller = None
+        self._instructions_run = 0
+
+    def _ensure_backend(self):
+        if self._backend_obj is None:
+            self._controller = self.session.start_interactive(
+                record_fingerprints=self.record_fingerprints)
+            self._backend_obj = self._controller.backend
+        return self._backend_obj
+
+    def cmd_run(self, args: list[str]) -> CommandResult:
+        """run [N] — (re)start and run up to N application instructions."""
+        self._invalidate()
+        return CommandResult("run", **self._continue(args))
+
+    def cmd_continue(self, args: list[str]) -> CommandResult:
+        """continue [N] — resume until the next hit, halt, or N instrs."""
+        return CommandResult("continue", **self._continue(args))
+
+    def _continue(self, args: list[str]) -> dict:
+        budget = self.default_step
+        if args:
+            if not args[0].isdigit():
+                raise CommandError("usage: continue [N]")
+            budget = int(args[0])
+        backend = self._ensure_backend()
+        machine = backend.machine
+        target = machine.stats.app_instructions + budget
+        result = self._controller.resume(max_app_instructions=target)
+        self._instructions_run = machine.stats.app_instructions
+        data = {
+            "stopped_at_user": result.stopped_at_user,
+            "halted": result.halted,
+            "app_instructions": self._instructions_run,
+            "pc": machine.pc,
+        }
+        if result.stopped_at_user:
+            data["stop"] = self._stop_payload()
+            data["watch_values"] = self._watch_values(backend)
+            return {"data": data, "text": self._describe_stop(backend)}
+        if result.halted:
+            return {"data": data,
+                    "text": (f"Program exited normally after "
+                             f"{self._instructions_run:,} instructions.")}
+        return {"data": data,
+                "text": (f"Ran {budget:,} instructions without a hit "
+                         f"(total {self._instructions_run:,}).")}
+
+    def cmd_checkpoint(self, args: list[str]) -> CommandResult:
+        """checkpoint — snapshot the current state for later rewinds."""
+        self._ensure_backend()
+        checkpoint = self._controller.checkpoint_now(note="user")
+        held = len(self._controller.store)
+        return CommandResult(
+            "checkpoint",
+            {"app_instructions": checkpoint.app_instructions, "held": held},
+            f"Checkpoint at {checkpoint.app_instructions:,} "
+            f"instructions ({held} held).")
+
+    def cmd_rewind(self, args: list[str]) -> CommandResult:
+        """rewind [N] (reverse-step) — step back N app instructions."""
+        instructions = 1
+        if args:
+            if not args[0].isdigit():
+                raise CommandError("usage: rewind [N]")
+            instructions = int(args[0])
+        backend = self._ensure_backend()
+        self._controller.reverse_step(instructions)
+        self._instructions_run = backend.machine.stats.app_instructions
+        return CommandResult(
+            "rewind",
+            {"app_instructions": self._instructions_run,
+             "pc": backend.machine.pc},
+            f"Rewound to {self._instructions_run:,} instructions "
+            f"(pc={backend.machine.pc:#x}).")
+
+    def cmd_reverse_continue(self, args: list[str]) -> CommandResult:
+        """reverse-continue (rc) — run back to the previous stop."""
+        backend = self._ensure_backend()
+        if not self._controller.stops:
+            return CommandResult(
+                "reverse-continue", {"stop": None, "relanded": False},
+                "No stops recorded; nothing to reverse to.")
+        record = self._controller.reverse_continue()
+        self._instructions_run = backend.machine.stats.app_instructions
+        if record is None:
+            return CommandResult(
+                "reverse-continue",
+                {"stop": None, "relanded": False,
+                 "app_instructions": self._instructions_run},
+                f"No earlier stop; rewound to the start of history "
+                f"({self._instructions_run:,} instructions).")
+        data = {"stop": self._stop_payload(), "relanded": True,
+                "app_instructions": self._instructions_run,
+                "pc": backend.machine.pc,
+                "watch_values": self._watch_values(backend)}
+        return CommandResult("reverse-continue", data,
+                             self._describe_stop(backend))
+
+    def _stop_payload(self) -> Optional[dict]:
+        """The current stop as wire data (ordinal/pc/fingerprint)."""
+        record = self._controller.current_stop
+        if record is None:
+            return None
+        fingerprint = record.fingerprint
+        if not fingerprint and self._backend_obj is not None:
+            # Fingerprints cost one digest per stop; compute on demand
+            # when the controller was not recording them.
+            fingerprint = self._backend_obj.state_fingerprint()
+        return {
+            "ordinal": record.ordinal,
+            "app_instructions": record.app_instructions,
+            "pc": record.pc,
+            "state_fingerprint": fingerprint,
+        }
+
+    def _watch_values(self, backend) -> list[dict]:
+        values = []
+        for wp in self.session.watchpoints:
+            try:
+                value = wp.expression.evaluate(backend.resolver,
+                                               backend.machine.memory)
+            except ReproError:
+                continue
+            rendered = (value if not isinstance(value, bytes)
+                        else f"<{len(value)} bytes>")
+            values.append({"number": wp.number, "describe": wp.describe(),
+                           "value": rendered})
+        return values
+
+    def _describe_stop(self, backend) -> str:
+        lines = [f"Stopped after {self._instructions_run:,} instructions "
+                 f"(pc={backend.machine.pc:#x})."]
+        for entry in self._watch_values(backend):
+            lines.append(f"  {entry['describe']}  value = {entry['value']}")
+        return "\n".join(lines)
+
+    # -- inspection --------------------------------------------------------
+
+    def cmd_print(self, args: list[str]) -> CommandResult:
+        """print EXPR — evaluate an expression in the debuggee."""
+        if not args:
+            raise CommandError("usage: print EXPR")
+        backend = self._ensure_backend()
+        expr = parse_expression(" ".join(args))
+        value = expr.evaluate(backend.resolver, backend.machine.memory)
+        if isinstance(value, bytes):
+            return CommandResult("print", {"value": value.hex(" "),
+                                           "bytes": True}, value.hex(" "))
+        return CommandResult("print", {"value": value, "bytes": False},
+                             str(value))
+
+    def cmd_x(self, args: list[str]) -> CommandResult:
+        """x ADDR|SYMBOL [QUADS] — dump memory."""
+        if not args:
+            raise CommandError("usage: x ADDR|SYMBOL [QUADS]")
+        backend = self._ensure_backend()
+        try:
+            address = int(args[0], 0)
+        except ValueError:
+            address = backend.program.address_of(args[0])
+        count = int(args[1]) if len(args) > 1 else 4
+        memory = backend.machine.memory
+        words = []
+        lines = []
+        for i in range(count):
+            addr = address + 8 * i
+            value = memory.read_int(addr, 8)
+            words.append({"address": addr, "value": value})
+            lines.append(f"{addr:#010x}: {value:#018x}")
+        return CommandResult("x", {"words": words}, "\n".join(lines))
+
+    def cmd_overhead(self, args: list[str]) -> CommandResult:
+        """overhead — debugged vs undebugged cost so far."""
+        if self._backend_obj is None or not self._instructions_run:
+            return CommandResult("overhead", {"ratio": None},
+                                 "The program is not being run.")
+        baseline = _undebugged_run(
+            self.program, self.session.config,
+            max_app_instructions=self._instructions_run)
+        debugged_cycles = self._backend_obj.machine.stats.cycles or \
+            self._backend_obj.machine.timing.total_cycles
+        ratio = debugged_cycles / baseline.stats.cycles
+        spurious = self._backend_obj.machine.stats.spurious_transitions
+        return CommandResult(
+            "overhead",
+            {"ratio": ratio, "app_instructions": self._instructions_run,
+             "spurious_transitions": spurious},
+            f"{ratio:.3f}x baseline over "
+            f"{self._instructions_run:,} instructions "
+            f"({spurious} spurious transitions)")
+
+
+def parse_option_value(text: str) -> Any:
+    """Parse a ``key=value`` right-hand side (bool, int, or string)."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text, 0)
+    except ValueError:
+        return text

@@ -16,9 +16,15 @@ tool being modeled::
     (dise-db) info stats
     ...
 
-Every command is a method (`do_<name>`); :meth:`DebuggerShell.execute`
-dispatches one line and returns the output text, which makes the shell
-fully scriptable and testable.  :meth:`interact` wraps it in a REPL.
+The verb implementations live in the transport-agnostic
+:class:`~repro.debugger.dispatcher.CommandDispatcher`, which is shared
+with the session server (:mod:`repro.server`): the shell only parses
+lines, resolves abbreviations, and prints each
+:class:`~repro.debugger.dispatcher.CommandResult`'s text rendering.
+:meth:`DebuggerShell.execute` dispatches one line and returns the
+output text, which makes the shell fully scriptable and testable;
+:meth:`interact` wraps it in a REPL.  With ``--connect`` the same loop
+drives a remote ``repro-server`` session instead of a local machine.
 
 Execution stops at *user transitions* (watchpoint/breakpoint hits whose
 conditions pass) — exactly the events the paper's cost model treats as
@@ -31,307 +37,72 @@ import shlex
 from typing import Callable, Optional
 
 from repro.config import MachineConfig
-from repro.debugger.expressions import parse_expression
-from repro.debugger.session import Session, _undebugged_run
+from repro.debugger.dispatcher import (CommandDispatcher, CommandError,
+                                       DEFAULT_STEP)
 from repro.errors import ReproError
 from repro.isa.program import Program
 
-_DEFAULT_STEP = 1_000_000
+_DEFAULT_STEP = DEFAULT_STEP  # historical name, kept for importers
 
 
-class ShellError(ReproError):
+class ShellError(CommandError):
     """A user-facing command error (bad syntax, unknown name, ...)."""
 
 
-class DebuggerShell:
-    """Interpret gdb-like commands against a program."""
+class _BaseShell:
+    """Line parsing + REPL loop shared by the local and remote shells."""
 
     prompt = "(dise-db) "
 
-    def __init__(self, program: Program, backend: str = "dise",
-                 config: Optional[MachineConfig] = None, **backend_options):
-        self.session = Session(program, backend=backend,
-                                    config=config, **backend_options)
-        self.program = program
-        self._backend_obj = None
-        self._controller = None  # ReverseController once running
-        self._instructions_run = 0
+    def __init__(self):
         self._exited = False
-
-    # -- dispatch ----------------------------------------------------------
-
-    def execute(self, line: str) -> str:
-        """Run one command line; return its output."""
-        line = line.strip()
-        if not line:
-            return ""
-        parts = shlex.split(line)
-        name, args = parts[0], parts[1:]
-        handler: Optional[Callable] = getattr(self, f"do_{name}", None)
-        if handler is None:
-            handler = self._abbreviations().get(name)
-        if handler is None:
-            return f"Undefined command: {name!r}. Try 'help'."
-        try:
-            return handler(args) or ""
-        except ShellError as exc:
-            return str(exc)
-        except ReproError as exc:
-            return f"error: {exc}"
-
-    def _abbreviations(self) -> dict[str, Callable]:
-        return {
-            "b": self.do_break,
-            "c": self.do_continue,
-            "p": self.do_print,
-            "q": self.do_quit,
-            "r": self.do_run,
-            "w": self.do_watch,
-            "rc": self.do_reverse_continue,
-            "reverse-continue": self.do_reverse_continue,
-            "reverse-step": self.do_rewind,
-            "rs": self.do_rewind,
-        }
 
     @property
     def exited(self) -> bool:
         return self._exited
 
-    # -- breakpoint/watchpoint management ---------------------------------------
+    def _abbreviations(self) -> dict[str, str]:
+        return {
+            "b": "break",
+            "c": "continue",
+            "p": "print",
+            "q": "quit",
+            "r": "run",
+            "w": "watch",
+            "rc": "reverse-continue",
+            "reverse-step": "rewind",
+            "rs": "rewind",
+        }
 
-    @staticmethod
-    def _split_condition(args: list[str]) -> tuple[str, Optional[str]]:
-        if "if" in args:
-            split = args.index("if")
-            return " ".join(args[:split]), " ".join(args[split + 1:])
-        return " ".join(args), None
+    def parse(self, line: str) -> Optional[tuple[str, list[str]]]:
+        """Split one input line into (verb, args); None when empty."""
+        line = line.strip()
+        if not line:
+            return None
+        parts = shlex.split(line)
+        verb = self._abbreviations().get(parts[0], parts[0])
+        return verb, parts[1:]
 
-    def do_watch(self, args: list[str]) -> str:
-        """watch EXPR [if COND] — set a (conditional) watchpoint."""
-        if not args:
-            raise ShellError("usage: watch EXPR [if COND]")
-        expression, condition = self._split_condition(args)
-        wp = self.session.watch(expression, condition=condition)
-        self._invalidate()
-        return f"Watchpoint {wp.number}: {wp.describe()}"
-
-    def do_break(self, args: list[str]) -> str:
-        """break LOCATION [if COND] — set a (conditional) breakpoint."""
-        if not args:
-            raise ShellError("usage: break LOCATION [if COND]")
-        location, condition = self._split_condition(args)
-        target: object = location
-        if location.startswith("0x") or location.isdigit():
-            target = int(location, 0)
-        bp = self.session.break_at(target, condition=condition)
-        self._invalidate()
-        return f"Breakpoint {bp.number}: {bp.describe()}"
-
-    def do_delete(self, args: list[str]) -> str:
-        """delete N — remove watchpoint/breakpoint number N."""
-        if len(args) != 1 or not args[0].isdigit():
-            raise ShellError("usage: delete N")
-        number = int(args[0])
-        for point in self.session.watchpoints + self.session.breakpoints:
-            if point.number == number:
-                self.session.delete(point)
-                self._invalidate()
-                return f"Deleted {number}"
-        raise ShellError(f"no watchpoint or breakpoint number {number}")
-
-    def do_info(self, args: list[str]) -> str:
-        """info watchpoints|breakpoints|stats|backend|checkpoints"""
-        topic = args[0] if args else "watchpoints"
-        if topic.startswith("watch"):
-            if not self.session.watchpoints:
-                return "No watchpoints."
-            return "\n".join(f"{wp.number}: {wp.describe()}"
-                             f"{'' if wp.enabled else ' (disabled)'}"
-                             for wp in self.session.watchpoints)
-        if topic.startswith("break"):
-            if not self.session.breakpoints:
-                return "No breakpoints."
-            return "\n".join(f"{bp.number}: {bp.describe()}"
-                             for bp in self.session.breakpoints)
-        if topic == "stats":
-            if self._backend_obj is None:
-                return "The program is not being run."
-            return self._backend_obj.machine.stats.summary()
-        if topic == "backend":
-            return (f"backend: {self.session.backend_name} "
-                    f"options: {self.session.backend_options}")
-        if topic.startswith("checkpoint"):
-            if self._controller is None or not len(self._controller.store):
-                return "No checkpoints."
-            return "\n".join(
-                f"{i}: at {cp.app_instructions:,} instructions "
-                f"(stops seen: {cp.meta.get('stops_seen', '?')})"
-                for i, cp in enumerate(self._controller.store))
-        raise ShellError(f"unknown info topic {topic!r}")
-
-    def do_backend(self, args: list[str]) -> str:
-        """backend NAME [key=value ...] — choose the implementation."""
-        if not args:
-            raise ShellError("usage: backend NAME [key=value ...]")
-        self.session.backend_name = args[0]
-        options = {}
-        for pair in args[1:]:
-            if "=" not in pair:
-                raise ShellError(f"bad option {pair!r}; use key=value")
-            key, value = pair.split("=", 1)
-            options[key] = _parse_option_value(value)
-        self.session.backend_options = options
-        self._invalidate()
-        return f"backend set to {args[0]}"
-
-    # -- execution -------------------------------------------------------------
-
-    def _invalidate(self) -> None:
-        self._backend_obj = None
-        self._controller = None
-        self._instructions_run = 0
-
-    def _ensure_backend(self):
-        if self._backend_obj is None:
-            self._controller = self.session.start_interactive()
-            self._backend_obj = self._controller.backend
-        return self._backend_obj
-
-    def do_run(self, args: list[str]) -> str:
-        """run [N] — (re)start and run up to N application instructions."""
-        self._invalidate()
-        return self.do_continue(args)
-
-    def do_continue(self, args: list[str]) -> str:
-        """continue [N] — resume until the next hit, halt, or N instrs."""
-        budget = _DEFAULT_STEP
-        if args:
-            if not args[0].isdigit():
-                raise ShellError("usage: continue [N]")
-            budget = int(args[0])
-        backend = self._ensure_backend()
-        machine = backend.machine
-        target = machine.stats.app_instructions + budget
-        result = self._controller.resume(max_app_instructions=target)
-        self._instructions_run = machine.stats.app_instructions
-        if result.stopped_at_user:
-            return self._describe_stop(backend)
-        if result.halted:
-            return (f"Program exited normally after "
-                    f"{self._instructions_run:,} instructions.")
-        return (f"Ran {budget:,} instructions without a hit "
-                f"(total {self._instructions_run:,}).")
-
-    def do_checkpoint(self, args: list[str]) -> str:
-        """checkpoint — snapshot the current state for later rewinds."""
-        self._ensure_backend()
-        checkpoint = self._controller.checkpoint_now(note="user")
-        return (f"Checkpoint at {checkpoint.app_instructions:,} "
-                f"instructions ({len(self._controller.store)} held).")
-
-    def do_rewind(self, args: list[str]) -> str:
-        """rewind [N] (reverse-step) — step back N app instructions."""
-        instructions = 1
-        if args:
-            if not args[0].isdigit():
-                raise ShellError("usage: rewind [N]")
-            instructions = int(args[0])
-        backend = self._ensure_backend()
-        self._controller.reverse_step(instructions)
-        self._instructions_run = backend.machine.stats.app_instructions
-        return (f"Rewound to {self._instructions_run:,} instructions "
-                f"(pc={backend.machine.pc:#x}).")
-
-    def do_reverse_continue(self, args: list[str]) -> str:
-        """reverse-continue (rc) — run back to the previous stop."""
-        backend = self._ensure_backend()
-        if not self._controller.stops:
-            return "No stops recorded; nothing to reverse to."
-        record = self._controller.reverse_continue()
-        self._instructions_run = backend.machine.stats.app_instructions
-        if record is None:
-            return (f"No earlier stop; rewound to the start of history "
-                    f"({self._instructions_run:,} instructions).")
-        return self._describe_stop(backend)
-
-    def _describe_stop(self, backend) -> str:
-        lines = [f"Stopped after {self._instructions_run:,} instructions "
-                 f"(pc={backend.machine.pc:#x})."]
-        for wp in self.session.watchpoints:
-            try:
-                value = wp.expression.evaluate(backend.resolver,
-                                               backend.machine.memory)
-            except ReproError:
-                continue
-            rendered = value if not isinstance(value, bytes) else \
-                f"<{len(value)} bytes>"
-            lines.append(f"  {wp.describe()}  value = {rendered}")
-        return "\n".join(lines)
-
-    # -- inspection -------------------------------------------------------------
-
-    def do_print(self, args: list[str]) -> str:
-        """print EXPR — evaluate an expression in the debuggee."""
-        if not args:
-            raise ShellError("usage: print EXPR")
-        backend = self._ensure_backend()
-        expr = parse_expression(" ".join(args))
-        value = expr.evaluate(backend.resolver, backend.machine.memory)
-        if isinstance(value, bytes):
-            return value.hex(" ")
-        return str(value)
-
-    def do_x(self, args: list[str]) -> str:
-        """x ADDR|SYMBOL [QUADS] — dump memory."""
-        if not args:
-            raise ShellError("usage: x ADDR|SYMBOL [QUADS]")
-        backend = self._ensure_backend()
+    def execute(self, line: str) -> str:
+        """Run one command line; return its output."""
+        parsed = self.parse(line)
+        if parsed is None:
+            return ""
+        verb, args = parsed
         try:
-            address = int(args[0], 0)
-        except ValueError:
-            address = backend.program.address_of(args[0])
-        count = int(args[1]) if len(args) > 1 else 4
-        memory = backend.machine.memory
-        lines = []
-        for i in range(count):
-            addr = address + 8 * i
-            lines.append(f"{addr:#010x}: {memory.read_int(addr, 8):#018x}")
-        return "\n".join(lines)
+            return self.run_verb(verb, args)
+        except CommandError as exc:
+            return str(exc)
+        except ReproError as exc:
+            return f"error: {exc}"
 
-    def do_overhead(self, args: list[str]) -> str:
-        """overhead — debugged vs undebugged cost so far."""
-        if self._backend_obj is None or not self._instructions_run:
-            return "The program is not being run."
-        baseline = _undebugged_run(
-            self.program, self.session.config,
-            max_app_instructions=self._instructions_run)
-        debugged_cycles = self._backend_obj.machine.stats.cycles or \
-            self._backend_obj.machine.timing.total_cycles
-        ratio = debugged_cycles / baseline.stats.cycles
-        return (f"{ratio:.3f}x baseline over "
-                f"{self._instructions_run:,} instructions "
-                f"({self._backend_obj.machine.stats.spurious_transitions} "
-                f"spurious transitions)")
+    def run_verb(self, verb: str, args: list[str]) -> str:
+        raise NotImplementedError
 
-    def do_help(self, args: list[str]) -> str:
-        """help — list commands."""
-        commands = sorted(name[3:] for name in dir(self)
-                          if name.startswith("do_"))
-        lines = []
-        for command in commands:
-            doc = (getattr(self, f"do_{command}").__doc__ or "").strip()
-            lines.append(f"  {doc.splitlines()[0] if doc else command}")
-        return "Commands:\n" + "\n".join(lines)
-
-    def do_quit(self, args: list[str]) -> str:
-        """quit — leave the shell."""
-        self._exited = True
-        return ""
-
-    # -- REPL ----------------------------------------------------------------------
-
-    def interact(self, input_fn=input, output_fn=print) -> None:
+    def interact(self, input_fn=None, output_fn=print) -> None:
         """Run a read-eval-print loop until quit/EOF."""
+        if input_fn is None:
+            input_fn = input  # resolved per call so tests can stub it
         while not self._exited:
             try:
                 line = input_fn(self.prompt)
@@ -342,18 +113,126 @@ class DebuggerShell:
                 output_fn(output)
 
 
+class DebuggerShell(_BaseShell):
+    """Interpret gdb-like commands against a local program."""
+
+    def __init__(self, program: Program, backend: str = "dise",
+                 config: Optional[MachineConfig] = None, **backend_options):
+        super().__init__()
+        self.dispatcher = CommandDispatcher(program, backend=backend,
+                                            config=config, **backend_options)
+        self.program = program
+
+    # The session and run-state live on the dispatcher; expose them so
+    # scripted callers (and the historical attribute names) keep working.
+
+    @property
+    def session(self):
+        return self.dispatcher.session
+
+    @property
+    def _backend_obj(self):
+        return self.dispatcher._backend_obj
+
+    @property
+    def _controller(self):
+        return self.dispatcher._controller
+
+    @property
+    def _instructions_run(self) -> int:
+        return self.dispatcher._instructions_run
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run_verb(self, verb: str, args: list[str]) -> str:
+        """Execute one verb locally (shell command or dispatcher)."""
+        handler: Optional[Callable] = getattr(
+            self, f"do_{verb.replace('-', '_')}", None)
+        if handler is not None:
+            return handler(args) or ""
+        try:
+            return self.dispatcher.dispatch(verb, args).text
+        except CommandError as exc:
+            if exc.code == "unknown-verb":
+                return str(exc)
+            raise
+
+    # -- shell-only commands -----------------------------------------------
+
+    def do_help(self, args: list[str]) -> str:
+        """help — list commands."""
+        return help_text()
+
+    def do_quit(self, args: list[str]) -> str:
+        """quit — leave the shell."""
+        self._exited = True
+        return ""
+
+
+class RemoteShell(_BaseShell):
+    """The same REPL surface, executed on a remote ``repro-server``.
+
+    Every verb is shipped over the newline-delimited JSON session
+    protocol through a synchronous :class:`repro.server.client.
+    DebugClient`; the server's text rendering is printed verbatim, so a
+    remote session reads exactly like a local one.
+    """
+
+    def __init__(self, client, benchmark: str, backend: str = "dise",
+                 **options):
+        super().__init__()
+        self.client = client
+        self.session_id = client.open_session(
+            benchmark=benchmark, backend=backend, options=options)
+
+    def run_verb(self, verb: str, args: list[str]) -> str:
+        """Ship one verb to the server; render its reply locally."""
+        from repro.server.client import ServerError
+
+        if verb == "help":
+            return help_text()
+        if verb == "quit":
+            self._exited = True
+            try:
+                self.client.close_session(self.session_id)
+            except (ReproError, OSError):
+                pass
+            return ""
+        try:
+            reply = self.client.request(verb, args, session=self.session_id)
+        except ServerError as exc:
+            if exc.code == "unknown-verb":
+                # The protocol rejects unknown verbs before dispatch;
+                # render them the way the local shell would.
+                return f"Undefined command: {verb!r}. Try 'help'."
+            if exc.code in ("bad-request", "command-failed"):
+                # Dispatcher-level failures render exactly as the local
+                # shell would print them.
+                return str(exc)
+            return f"error [{exc.code}]: {exc}"
+        return reply.get("text") or ""
+
+
+def help_text() -> str:
+    """The command listing shown by ``help`` (local or remote)."""
+    lines = []
+    for verb in CommandDispatcher.verbs():
+        method = getattr(CommandDispatcher, CommandDispatcher.VERBS[verb])
+        doc = (method.__doc__ or "").strip()
+        lines.append(f"  {doc.splitlines()[0] if doc else verb}")
+    lines.append("  help — list commands.")
+    lines.append("  quit — leave the shell.")
+    return "Commands:\n" + "\n".join(sorted(lines))
+
+
 def _parse_option_value(text: str):
-    lowered = text.lower()
-    if lowered in ("true", "false"):
-        return lowered == "true"
-    try:
-        return int(text, 0)
-    except ValueError:
-        return text
+    from repro.debugger.dispatcher import parse_option_value
+
+    return parse_option_value(text)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
-    """Entry point for the ``dise-db`` console script."""
+    """Entry point for the ``dise-db`` / ``repro-debug`` scripts."""
     import argparse
 
     from repro.workloads.benchmarks import BENCHMARK_NAMES, build_benchmark
@@ -367,7 +246,24 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="synthetic benchmark to debug")
     parser.add_argument("--backend", default="dise",
                         help="watchpoint implementation")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        nargs="?", const="",
+                        help="drive a remote repro-server session instead "
+                             "of a local machine (omit the value to read "
+                             "the address from .repro_server/server.json)")
     args = parser.parse_args(argv)
+    if args.connect is not None:
+        from repro.server.client import DebugClient
+
+        client = DebugClient.from_address(args.connect or None)
+        shell = RemoteShell(client, args.benchmark, backend=args.backend)
+        print(f"Debugging {args.benchmark} with the {args.backend} backend "
+              f"on {client.address}. Type 'help' for commands.")
+        try:
+            shell.interact()
+        finally:
+            client.close()
+        return 0
     shell = DebuggerShell(build_benchmark(args.benchmark),
                           backend=args.backend)
     print(f"Debugging {args.benchmark} with the {args.backend} backend. "

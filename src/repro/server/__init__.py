@@ -1,0 +1,37 @@
+"""Debug-as-a-service: an asyncio session server over the debugger.
+
+The pieces built by earlier milestones — serializable
+:class:`~repro.results.RunResult`, the content-addressed result cache,
+copy-on-write checkpoints with
+:class:`~repro.replay.ReverseController`, and warm-start — are only
+reachable single-user through :mod:`repro.api` and the REPL.  This
+package serves them at service scale:
+
+* :mod:`repro.server.protocol` — the newline-delimited JSON session
+  protocol (one request/reply object per line) mirroring the REPL verb
+  set, plus ``open-session``/``close-session`` and a cache-first
+  ``experiment`` verb;
+* :mod:`repro.server.server` — the asyncio event loop: protocol
+  framing, admission control (token bucket on concurrent sessions,
+  per-command instruction budget), and per-verb latency metrics.  The
+  loop never simulates: every session is pinned to a worker
+  (``ProcessPoolExecutor`` with one process per shard, or thread
+  shards in-process) that owns its
+  :class:`~repro.debugger.dispatcher.CommandDispatcher`;
+* :mod:`repro.server.worker` — the worker side: the per-process
+  session registry and the sharded ``.repro_cache/`` the
+  ``experiment`` verb answers from;
+* :mod:`repro.server.client` — sync and asyncio clients (the sync one
+  powers ``repro-debug --connect``);
+* :mod:`repro.server.cli` — the ``repro-server`` entry point.
+
+See DESIGN.md, "Session server".
+"""
+
+from __future__ import annotations
+
+from repro.server.client import AsyncDebugClient, DebugClient, ServerError
+from repro.server.server import DebugServer, ServerConfig
+
+__all__ = ["AsyncDebugClient", "DebugClient", "DebugServer",
+           "ServerConfig", "ServerError"]

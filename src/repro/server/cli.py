@@ -1,0 +1,95 @@
+"""The ``repro-server`` entry point.
+
+Boot the session server and serve until interrupted::
+
+    repro-server --port 7788 --workers 4 --max-sessions 256
+
+The bound address is written to ``.repro_server/server.json`` so
+``repro-debug --connect`` (with no address) finds the server
+automatically.  ``--threads`` swaps the per-shard worker processes for
+in-process threads — useful for smoke tests and single-core hosts;
+the default matches the deployment model (one ``ProcessPoolExecutor``
+process per shard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Optional
+
+from repro.server.server import DebugServer, ServerConfig
+
+
+def build_config(args: argparse.Namespace) -> ServerConfig:
+    """Translate parsed CLI arguments into a :class:`ServerConfig`."""
+    return ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        use_processes=not args.threads,
+        max_sessions=args.max_sessions,
+        open_rate_per_s=args.open_rate,
+        max_command_instructions=args.max_command_instructions,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+    )
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """The repro-server argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve concurrent interactive debug sessions over "
+                    "the newline-delimited JSON session protocol")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7788,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="session shards (one worker each)")
+    parser.add_argument("--threads", action="store_true",
+                        help="thread shards instead of worker processes")
+    parser.add_argument("--max-sessions", type=int, default=256,
+                        help="concurrent-session budget (token bucket)")
+    parser.add_argument("--open-rate", type=float, default=None,
+                        help="optional session-open refill rate "
+                             "(tokens/second)")
+    parser.add_argument("--max-command-instructions", type=int,
+                        default=5_000_000,
+                        help="per-command application-instruction budget")
+    parser.add_argument("--state-dir", default=".repro_server",
+                        help="runtime state directory (server.json, "
+                             "default cache shards)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="base directory for per-worker cache shards "
+                             "(default: REPRO_CACHE_DIR or "
+                             "<state-dir>/cache)")
+    return parser
+
+
+async def serve(config: ServerConfig) -> None:
+    """Start a server and serve until cancelled."""
+    server = await DebugServer(config).start()
+    print(f"repro-server listening on {server.address} "
+          f"({len(server.shards)} worker shards, "
+          f"budget {config.max_sessions} sessions)", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``repro-server`` script."""
+    args = make_parser().parse_args(argv)
+    try:
+        asyncio.run(serve(build_config(args)))
+    except KeyboardInterrupt:
+        print("repro-server: interrupted, shutting down.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

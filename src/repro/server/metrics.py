@@ -1,0 +1,109 @@
+"""Per-verb latency/throughput counters for the session server.
+
+The event loop records one sample per request — wall time from frame
+decode to reply encode, so worker queueing is included (that is the
+latency a client actually sees).  Samples are kept in a bounded window
+per verb; percentiles are computed over that window on demand, which
+keeps the hot path at an append and the ``info server`` verb cheap
+enough to poll.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+SAMPLE_WINDOW = 4096
+
+
+@dataclass
+class VerbStats:
+    """Latency window and counters of one verb."""
+
+    count: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    samples: deque = field(
+        default_factory=lambda: deque(maxlen=SAMPLE_WINDOW))
+
+    def record(self, seconds: float, ok: bool) -> None:
+        """Add one request sample."""
+        self.count += 1
+        if not ok:
+            self.errors += 1
+        self.total_seconds += seconds
+        self.samples.append(seconds)
+
+    def percentile(self, fraction: float) -> float:
+        """The ``fraction`` (0..1) percentile of the sample window."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+        return ordered[index]
+
+    def snapshot(self) -> dict:
+        """JSON-able counters + percentiles of this verb."""
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "mean_ms": mean * 1e3,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
+        }
+
+
+class ServerMetrics:
+    """Aggregate counters surfaced by the ``info server`` verb."""
+
+    def __init__(self):
+        self.started = time.monotonic()
+        self.verbs: dict[str, VerbStats] = {}
+        self.frames = 0
+        self.frame_errors = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_rejected = 0
+        self.sessions_lost = 0
+
+    def record(self, verb: str, seconds: float, ok: bool) -> None:
+        """Record one request's wall time under its verb."""
+        self.verbs.setdefault(verb, VerbStats()).record(seconds, ok)
+
+    def snapshot(self, *, open_sessions: int = 0, workers: int = 0) -> dict:
+        """JSON-able rendering for ``info server``."""
+        return {
+            "uptime_s": time.monotonic() - self.started,
+            "frames": self.frames,
+            "frame_errors": self.frame_errors,
+            "workers": workers,
+            "sessions": {
+                "open": open_sessions,
+                "opened": self.sessions_opened,
+                "closed": self.sessions_closed,
+                "rejected": self.sessions_rejected,
+                "lost": self.sessions_lost,
+            },
+            "verbs": {verb: stats.snapshot()
+                      for verb, stats in sorted(self.verbs.items())},
+        }
+
+    def render(self, *, open_sessions: int = 0, workers: int = 0) -> str:
+        """Human-readable rendering (the REPL passthrough prints this)."""
+        snap = self.snapshot(open_sessions=open_sessions, workers=workers)
+        sessions = snap["sessions"]
+        lines = [
+            f"uptime: {snap['uptime_s']:.1f}s  workers: {workers}  "
+            f"sessions: {sessions['open']} open / "
+            f"{sessions['opened']} opened / "
+            f"{sessions['rejected']} rejected / {sessions['lost']} lost",
+        ]
+        for verb, stats in snap["verbs"].items():
+            lines.append(
+                f"  {verb:<17s} {stats['count']:>6d} calls  "
+                f"{stats['errors']:>4d} err  "
+                f"mean {stats['mean_ms']:7.2f}ms  "
+                f"p99 {stats['p99_ms']:7.2f}ms")
+        return "\n".join(lines)

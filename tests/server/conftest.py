@@ -1,0 +1,74 @@
+"""Shared fixtures for the session-server tests.
+
+Servers run thread-sharded by default (fast, in-process); the tests
+that exercise the process deployment model build their own
+``use_processes=True`` config.  Everything funnels through real
+sockets on an ephemeral port — no protocol shortcuts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import pytest
+
+from repro.server.client import AsyncDebugClient
+from repro.server.server import DebugServer, ServerConfig
+
+#: A tiny deterministic debuggee: `hot` counts 1..LIMIT, then halt.
+COUNT_ASM = """
+.data
+hot: .quad 0
+.text
+main:
+    lda r1, hot
+loop:
+    ldq r2, 0(r1)
+    addq r2, 1, r2
+    stq r2, 0(r1)
+    cmpeq r2, {limit}, r3
+    beq r3, loop
+    halt
+"""
+
+
+def count_asm(limit: int = 50) -> str:
+    return COUNT_ASM.format(limit=limit)
+
+
+def thread_config(tmp_path, **overrides) -> ServerConfig:
+    """A fast in-process server config rooted in the test's tmp dir."""
+    defaults = dict(use_processes=False, workers=2,
+                    state_dir=str(tmp_path / "repro_server"),
+                    cache_dir=str(tmp_path / "server_cache"))
+    defaults.update(overrides)
+    return ServerConfig(**defaults)
+
+
+@contextlib.asynccontextmanager
+async def running_server(config: ServerConfig):
+    server = await DebugServer(config).start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+@contextlib.asynccontextmanager
+async def connected(server: DebugServer):
+    client = await AsyncDebugClient.connect("127.0.0.1", server.port)
+    try:
+        yield client
+    finally:
+        await client.close()
+
+
+def run_async(coroutine):
+    """Drive one async test body (no pytest-asyncio dependency)."""
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture
+def server_config(tmp_path) -> ServerConfig:
+    return thread_config(tmp_path)

@@ -1,0 +1,335 @@
+"""End-to-end session-server behaviour.
+
+Everything here goes through real sockets.  Thread shards keep the
+suite fast; the worker-crash tests build process shards because that is
+the failure mode they exercise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.debugger.dispatcher import CommandDispatcher
+from repro.isa import assemble
+from repro.server import protocol
+from repro.server.client import ServerError
+from repro.server.server import DebugServer, ServerConfig
+from tests.server.conftest import (connected, count_asm, run_async,
+                                   running_server, thread_config)
+
+
+def test_open_run_inspect_close(server_config):
+    async def scenario():
+        async with running_server(server_config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(50))
+                await client.command(sid, "watch",
+                                     ["hot", "if", "hot", "==", "3"])
+                stop = await client.command(sid, "run", [])
+                assert stop["stopped_at_user"] is True
+                assert stop["watch_values"][0]["value"] == 3
+                assert (await client.command(sid, "print",
+                                             ["hot"]))["value"] == 3
+                done = await client.command(sid, "continue", [])
+                assert done["halted"] is True
+                await client.close_session(sid)
+                with pytest.raises(ServerError) as excinfo:
+                    await client.command(sid, "print", ["hot"])
+                assert excinfo.value.code == protocol.NO_SESSION
+
+    run_async(scenario())
+
+
+def test_sessions_on_one_worker_are_isolated(tmp_path):
+    """Two sessions pinned to the same worker share nothing."""
+    async def scenario():
+        config = thread_config(tmp_path, workers=1)
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                a = await client.open_session(asm=count_asm(50), name="a")
+                b = await client.open_session(asm=count_asm(50), name="b")
+                assert a != b
+                await client.command(a, "watch", ["hot"])
+                await client.command(a, "run", [])
+                await client.command(a, "checkpoint", [])
+                # B sees none of A's debug state...
+                info = await client.command(b, "info", ["watchpoints"])
+                assert info["watchpoints"] == []
+                info = await client.command(b, "info", ["checkpoints"])
+                assert info["checkpoints"] == []
+                # ...nor its machine state: A stopped at hot == 1,
+                # B's machine has not run at all.
+                assert (await client.command(a, "print",
+                                             ["hot"]))["value"] == 1
+                assert (await client.command(b, "print",
+                                             ["hot"]))["value"] == 0
+                # Advancing B leaves A parked at its stop.
+                await client.command(b, "run", ["200"])
+                assert (await client.command(a, "print",
+                                             ["hot"]))["value"] == 1
+
+    run_async(scenario())
+
+
+def test_admission_busy_and_release(tmp_path):
+    async def scenario():
+        config = thread_config(tmp_path, max_sessions=1)
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(10))
+                with pytest.raises(ServerError) as excinfo:
+                    await client.open_session(asm=count_asm(10))
+                assert excinfo.value.code == protocol.BUSY
+                assert "budget" in str(excinfo.value)
+                assert server.metrics.sessions_rejected == 1
+                # Closing the session returns its admission token.
+                await client.close_session(sid)
+                sid2 = await client.open_session(asm=count_asm(10))
+                assert sid2 != sid
+
+    run_async(scenario())
+
+
+def test_failed_open_returns_admission_token(tmp_path):
+    async def scenario():
+        config = thread_config(tmp_path, max_sessions=1)
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    await client.open_session(benchmark="no-such-bench")
+                assert excinfo.value.code == protocol.BAD_REQUEST
+                # The rejected open must not leak the only token.
+                sid = await client.open_session(asm=count_asm(10))
+                assert sid
+
+    run_async(scenario())
+
+
+def test_over_budget_command(server_config):
+    async def scenario():
+        async with running_server(server_config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(50))
+                limit = server.config.max_command_instructions
+                with pytest.raises(ServerError) as excinfo:
+                    await client.command(sid, "run", [str(limit * 2)])
+                assert excinfo.value.code == protocol.OVER_BUDGET
+                assert excinfo.value.session == sid
+                # A within-budget command still works afterwards.
+                result = await client.command(sid, "run", ["10000"])
+                assert result["halted"] is True
+
+    run_async(scenario())
+
+
+def test_replay_divergence_is_a_structured_reply(tmp_path):
+    async def scenario():
+        config = thread_config(tmp_path, enable_test_verbs=True)
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(10))
+                with pytest.raises(ServerError) as excinfo:
+                    await client.request("_raise", [], session=sid)
+                assert excinfo.value.code == protocol.REPLAY_DIVERGENCE
+                assert excinfo.value.session == sid
+                # The worker and the connection both survive.
+                assert (await client.command(sid, "print",
+                                             ["hot"]))["value"] == 0
+
+    run_async(scenario())
+
+
+def test_test_verbs_gated_off_by_default(server_config):
+    async def scenario():
+        async with running_server(server_config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(10))
+                with pytest.raises(ServerError) as excinfo:
+                    await client.request("_raise", [], session=sid)
+                # Without the gate the worker treats it as an unknown
+                # dispatcher verb, not an injected fault.
+                assert excinfo.value.code == protocol.UNKNOWN_VERB
+
+    run_async(scenario())
+
+
+def test_experiment_is_served_cache_first(server_config):
+    async def scenario():
+        async with running_server(server_config) as server:
+            async with connected(server) as client:
+                args = {"benchmark": "mcf", "kind": "HOT",
+                        "backend": "dise", "measure": 2000, "warmup": 1000}
+                cold = (await client.request("experiment", args))["result"]
+                assert cold["from_cache"] is False
+                assert "server-shard-" in cold["shard_cache"]
+                warm = (await client.request("experiment", args))["result"]
+                assert warm["from_cache"] is True
+                assert warm["result"] == cold["result"]
+
+    run_async(scenario())
+
+
+def test_experiment_shards_honour_cache_dir(tmp_path):
+    async def scenario():
+        base = tmp_path / "explicit_cache"
+        config = thread_config(tmp_path, cache_dir=str(base))
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                args = {"benchmark": "mcf", "kind": "HOT",
+                        "backend": "dise", "measure": 2000, "warmup": 1000}
+                reply = (await client.request("experiment", args))["result"]
+                assert reply["shard_cache"].startswith(str(base))
+        assert any(base.glob("server-shard-*/**/*"))
+
+    run_async(scenario())
+
+
+def test_reverse_continue_matches_local_bit_for_bit(tmp_path):
+    """The wire adds nothing: remote reverse-continue re-lands the same
+    stop (ordinal, pc, state fingerprint) as the same script run
+    locally."""
+    asm = count_asm(50)
+    script = [("watch", ["hot"]),
+              ("run", []), ("continue", []), ("continue", []),
+              ("rewind", ["2"]), ("reverse-continue", [])]
+
+    local = CommandDispatcher(assemble(asm, name="local"),
+                              record_fingerprints=True)
+    local_stops = [local.dispatch(verb, args).data.get("stop")
+                   for verb, args in script]
+
+    async def scenario():
+        async with running_server(thread_config(tmp_path)) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=asm, name="remote")
+                stops = []
+                for verb, args in script:
+                    result = await client.command(sid, verb, args)
+                    stops.append(result.get("stop"))
+                return stops
+
+    remote_stops = run_async(scenario())
+    assert remote_stops[-1] is not None
+    for local_stop, remote_stop in zip(local_stops, remote_stops):
+        assert local_stop == remote_stop
+    assert remote_stops[-1]["state_fingerprint"] == \
+        local_stops[-1]["state_fingerprint"]
+
+
+def test_info_server_metrics(server_config):
+    async def scenario():
+        async with running_server(server_config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(50))
+                await client.command(sid, "watch", ["hot"])
+                await client.command(sid, "run", [])
+                reply = await client.request("info", ["server"])
+                snapshot = reply["result"]["server"]
+                assert snapshot["sessions"]["open"] == 1
+                assert snapshot["sessions"]["opened"] == 1
+                assert snapshot["workers"] == 2
+                verbs = snapshot["verbs"]
+                for verb in ("open-session", "watch", "run"):
+                    assert verbs[verb]["count"] == 1
+                    assert verbs[verb]["p99_ms"] >= 0
+                assert "open-session" in reply["text"]
+
+    run_async(scenario())
+
+
+def test_concurrent_clients_multiplex(server_config):
+    """Many clients with interleaved commands all make progress."""
+    async def one_client(server, index):
+        async with connected(server) as client:
+            sid = await client.open_session(asm=count_asm(20 + index),
+                                            name=f"c{index}")
+            await client.command(sid, "watch",
+                                 ["hot", "if", "hot", "==", "1"])
+            stop = await client.command(sid, "run", [])
+            assert stop["watch_values"][0]["value"] == 1
+            done = await client.command(sid, "continue", ["100000"])
+            assert done["halted"] is True
+            value = (await client.command(sid, "print", ["hot"]))["value"]
+            assert value == 20 + index
+            await client.close_session(sid)
+
+    async def scenario():
+        async with running_server(server_config) as server:
+            await asyncio.gather(*(one_client(server, i)
+                                   for i in range(8)))
+            assert server.metrics.sessions_opened == 8
+            assert server.metrics.sessions_closed == 8
+            assert not server.sessions
+
+    run_async(scenario())
+
+
+def test_state_file_lifecycle(tmp_path):
+    async def scenario():
+        config = thread_config(tmp_path)
+        server = await DebugServer(config).start()
+        state = tmp_path / "repro_server" / "server.json"
+        assert state.exists()
+        import json
+        recorded = json.loads(state.read_text())
+        assert recorded["port"] == server.port
+        await server.stop()
+        assert not state.exists()
+
+    run_async(scenario())
+
+
+# -- process-mode crash recovery -------------------------------------------
+
+
+@pytest.mark.slow
+def test_worker_crash_recovery_process_mode(tmp_path):
+    """A dying worker process loses its sessions but not the server."""
+    async def scenario():
+        config = ServerConfig(
+            use_processes=True, workers=1, enable_test_verbs=True,
+            state_dir=str(tmp_path / "repro_server"),
+            cache_dir=str(tmp_path / "server_cache"))
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(10))
+                with pytest.raises(ServerError) as excinfo:
+                    await client.request("_crash", [], session=sid)
+                assert excinfo.value.code == protocol.SESSION_LOST
+                assert server.metrics.sessions_lost == 1
+                # The dead session is gone...
+                with pytest.raises(ServerError) as no_session:
+                    await client.command(sid, "print", ["hot"])
+                assert no_session.value.code == protocol.NO_SESSION
+                # ...but the shard was rebuilt and serves new sessions.
+                sid2 = await client.open_session(asm=count_asm(10))
+                result = await client.command(sid2, "run", ["100"])
+                assert result["halted"] is True
+
+    run_async(scenario())
+
+
+@pytest.mark.slow
+def test_experiment_retries_once_after_crash(tmp_path):
+    """Stateless verbs follow the harness crash-retry idiom."""
+    async def scenario():
+        config = ServerConfig(
+            use_processes=True, workers=1, enable_test_verbs=True,
+            state_dir=str(tmp_path / "repro_server"),
+            cache_dir=str(tmp_path / "server_cache"))
+        async with running_server(config) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(10))
+                with pytest.raises(ServerError):
+                    await client.request("_crash", [], session=sid)
+                # The very next experiment lands on the rebuilt worker.
+                args = {"benchmark": "mcf", "kind": "HOT",
+                        "backend": "dise", "measure": 2000,
+                        "warmup": 1000}
+                reply = (await client.request("experiment",
+                                              args))["result"]
+                assert reply["result"]["backend"] == "dise"
+
+    run_async(scenario())
