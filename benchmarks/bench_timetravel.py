@@ -1,0 +1,90 @@
+"""Time-travel query latency: checkpoint bisection vs genesis replay.
+
+``last-write`` answered the naive way re-executes the whole trace from
+the genesis checkpoint with the shadow store recorder attached.  The
+query engine instead scans bounded checkpoint windows newest-first and
+re-lands on the answer from the nearest checkpoint, so its cost is
+O(window), not O(trace).  This benchmark times both strategies over
+growing traces of the ``bzip2`` workload, asserts the answers stay
+bit-identical, and enforces a 3x wall-clock floor on the longest trace
+(the CI contract for the query API).
+
+Run directly with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_timetravel.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import record
+from repro.api import timeline
+from repro.timetravel import TimelineQuery
+
+TRACE_LENGTHS = (10_000, 20_000, 40_000)
+CHECKPOINT_INTERVAL = 2_000
+SPEEDUP_FLOOR = 3.0
+ROUNDS = 3
+
+
+def _time(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _measure(max_app_instructions: int) -> dict:
+    recorded = timeline("bzip2", max_app_instructions=max_app_instructions,
+                        checkpoint_interval=CHECKPOINT_INTERVAL,
+                        checkpoint_capacity=128)
+    controller = recorded.controller
+
+    # Fresh engines per call: the per-window scan memo must not let the
+    # second strategy coast on the first one's replays.
+    bisected = _time(lambda: TimelineQuery(controller).last_write("hot"),
+                     ROUNDS)
+    naive = _time(
+        lambda: TimelineQuery(controller).last_write_linear("hot"), 1)
+
+    fast = TimelineQuery(controller).last_write("hot")
+    slow = TimelineQuery(controller).last_write_linear("hot")
+    assert fast.found and slow.found
+    assert (fast.app_instructions, fast.pc, fast.state_fingerprint) == \
+        (slow.app_instructions, slow.pc, slow.state_fingerprint)
+    return {
+        "trace": max_app_instructions,
+        "bisected_s": bisected,
+        "naive_s": naive,
+        "speedup": naive / bisected,
+        "replayed": fast.instructions_replayed,
+        "replayed_naive": slow.instructions_replayed,
+    }
+
+
+def test_bisected_last_write_beats_genesis_replay(benchmark, results_dir):
+    rows = benchmark.pedantic(
+        lambda: [_measure(length) for length in TRACE_LENGTHS],
+        rounds=1, iterations=1)
+
+    lines = ["time-travel query latency: last-write (bzip2, checkpoint "
+             f"interval {CHECKPOINT_INTERVAL:,})",
+             f"  {'trace':>8}  {'bisected':>10}  {'naive':>10}  "
+             f"{'speedup':>8}  {'replayed':>18}"]
+    for row in rows:
+        lines.append(
+            f"  {row['trace']:>8,}  {row['bisected_s'] * 1e3:>8.1f}ms  "
+            f"{row['naive_s'] * 1e3:>8.1f}ms  {row['speedup']:>7.1f}x  "
+            f"{row['replayed']:>7,} vs {row['replayed_naive']:>7,}")
+    longest = rows[-1]
+    lines.append(f"  floor: {SPEEDUP_FLOOR:.0f}x on the "
+                 f"{longest['trace']:,}-instruction trace")
+    text = "\n".join(lines)
+    record(results_dir, "timetravel_latency", text)
+
+    # Bisection replays a bounded suffix, not the trace.
+    assert longest["replayed"] < longest["replayed_naive"] / 2
+    assert longest["speedup"] >= SPEEDUP_FLOOR, text

@@ -10,6 +10,9 @@ The supported entry points live in :mod:`repro.api`:
   read back overhead and transition statistics.
 * :func:`repro.api.experiment` -- run a (benchmark x kind x backend)
   grid through the parallel, cache-backed experiment engine.
+* :func:`repro.api.timeline` -- record a checkpointed run and answer
+  time-travel queries (last-write, first-write, seek-transition,
+  value-at) over it by bounded deterministic re-execution.
 
 Every run returns the unified, serializable :class:`repro.RunResult`.
 Lower-level pieces (the :class:`repro.Machine` simulator, the DISE
@@ -38,7 +41,7 @@ from repro.isa import CodeBuilder, Instruction, Program, assemble
 from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
                                         build_benchmark)
 from repro import api
-from repro.api import debug, experiment, simulate
+from repro.api import debug, experiment, simulate, timeline
 
 __version__ = "1.1.0"
 
@@ -47,6 +50,7 @@ __all__ = [
     "simulate",
     "debug",
     "experiment",
+    "timeline",
     "RunResult",
     "MachineConfig",
     "DEFAULT_CONFIG",

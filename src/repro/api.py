@@ -1,8 +1,9 @@
-"""The supported public API: ``simulate()``, ``debug()``, ``experiment()``.
+"""The supported public API: ``simulate()``, ``debug()``,
+``experiment()``, ``timeline()``.
 
 This facade is the stable entry point to the reproduction; everything
 else is implementation detail that may move between releases.  All
-three functions accept either a benchmark name (one of
+of these functions accept either a benchmark name (one of
 :data:`repro.workloads.BENCHMARK_NAMES`) or an assembled
 :class:`~repro.isa.program.Program`, and all of their options are
 keyword-only.
@@ -15,15 +16,21 @@ keyword-only.
 * :func:`experiment` — expand a (benchmark x kind x backend) grid into
   cells and run it through the parallel, cache-backed experiment
   engine; returns a :class:`~repro.harness.figures.FigureResult`.
+* :func:`timeline` — record a checkpointed run of the program and
+  return a :class:`~repro.timetravel.TimelineQuery` answering
+  ``last_write``/``first_write``/``seek_transition``/``value_at``
+  time-travel queries over it.
 
 Example::
 
-    from repro.api import debug, experiment, simulate
+    from repro.api import debug, experiment, simulate, timeline
 
     baseline = simulate("bzip2", max_app_instructions=100_000)
     session = debug("bzip2", watch=["hot", ("warm1", "warm1 == 12")])
     result = session.run(max_app_instructions=100_000, run_baseline=True)
     grid = experiment(benchmarks=["bzip2"], kinds=["HOT"], workers=4)
+    query = timeline("bzip2", max_app_instructions=100_000)
+    answer = query.last_write("hot")
 """
 
 from __future__ import annotations
@@ -90,7 +97,9 @@ def debug(program: ProgramLike, *,
     program, _ = resolve_program(program)
     session = Session(program, backend=backend, config=config,
                       **backend_options)
-    if isinstance(watch, (str, tuple)):
+    if isinstance(watch, str) or (
+            isinstance(watch, tuple) and len(watch) == 2
+            and isinstance(watch[0], str)):
         watch = [watch]
     for entry in watch:
         if isinstance(entry, str):
@@ -103,6 +112,52 @@ def debug(program: ProgramLike, *,
     for location in break_at:
         session.break_at(location)
     return session
+
+
+def timeline(program: ProgramLike, *,
+             backend: str = "dise",
+             watch: Union[WatchSpec, Iterable[WatchSpec]] = (),
+             break_at: Union[str, int, Iterable[Union[str, int]]] = (),
+             config: Optional[MachineConfig] = None,
+             max_app_instructions: Optional[int] = None,
+             checkpoint_interval: int = 10_000,
+             checkpoint_capacity: int = 64,
+             cache=None,
+             **backend_options):
+    """Record a run of ``program`` and return its time-travel query API.
+
+    Builds the same debugging session as :func:`debug`, wraps it in the
+    checkpointing :class:`~repro.replay.ReverseController`, runs the
+    program forward (straight through watchpoint/breakpoint stops)
+    until it halts or ``max_app_instructions`` is reached, and returns
+    a :class:`~repro.timetravel.TimelineQuery` bound to the recorded
+    history.  The returned query object answers ``last_write``,
+    ``first_write``, ``seek_transition`` and ``value_at``; its
+    ``.controller`` exposes the live session for further forward or
+    reverse navigation.
+
+    Pass a :class:`~repro.harness.cache.TimelineQueryCache` (or
+    ``cache=True`` for the environment-configured default) to memoize
+    answers on disk per code version.
+    """
+    session = debug(program, backend=backend, watch=watch,
+                    break_at=break_at, config=config, **backend_options)
+    controller = session.start_interactive(
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_capacity=checkpoint_capacity)
+    while not controller.machine.halted:
+        run = controller.resume(max_app_instructions)
+        if run.halted or not run.stopped_at_user:
+            break
+    if cache is True:
+        from repro.harness.cache import default_timeline_cache
+
+        cache = default_timeline_cache()
+    elif cache is False:
+        cache = None
+    from repro.timetravel import TimelineQuery
+
+    return TimelineQuery(controller, cache=cache)
 
 
 def experiment(*,

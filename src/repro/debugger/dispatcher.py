@@ -1,18 +1,23 @@
 """Transport-agnostic debugger command dispatch.
 
 :class:`CommandDispatcher` is the single implementation of the debugger
-verb set (``watch``, ``break``, ``run``, ``reverse-continue``, ...).
-Every verb returns a :class:`CommandResult` carrying both a structured,
-JSON-able ``data`` payload and the human-readable ``text`` rendering —
-the terminal REPL (:class:`repro.debugger.repl.DebuggerShell`) prints
-the text, while the session server (:mod:`repro.server`) ships the data
-over the wire.  Failures raise :class:`CommandError`, which carries a
-stable machine-readable ``code`` so remote callers get structured
-error replies instead of a dead connection.
+verb set (``watch``, ``break``, ``run``, ``reverse-continue``,
+``last-write``, ...).  The verb table itself lives in
+:mod:`repro.debugger.verbs` — a declarative registry this dispatcher,
+the REPL's help, and the server's wire protocol all consume, so the
+three can never drift.  Every verb returns a :class:`CommandResult`
+carrying both a structured, JSON-able ``data`` payload and the
+human-readable ``text`` rendering — the terminal REPL
+(:class:`repro.debugger.repl.DebuggerShell`) prints the text, while the
+session server (:mod:`repro.server`) ships the data over the wire.
+Failures raise :class:`CommandError`, which carries a stable
+machine-readable ``code`` so remote callers get structured error
+replies instead of a dead connection.
 
 The dispatcher owns one :class:`~repro.debugger.session.Session` and,
-once running, one :class:`~repro.replay.ReverseController`; it is the
-unit of state the server pins to a worker process.
+once running, one :class:`~repro.replay.ReverseController` plus one
+:class:`~repro.timetravel.TimelineQuery`; it is the unit of state the
+server pins to a worker process.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Any, Callable, Optional
 from repro.config import MachineConfig
 from repro.debugger.expressions import parse_expression
 from repro.debugger.session import Session, _undebugged_run
+from repro.debugger.verbs import REGISTRY, spec_for
 from repro.errors import ReproError
 from repro.isa.program import Program
 
@@ -33,6 +39,9 @@ BAD_REQUEST = "bad-request"
 UNKNOWN_VERB = "unknown-verb"
 COMMAND_FAILED = "command-failed"
 REPLAY_DIVERGENCE = "replay-divergence"
+#: A history verb (rewind/reverse-continue/timeline queries) issued
+#: before the program ever ran — there is no checkpoint to rewind to.
+NO_CHECKPOINT = "no-checkpoint"
 
 
 class CommandError(ReproError):
@@ -55,22 +64,10 @@ class CommandResult:
 class CommandDispatcher:
     """Execute debugger verbs against one session; return structure."""
 
-    #: Verb name -> handler method name (dashes become underscores).
-    VERBS = {
-        "watch": "cmd_watch",
-        "break": "cmd_break",
-        "delete": "cmd_delete",
-        "info": "cmd_info",
-        "backend": "cmd_backend",
-        "run": "cmd_run",
-        "continue": "cmd_continue",
-        "checkpoint": "cmd_checkpoint",
-        "rewind": "cmd_rewind",
-        "reverse-continue": "cmd_reverse_continue",
-        "print": "cmd_print",
-        "x": "cmd_x",
-        "overhead": "cmd_overhead",
-    }
+    #: Verb name -> handler method name, derived from the declarative
+    #: registry (:data:`repro.debugger.verbs.REGISTRY`) — kept as a
+    #: mapping for introspection and historical callers.
+    VERBS = {spec.name: spec.method for spec in REGISTRY}
 
     def __init__(self, program: Program, backend: str = "dise",
                  config: Optional[MachineConfig] = None, *,
@@ -84,23 +81,26 @@ class CommandDispatcher:
         self.default_step = default_step
         self._backend_obj = None
         self._controller = None  # ReverseController once running
+        self._timeline = None  # TimelineQuery once a query runs
         self._instructions_run = 0
 
     # -- dispatch ----------------------------------------------------------
 
     @classmethod
     def verbs(cls) -> tuple[str, ...]:
-        """Every verb this dispatcher understands."""
+        """Every verb this dispatcher understands (registry order)."""
         return tuple(cls.VERBS)
 
     def dispatch(self, verb: str, args: list[str]) -> CommandResult:
         """Run one verb; raise :class:`CommandError` on any failure."""
-        method_name = self.VERBS.get(verb)
-        if method_name is None:
+        spec = spec_for(verb)
+        if spec is None:
             raise CommandError(f"Undefined command: {verb!r}. Try 'help'.",
                                code=UNKNOWN_VERB)
+        if spec.needs_history:
+            self._require_history(verb)
         handler: Callable[[list[str]], CommandResult] = \
-            getattr(self, method_name)
+            getattr(self, spec.method)
         try:
             return handler(list(args))
         except CommandError:
@@ -243,6 +243,7 @@ class CommandDispatcher:
     def _invalidate(self) -> None:
         self._backend_obj = None
         self._controller = None
+        self._timeline = None
         self._instructions_run = 0
 
     def _ensure_backend(self):
@@ -251,6 +252,26 @@ class CommandDispatcher:
                 record_fingerprints=self.record_fingerprints)
             self._backend_obj = self._controller.backend
         return self._backend_obj
+
+    def _require_history(self, verb: str) -> None:
+        """History verbs need at least the genesis checkpoint.
+
+        Issued before the program ever ran (or right after a plan edit
+        invalidated the backend) there is nothing to rewind into — a
+        structured ``no-checkpoint`` error, not ``command-failed``.
+        """
+        if self._controller is None or not len(self._controller.store):
+            raise CommandError(
+                f"{verb}: no checkpoints yet — run the program first.",
+                code=NO_CHECKPOINT)
+
+    def _timeline_query(self):
+        """The lazily-built query engine over the current controller."""
+        if self._timeline is None:
+            from repro.timetravel import TimelineQuery
+
+            self._timeline = TimelineQuery(self._controller)
+        return self._timeline
 
     def cmd_run(self, args: list[str]) -> CommandResult:
         """run [N] — (re)start and run up to N application instructions."""
@@ -340,6 +361,47 @@ class CommandDispatcher:
                 "watch_values": self._watch_values(backend)}
         return CommandResult("reverse-continue", data,
                              self._describe_stop(backend))
+
+    # -- time-travel queries -------------------------------------------------
+
+    def cmd_last_write(self, args: list[str]) -> CommandResult:
+        """last-write ADDR|SYMBOL — find the newest store to an address."""
+        if len(args) != 1:
+            raise CommandError("usage: last-write ADDR|SYMBOL")
+        result = self._timeline_query().last_write(args[0])
+        return CommandResult("last-write", result.to_dict(),
+                             result.describe())
+
+    def cmd_first_write(self, args: list[str]) -> CommandResult:
+        """first-write ADDR|SYMBOL — find the oldest store to an address."""
+        if len(args) != 1:
+            raise CommandError("usage: first-write ADDR|SYMBOL")
+        result = self._timeline_query().first_write(args[0])
+        return CommandResult("first-write", result.to_dict(),
+                             result.describe())
+
+    def cmd_seek_transition(self, args: list[str]) -> CommandResult:
+        """seek-transition EXPR N — move to the Nth change of EXPR."""
+        if len(args) < 2 or not args[-1].isdigit():
+            raise CommandError("usage: seek-transition EXPR N")
+        expression = " ".join(args[:-1])
+        result = self._timeline_query().seek_transition(expression,
+                                                        int(args[-1]))
+        self._instructions_run = \
+            self._backend_obj.machine.stats.app_instructions
+        return CommandResult("seek-transition", result.to_dict(),
+                             result.describe())
+
+    def cmd_value_at(self, args: list[str]) -> CommandResult:
+        """value-at EXPR ORDINAL — evaluate EXPR as of an instruction
+        count."""
+        if len(args) < 2 or not args[-1].isdigit():
+            raise CommandError("usage: value-at EXPR ORDINAL")
+        expression = " ".join(args[:-1])
+        result = self._timeline_query().value_at(expression,
+                                                 int(args[-1]))
+        return CommandResult("value-at", result.to_dict(),
+                             result.describe())
 
     def _stop_payload(self) -> Optional[dict]:
         """The current stop as wire data (ordinal/pc/fingerprint)."""

@@ -62,17 +62,9 @@ class _BaseShell:
         return self._exited
 
     def _abbreviations(self) -> dict[str, str]:
-        return {
-            "b": "break",
-            "c": "continue",
-            "p": "print",
-            "q": "quit",
-            "r": "run",
-            "w": "watch",
-            "rc": "reverse-continue",
-            "reverse-step": "rewind",
-            "rs": "rewind",
-        }
+        from repro.debugger.verbs import alias_map
+
+        return {**alias_map(), "q": "quit"}
 
     def parse(self, line: str) -> Optional[tuple[str, list[str]]]:
         """Split one input line into (verb, args); None when empty."""
@@ -205,7 +197,8 @@ class RemoteShell(_BaseShell):
                 # The protocol rejects unknown verbs before dispatch;
                 # render them the way the local shell would.
                 return f"Undefined command: {verb!r}. Try 'help'."
-            if exc.code in ("bad-request", "command-failed"):
+            if exc.code in ("bad-request", "command-failed",
+                            "no-checkpoint"):
                 # Dispatcher-level failures render exactly as the local
                 # shell would print them.
                 return str(exc)
@@ -214,12 +207,11 @@ class RemoteShell(_BaseShell):
 
 
 def help_text() -> str:
-    """The command listing shown by ``help`` (local or remote)."""
-    lines = []
-    for verb in CommandDispatcher.verbs():
-        method = getattr(CommandDispatcher, CommandDispatcher.VERBS[verb])
-        doc = (method.__doc__ or "").strip()
-        lines.append(f"  {doc.splitlines()[0] if doc else verb}")
+    """The command listing shown by ``help`` (local or remote) —
+    generated from the declarative verb registry."""
+    from repro.debugger.verbs import help_lines
+
+    lines = [f"  {line}" for line in help_lines()]
     lines.append("  help — list commands.")
     lines.append("  quit — leave the shell.")
     return "Commands:\n" + "\n".join(sorted(lines))

@@ -473,6 +473,97 @@ def checkpoint_leg(spec: ProgramSpec, backend_name: str,
     return report.divergences
 
 
+def timeline_leg(spec: ProgramSpec, backend_name: str,
+                 config: Optional[MachineConfig] = None,
+                 interp: str = "table", *,
+                 interval: int = 256,
+                 max_targets: int = 3) -> list[Divergence]:
+    """Cross-check time-travel ``last-write`` answers for one spec.
+
+    The debugged program runs forward under a checkpointing
+    :class:`~repro.replay.ReverseController` with a ground-truth
+    :class:`~repro.timetravel.StoreLogRecorder` attached for the whole
+    run — the recorder-private shadow store log, same trick as
+    :class:`StopRecorder`'s shadow copies.  For sampled watched
+    addresses the bisected :meth:`~repro.timetravel.TimelineQuery.
+    last_write` answer must then agree with
+
+    * the newest ground-truth store event overlapping the address
+      (ordinal, pc, address, size, value, old value), and
+    * the naive rerun-from-genesis landing (``last_write_linear``),
+      including the re-landed ``state_fingerprint`` bit for bit.
+    """
+    from repro.fuzz.inject import applied_injection
+    from repro.replay.reverse import ReverseController
+    from repro.timetravel import StoreLogRecorder, TimelineQuery
+
+    budget = dynamic_budget(spec)
+    name = f"{backend_name}/{interp}/timeline"
+    divergences: list[Divergence] = []
+    try:
+        with applied_injection(spec.inject, backend_name):
+            program = build_program(spec)
+            watchpoints, breakpoints = _build_points(spec)
+            backend = backend_class(backend_name)(
+                program, watchpoints, breakpoints,
+                _interp_config(config, interp), detailed_timing=False)
+            controller = ReverseController(backend, interval=interval)
+            truth = StoreLogRecorder(backend.machine)
+            backend.machine.store_observer = truth
+            try:
+                while True:
+                    run = controller.resume(budget)
+                    if run.halted or not run.stopped_at_user:
+                        break
+            finally:
+                backend.machine.store_observer = None
+
+            query = TimelineQuery(controller)
+            targets = sorted({str(wp.expression)
+                              for wp in backend.watchpoints})
+            if not targets:
+                targets = sorted(spec.var_init)
+            for target in targets[:max_targets]:
+                address, size = query._resolve_target(target)
+                matches = [e for e in truth.events
+                           if e.overlaps(address, size)]
+                expected = matches[-1] if matches else None
+                answer = query.last_write(target)
+                if (expected is None) != (not answer.found):
+                    divergences.append(Divergence(
+                        "stops", (name, name),
+                        f"last-write {target}: found={answer.found}, "
+                        f"shadow log has {len(matches)} matches"))
+                    continue
+                if expected is None:
+                    continue
+                got = (answer.app_instructions, answer.pc, answer.address,
+                       answer.size, answer.value, answer.old_value)
+                want = (expected.app_instructions, expected.pc,
+                        expected.address, expected.size, expected.value,
+                        expected.old_value)
+                if got != want:
+                    divergences.append(Divergence(
+                        "stops", (name, name),
+                        f"last-write {target}: bisected {got} != "
+                        f"shadow-log {want}"))
+                linear = query.last_write_linear(target)
+                if ((answer.app_instructions, answer.pc,
+                     answer.state_fingerprint)
+                        != (linear.app_instructions, linear.pc,
+                            linear.state_fingerprint)):
+                    divergences.append(Divergence(
+                        "state", (name, name),
+                        f"last-write {target}: bisected landing "
+                        f"(app={answer.app_instructions}, "
+                        f"pc={answer.pc:#x}) does not re-land the "
+                        f"linear genesis replay bit-identically"))
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return [Divergence("error", (name, name),
+                           f"{type(exc).__name__}: {exc}")]
+    return divergences
+
+
 def run_differential(spec: ProgramSpec,
                      config: Optional[MachineConfig] = None,
                      backends: tuple[str, ...] = BACKENDS,

@@ -153,6 +153,114 @@ class ResultCache:
         return sum(1 for _ in self.directory.glob("*.json"))
 
 
+def default_timeline_cache() -> "TimelineQueryCache":
+    """The environment-configured timeline query cache."""
+    return TimelineQueryCache(default_cache_dir(), enabled=cache_enabled())
+
+
+class TimelineQueryCache:
+    """Persisted time-travel query answers.
+
+    Records live as JSON under ``<cache_dir>/timeline/``, keyed by a
+    content hash of the query identity — program content digest,
+    backend, machine config, debug plan, the recorded-history extent
+    (genesis/position/stop count), the query verb and its arguments —
+    plus the code version.  Deterministic replay makes a hit exact: the
+    same history extent under the same code can only re-derive the same
+    answer, fingerprint included.  As with :class:`ResultCache`, any
+    unreadable, truncated, or version-mismatched record is a miss,
+    never an error.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 enabled: bool = True):
+        base = Path(directory) if directory else Path(default_cache_dir())
+        self.directory = base / "timeline"
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def key_for(self, payload: dict) -> str:
+        """Content hash of a query-identity payload (plus code version)."""
+        canonical = json.dumps(payload, sort_keys=True, default=repr)
+        digest = hashlib.sha256()
+        digest.update(code_version().encode())
+        digest.update(b"\0")
+        digest.update(canonical.encode())
+        return digest.hexdigest()[:32]
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem location of a key's record."""
+        return self.directory / f"{key}.json"
+
+    def load(self, key: str):
+        """The stored :class:`~repro.timetravel.QueryResult` for
+        ``key``, or ``None`` on any miss."""
+        from repro.timetravel.engine import QueryResult
+
+        if not self.enabled:
+            return None
+        try:
+            record = json.loads(self.path_for(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (not isinstance(record, dict)
+                or record.get("format") != CACHE_FORMAT
+                or record.get("code_version") != code_version()):
+            self.misses += 1
+            return None
+        try:
+            result = QueryResult.from_dict(record["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result, payload: Optional[dict] = None) -> None:
+        """Persist a query result under ``key`` (atomic write-and-rename)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        record = {
+            "format": CACHE_FORMAT,
+            "code_version": code_version(),
+            "key": payload,
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True, default=repr)
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every stored record; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+
 def default_warm_cache() -> "WarmCheckpointCache":
     """The environment-configured warm-checkpoint store."""
     return WarmCheckpointCache(default_cache_dir(), enabled=cache_enabled())

@@ -246,6 +246,28 @@ class Program:
         clone._finalized = self._finalized
         return clone
 
+    def content_digest(self) -> str:
+        """Stable content hash of the program's observable identity.
+
+        Covers the text segment (disassembly, which embeds labels), the
+        data layout (names, sizes, initializers, alignment) and the
+        entry point — everything that determines execution.  Used to
+        key cached time-travel query answers to the exact program.
+        """
+        import hashlib
+
+        digest = hashlib.sha256()
+        digest.update(self.name.encode())
+        digest.update(b"\0")
+        digest.update(str(self.entry).encode())
+        digest.update(b"\0")
+        digest.update(self.disassemble().encode())
+        for item in self.data_items:
+            digest.update(
+                f"\0{item.name}:{item.size}:{item.align}:".encode())
+            digest.update(item.init or b"")
+        return digest.hexdigest()[:32]
+
     def disassemble(self) -> str:
         """Render the whole text segment as labelled assembly."""
         by_index: dict[int, list[str]] = {}

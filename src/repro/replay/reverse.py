@@ -126,12 +126,26 @@ class ReverseController:
     def reverse_step(self, instructions: int = 1) -> None:
         """Rewind the machine by ``instructions`` application
         instructions (to the start of recorded history at most)."""
+        self.seek(self.machine.stats.app_instructions - instructions)
+
+    def seek(self, app_instructions: int) -> None:
+        """Move the machine to an exact application-instruction count.
+
+        Seeking backward restores the nearest checkpoint at or before
+        the target and re-executes the remainder; seeking forward just
+        resumes.  Either way stops passed through are re-recorded, so
+        history stays consistent (``reverse_step`` is ``seek`` relative
+        to the current position).  Targets before the genesis
+        checkpoint clamp to the start of recorded history.
+        """
         machine = self.machine
-        target = machine.stats.app_instructions - instructions
-        checkpoint = self.store.nearest_at_or_before(target)
-        if checkpoint is None:
-            checkpoint = self.store.oldest
-        self._restore_checkpoint(checkpoint)
+        target = max(app_instructions,
+                     self.store.oldest.app_instructions)
+        if target < machine.stats.app_instructions:
+            checkpoint = self.store.nearest_at_or_before(target)
+            if checkpoint is None:
+                checkpoint = self.store.oldest
+            self._restore_checkpoint(checkpoint)
         while machine.stats.app_instructions < target:
             result = self.resume(target)
             if result.halted:

@@ -20,6 +20,8 @@ from __future__ import annotations
 import time
 from typing import Optional
 
+from repro.debugger.verbs import spec_for
+
 
 class TokenBucket:
     """Token bucket over concurrent sessions (optionally rate-refilled)."""
@@ -78,10 +80,13 @@ class InstructionBudget:
     def requested(self, verb: str, args: list) -> Optional[int]:
         """The instruction count a budgeted verb asks for (None if
         defaulted or unparsable — unparsable args fail later with a
-        usage error from the dispatcher)."""
-        if not args:
+        usage error from the dispatcher).  Which argument carries the
+        budget comes from the verb registry (``VerbSpec.budget_arg``)."""
+        spec = spec_for(verb)
+        index = spec.budget_arg if spec is not None else None
+        if index is None or len(args) <= index:
             return None
-        head = str(args[0])
+        head = str(args[index])
         return int(head) if head.isdigit() else None
 
     def admit(self, verb: str, args: list) -> Optional[str]:

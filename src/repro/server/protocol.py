@@ -14,18 +14,22 @@ Grammar (one JSON object per ``\\n``-terminated line, UTF-8, at most
                  "error": { "code": str, "message": str,
                             "session": str|null } }
 
-Verbs are the REPL command set (``watch``, ``break``, ``delete``,
-``info``, ``backend``, ``run``, ``continue``, ``checkpoint``,
-``rewind``, ``reverse-continue``, ``print``, ``x``, ``overhead``) plus
-the server verbs ``open-session``, ``close-session``, ``ping``,
-``info server`` (handled in the event loop) and ``experiment`` (served
-cache-first from the session's worker shard).
+Verbs are the REPL command set — generated from the declarative verb
+registry (:data:`repro.debugger.verbs.REGISTRY`), currently ``watch``,
+``break``, ``delete``, ``info``, ``backend``, ``run``, ``continue``,
+``checkpoint``, ``rewind``, ``reverse-continue``, ``print``, ``x``,
+``overhead`` and the time-travel queries ``last-write``,
+``first-write``, ``seek-transition``, ``value-at`` — plus the server
+verbs ``open-session``, ``close-session``, ``ping``, ``info server``
+(handled in the event loop) and ``experiment`` (served cache-first
+from the session's worker shard).
 
 Error codes are stable: admission rejections are ``busy``, instruction
 budgets ``over-budget``, replay nondeterminism ``replay-divergence``,
-a crashed worker ``session-lost``; framing problems are ``bad-frame``
-(malformed JSON — the connection survives) or ``oversized-frame`` (the
-connection closes, since framing can no longer be trusted).
+history verbs before the first checkpoint ``no-checkpoint``, a crashed
+worker ``session-lost``; framing problems are ``bad-frame`` (malformed
+JSON — the connection survives) or ``oversized-frame`` (the connection
+closes, since framing can no longer be trusted).
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Any, Optional, Union
+
+from repro.debugger.verbs import budget_verbs, command_verbs
 
 PROTOCOL_VERSION = 1
 MAX_FRAME_BYTES = 64 * 1024
@@ -47,22 +53,22 @@ BUSY = "busy"
 OVER_BUDGET = "over-budget"
 COMMAND_FAILED = "command-failed"
 REPLAY_DIVERGENCE = "replay-divergence"
+NO_CHECKPOINT = "no-checkpoint"
 SESSION_LOST = "session-lost"
 INTERNAL = "internal"
 
-#: Verbs the dispatcher executes inside a worker.
-COMMAND_VERBS = frozenset({
-    "watch", "break", "delete", "info", "backend", "run", "continue",
-    "checkpoint", "rewind", "reverse-continue", "print", "x", "overhead",
-})
+#: Verbs the dispatcher executes inside a worker (from the registry —
+#: the wire protocol and the REPL can never drift apart).
+COMMAND_VERBS = command_verbs()
 #: Verbs the server itself understands on top of the command set.
 SERVER_VERBS = frozenset({"open-session", "close-session", "experiment",
                           "ping"})
 VERBS = COMMAND_VERBS | SERVER_VERBS
 
-#: Command verbs whose first argument is an application-instruction
-#: budget, capped by the server's per-command instruction budget.
-BUDGET_VERBS = frozenset({"run", "continue", "rewind"})
+#: Command verbs that take an application-instruction budget argument,
+#: capped by the server's per-command instruction budget (also from
+#: the registry; see ``VerbSpec.budget_arg``).
+BUDGET_VERBS = budget_verbs()
 
 
 class ProtocolError(Exception):

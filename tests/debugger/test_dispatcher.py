@@ -21,7 +21,20 @@ def test_verbs_cover_the_repl_command_set():
     assert set(CommandDispatcher.verbs()) == {
         "watch", "break", "delete", "info", "backend", "run", "continue",
         "checkpoint", "rewind", "reverse-continue", "print", "x",
-        "overhead"}
+        "overhead", "last-write", "first-write", "seek-transition",
+        "value-at"}
+
+
+def test_verb_table_is_generated_from_the_registry():
+    from repro.debugger import verbs
+
+    assert set(CommandDispatcher.verbs()) == set(verbs.command_verbs())
+    for spec in verbs.REGISTRY:
+        handler = getattr(CommandDispatcher, spec.method)
+        # Every registry usage line matches its handler's docstring, so
+        # help text and the handlers cannot drift apart.
+        doc = " ".join((handler.__doc__ or "").split())
+        assert doc.startswith(spec.usage.split(" — ")[0])
 
 
 def test_watch_returns_structured_result():

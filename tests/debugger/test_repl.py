@@ -196,6 +196,10 @@ def test_reverse_continue_relands_previous_stop(backend):
 
 def test_reverse_continue_abbreviation_and_no_stops():
     shell = _shell()
+    # Before the first run there is no history at all: the structured
+    # no-checkpoint contract (same code the server ships on the wire).
+    assert "no checkpoints yet" in shell.execute("rc")
+    shell.execute("run 50")
     assert "No stops recorded" in shell.execute("rc")
     shell.execute("break loop")
     shell.execute("continue")
@@ -222,5 +226,10 @@ def test_rewind_across_watchpoint_edit():
     shell.execute("run 100")
     shell.execute("watch other")  # invalidates backend + controller
     assert shell._controller is None
-    out = shell.execute("rewind 10")  # fresh controller, fresh history
-    assert "Rewound to 0 instructions" in out
+    # The old history is gone with the controller: rewinding now is the
+    # structured no-checkpoint error, not a silent rewind to a fresh
+    # genesis.
+    out = shell.execute("rewind 10")
+    assert "no checkpoints yet" in out
+    shell.execute("run 100")  # fresh controller, fresh history
+    assert "Rewound to" in shell.execute("rewind 10")

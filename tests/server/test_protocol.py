@@ -220,11 +220,20 @@ SCRIPT = [
     ("info", ["breakpoints"], True),
     ("delete", ["2"], True),
     ("backend", ["dise"], True),
+    # History verbs before the first run: the structured no-checkpoint
+    # error is part of the wire contract.
+    ("last-write", ["hot"], True),
     ("run", [], True),
     ("continue", [], True),
     ("checkpoint", [], True),
     ("continue", [], True),
     ("info", ["checkpoints"], True),
+    # Time-travel queries over the recorded history (the scripted
+    # session has stopped at hot's stores at 4, 9, and 14).
+    ("last-write", ["hot"], True),
+    ("first-write", ["hot"], True),
+    ("value-at", ["hot", "5"], True),
+    ("seek-transition", ["hot", "2"], True),
     ("rewind", ["1"], True),
     ("reverse-continue", [], True),
     ("print", ["hot"], True),

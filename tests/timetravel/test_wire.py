@@ -1,0 +1,86 @@
+"""The wire adds nothing to time-travel queries.
+
+Acceptance criterion for the query API redesign: a timeline verb
+answered over the session-server protocol must be byte-identical —
+result payload *and* rendered text — to the same script dispatched
+through a local :class:`~repro.debugger.dispatcher.CommandDispatcher`.
+Both sides share the dispatcher, and query caching lives only in the
+``repro.api.timeline`` facade, so nothing can skew one side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.debugger.dispatcher import CommandDispatcher
+from repro.isa import assemble
+from repro.server.client import ServerError
+from tests.server.conftest import (connected, count_asm, run_async,
+                                   running_server, thread_config)
+
+#: One script exercising all four timeline verbs.  count_asm(50) stores
+#: to ``hot`` at app instructions 4, 9, 14, ... — seek-transition lands
+#: mid-history, and the verbs after it see the relocated session.
+SCRIPT = [
+    ("watch", ["hot"]),
+    ("run", []),
+    ("continue", []),
+    ("continue", []),
+    ("last-write", ["hot"]),
+    ("first-write", ["hot"]),
+    ("value-at", ["hot", "9"]),
+    ("seek-transition", ["hot", "2"]),
+    ("last-write", ["hot"]),
+]
+
+
+def test_timeline_verbs_match_local_dispatch_bit_for_bit(tmp_path):
+    asm = count_asm(50)
+    local = CommandDispatcher(assemble(asm, name="local"),
+                              record_fingerprints=True)
+    local_replies = [(verb, result.data, result.text)
+                     for verb, args in SCRIPT
+                     for result in [local.dispatch(verb, args)]]
+
+    async def scenario():
+        async with running_server(thread_config(tmp_path)) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=asm, name="remote")
+                replies = []
+                for verb, args in SCRIPT:
+                    reply = await client.request(verb, args, session=sid)
+                    replies.append((verb, reply["result"], reply["text"]))
+                return replies
+
+    remote_replies = run_async(scenario())
+    for (verb, data, text), (_, result, remote_text) in zip(
+            local_replies, remote_replies):
+        assert result == data, verb
+        assert remote_text == text, verb
+    # The answers themselves are meaningful, not vacuous matches.
+    final_result = remote_replies[-1][1]
+    assert final_result["found"] is True
+    assert final_result["state_fingerprint"]
+    assert remote_replies[SCRIPT.index(("value-at", ["hot", "9"]))][1][
+        "value"] == 2  # hot == 2 right at its second store (app 9)
+
+
+def test_history_verbs_before_any_run_fail_with_no_checkpoint(tmp_path):
+    async def scenario():
+        async with running_server(thread_config(tmp_path)) as server:
+            async with connected(server) as client:
+                sid = await client.open_session(asm=count_asm(50))
+                codes = {}
+                for verb, args in [("last-write", ["hot"]),
+                                   ("first-write", ["hot"]),
+                                   ("value-at", ["hot", "1"]),
+                                   ("seek-transition", ["hot", "1"]),
+                                   ("reverse-continue", []),
+                                   ("rewind", ["1"])]:
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.request(verb, args, session=sid)
+                    codes[verb] = excinfo.value.code
+                return codes
+
+    codes = run_async(scenario())
+    assert set(codes.values()) == {"no-checkpoint"}
