@@ -1,0 +1,74 @@
+; bits.s -- bit-manipulation kernels: popcount and bit reversal.
+;
+; Runs 24 xorshift words through Kernighan popcount (data-dependent
+; trip count) and a full 64-step bit reversal, accumulating both into
+; the checksum.  Branch behaviour here is far less predictable than
+; the counted loops elsewhere in the corpus.  `progress` counts
+; processed words.
+
+.data
+progress:   .quad 0          ; words processed (watch target)
+nwords:     .quad 24
+poptotal:   .quad 0
+checksum:   .quad 0
+expect:     .quad 0x2c1be23d51b122bb
+status:     .quad 0
+
+.text
+main:
+    ldq   r1, nwords
+    lda   r2, 0(zero)        ; word index
+    lda   r3, 123456789(zero) ; xorshift state
+    lda   r4, 0(zero)        ; popcount total
+    lda   r5, 0(zero)        ; checksum accumulator
+word_loop:
+    sll   r3, 13, r6         ; next xorshift word
+    xor   r3, r6, r3
+    srl   r3, 7, r6
+    xor   r3, r6, r3
+    sll   r3, 17, r6
+    xor   r3, r6, r3
+
+    ; popcount(x) via Kernighan: clear lowest set bit until zero
+    mov   r3, r7
+    lda   r8, 0(zero)
+pop_loop:
+    beq   r7, pop_done
+    subq  r7, 1, r9
+    and   r7, r9, r7
+    addq  r8, 1, r8
+    br    pop_loop
+pop_done:
+    addq  r4, r8, r4
+
+    ; bitrev(x): 64 shift-in steps
+    mov   r3, r7
+    lda   r10, 0(zero)       ; reversed
+    lda   r11, 64(zero)      ; steps
+rev_loop:
+    sll   r10, 1, r10
+    and   r7, 1, r12
+    bis   r10, r12, r10
+    srl   r7, 1, r7
+    subq  r11, 1, r11
+    bne   r11, rev_loop
+
+    ; fold word, popcount, and reversal into the checksum
+    sll   r5, 13, r13
+    srl   r5, 51, r14
+    bis   r13, r14, r5
+    xor   r5, r10, r5
+    xor   r5, r8, r5
+    addq  r2, 1, r2
+    stq   r2, progress
+    cmpult r2, r1, r15
+    bne   r15, word_loop
+    stq   r4, poptotal
+    xor   r5, r4, r5
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r5, checksum
+    ldq   r10, expect
+    cmpeq r5, r10, r11
+    stq   r11, status
+    halt

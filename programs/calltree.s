@@ -1,0 +1,60 @@
+; calltree.s -- recursive binary call tree with real stack frames.
+;
+; node(depth) recurses into two children until depth 0, combining the
+; child results with a rotate-add; every call bumps `calls` and pushes
+; a 24-byte frame (saved ra, depth, left result) on the real stack, so
+; depth-6 recursion exercises 127 jsr/ret pairs and sp-relative
+; load/store traffic no other corpus workload produces.
+
+.data
+progress:   .quad 0          ; calls entered (watch target)
+depth:      .quad 6
+result:     .quad 0
+checksum:   .quad 0
+expect:     .quad 0x1f81
+status:     .quad 0
+
+.text
+main:
+    ldq   r1, depth
+    jsr   ra, node
+    stq   r2, result
+    ldq   r3, progress       ; fold call count into the checksum
+    mulq  r2, 3, r4
+    xor   r4, r3, r4
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r4, checksum
+    ldq   r10, expect
+    cmpeq r4, r10, r11
+    stq   r11, status
+    halt
+
+; r2 = node(depth=r1): leaf -> depth*2 + 3; else combine children
+node:
+    ldq   r5, progress
+    addq  r5, 1, r5
+    stq   r5, progress
+    bne   r1, node_inner
+    lda   r2, 3(zero)        ; leaf value: depth==0 -> 3
+    ret   (ra)
+node_inner:
+    subq  sp, 24, sp         ; push frame
+    stq   ra, 0(sp)
+    stq   r1, 8(sp)
+    subq  r1, 1, r1
+    jsr   ra, node           ; left = node(depth-1)
+    stq   r2, 16(sp)
+    ldq   r1, 8(sp)
+    subq  r1, 1, r1
+    jsr   ra, node           ; right = node(depth-1)
+    ldq   r6, 16(sp)         ; left
+    sll   r6, 1, r7          ; rol(left, 1)
+    srl   r6, 63, r8
+    bis   r7, r8, r7
+    addq  r7, r2, r2         ; combine
+    ldq   r9, 8(sp)
+    addq  r2, r9, r2         ; + depth
+    ldq   ra, 0(sp)          ; pop frame
+    addq  sp, 24, sp
+    ret   (ra)

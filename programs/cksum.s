@@ -1,0 +1,71 @@
+; cksum.s -- Fletcher-style checksum over a byte block.
+;
+; Fills a 256-byte block from a tiny xorshift generator, then runs a
+; Fletcher-16 pass over it byte by byte (two running sums, each masked
+; to 16 bits), mixing the two sums into the final checksum.  One
+; `progress` bump per 64-byte stripe.
+
+.data
+progress:   .quad 0          ; completed 64-byte stripes (watch target)
+block:      .space 256
+fletcher1:  .quad 0
+fletcher2:  .quad 0
+checksum:   .quad 0
+expect:     .quad 0x7738d2e9551d8697
+status:     .quad 0
+
+.text
+main:
+    ; fill block with xorshift bytes
+    lda   r1, block
+    lda   r2, 256(zero)
+    lda   r3, 0(zero)        ; i
+    lda   r4, 2463534242(zero)  ; seed
+fill_loop:
+    sll   r4, 13, r5         ; x ^= x << 13
+    xor   r4, r5, r4
+    srl   r4, 7, r5          ; x ^= x >> 7
+    xor   r4, r5, r4
+    sll   r4, 17, r5         ; x ^= x << 17
+    xor   r4, r5, r4
+    addq  r1, r3, r6
+    stb   r4, 0(r6)
+    addq  r3, 1, r3
+    cmpult r3, r2, r7
+    bne   r7, fill_loop
+
+    ; fletcher pass: s1 = (s1 + byte) & 0xffff; s2 = (s2 + s1) & 0xffff
+    lda   r8, 0(zero)        ; s1
+    lda   r9, 0(zero)        ; s2
+    lda   r3, 0(zero)        ; i
+fletcher_loop:
+    addq  r1, r3, r6
+    ldb   r10, 0(r6)
+    addq  r8, r10, r8
+    and   r8, 0xffff, r8
+    addq  r9, r8, r9
+    and   r9, 0xffff, r9
+    addq  r3, 1, r3
+    and   r3, 63, r11        ; every 64 bytes, bump progress
+    bne   r11, fletcher_next
+    ldq   r12, progress
+    addq  r12, 1, r12
+    stq   r12, progress
+fletcher_next:
+    cmpult r3, r2, r7
+    bne   r7, fletcher_loop
+    stq   r8, fletcher1
+    stq   r9, fletcher2
+
+    ; checksum = (s2 << 16 | s1) mixed with the final generator state
+    sll   r9, 16, r13
+    bis   r13, r8, r13
+    sll   r4, 31, r14
+    xor   r13, r14, r13
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r13, checksum
+    ldq   r10, expect
+    cmpeq r13, r10, r11
+    stq   r11, status
+    halt

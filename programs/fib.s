@@ -1,0 +1,42 @@
+; fib.s -- iterative Fibonacci with a rolling checksum.
+;
+; Computes fib(2)..fib(40) iteratively (mod 2^64).  After each step the
+; new value is folded into a rotate-xor checksum and `progress` is
+; bumped, so a watchpoint on `progress` sees one change per iteration.
+; The epilogue stores the checksum and self-checks it against `expect`
+; (see programs/README.md for the corpus conventions).
+
+.data
+progress:   .quad 0          ; iteration counter (watch target)
+result:     .quad 0          ; fib(40)
+checksum:   .quad 0
+expect:     .quad 0x92826560ef617dc3
+status:     .quad 0          ; 1 iff checksum == expect
+
+.text
+main:
+    lda   r1, 0(zero)        ; a = fib(0)
+    lda   r2, 1(zero)        ; b = fib(1)
+    lda   r3, 0(zero)        ; i
+    lda   r4, 39(zero)       ; iterations
+    lda   r5, 0(zero)        ; checksum accumulator
+step:
+    addq  r1, r2, r6         ; c = a + b
+    mov   r2, r1
+    mov   r6, r2
+    sll   r5, 7, r7          ; sum = rol(sum, 7) ^ c
+    srl   r5, 57, r8
+    bis   r7, r8, r5
+    xor   r5, r6, r5
+    addq  r3, 1, r3
+    stq   r3, progress
+    cmplt r3, r4, r9
+    bne   r9, step
+    stq   r6, result
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r5, checksum
+    ldq   r10, expect
+    cmpeq r5, r10, r11
+    stq   r11, status
+    halt

@@ -1,0 +1,80 @@
+; list.s -- linked-list build and traversal in a node arena.
+;
+; Pushes 20 nodes onto a singly linked list head-first (so traversal
+; visits them in reverse build order), each node carrying value
+; i*i + 7, then walks the list twice: once summing values and counting
+; nodes, once computing a position-weighted fold.  Pointer-chasing
+; loads dominate -- the access pattern the synthetic benchmarks'
+; strided scratch arrays never produce.  `progress` counts visited
+; nodes during the first traversal.
+
+.data
+progress:   .quad 0          ; nodes visited (watch target)
+head:       .quad 0          ; list head pointer
+arena:      .space 320       ; 20 nodes x 16 bytes (value, next)
+nodecount:  .quad 20
+sum:        .quad 0
+checksum:   .quad 0
+expect:     .quad 0x5adc2396c68d1fe8
+status:     .quad 0
+
+.text
+main:
+    ; build: for i in 0..19 push node(value=i*i+7) at the arena slot
+    lda   r1, arena
+    ldq   r2, nodecount
+    lda   r3, 0(zero)        ; i
+    lda   r4, 0(zero)        ; head (null)
+build_loop:
+    sll   r3, 4, r5          ; node = arena + 16*i
+    addq  r1, r5, r5
+    mulq  r3, r3, r6         ; value = i*i + 7
+    addq  r6, 7, r6
+    stq   r6, 0(r5)          ; node.value
+    stq   r4, 8(r5)          ; node.next = head
+    mov   r5, r4             ; head = node
+    addq  r3, 1, r3
+    cmpult r3, r2, r7
+    bne   r7, build_loop
+    stq   r4, head
+
+    ; first traversal: sum values, count nodes, bump progress per node
+    ldq   r8, head
+    lda   r9, 0(zero)        ; sum
+    lda   r10, 0(zero)       ; count
+walk_loop:
+    beq   r8, walk_done
+    ldq   r11, 0(r8)         ; node.value
+    addq  r9, r11, r9
+    addq  r10, 1, r10
+    stq   r10, progress
+    ldq   r8, 8(r8)          ; node = node.next
+    br    walk_loop
+walk_done:
+    stq   r9, sum
+
+    ; second traversal: position-weighted rotate-xor fold
+    ldq   r8, head
+    lda   r12, 0(zero)       ; accumulator
+    lda   r13, 1(zero)       ; position weight
+fold_loop:
+    beq   r8, fold_done
+    ldq   r11, 0(r8)
+    mulq  r11, r13, r14
+    sll   r12, 3, r15
+    srl   r12, 61, r16
+    bis   r15, r16, r12
+    xor   r12, r14, r12
+    addq  r13, 1, r13
+    ldq   r8, 8(r8)
+    br    fold_loop
+fold_done:
+    xor   r12, r9, r12       ; fold the sum in
+    xor   r12, r10, r12      ; and the count
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r12, checksum
+    ldq   r10, expect
+    cmpeq r12, r10, r11
+    stq   r11, status
+    halt

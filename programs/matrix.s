@@ -1,0 +1,83 @@
+; matrix.s -- 4x4 integer matrix multiply (row-major quadwords).
+;
+; C = A * B with the textbook triple loop; A and B are static data so
+; the result is fixed.  Inner-product loads hit both row-contiguous
+; (A) and column-strided (B) patterns.  `progress` counts completed
+; result rows.
+
+.data
+progress:   .quad 0          ; completed rows of C (watch target)
+mat_a:      .quad 4, 11, 1, 9
+            .quad 7, 3, 12, 2
+            .quad 6, 14, 8, 5
+            .quad 13, 10, 15, 1
+mat_b:      .quad 9, 2, 13, 6
+            .quad 3, 16, 4, 11
+            .quad 10, 7, 1, 8
+            .quad 5, 12, 14, 15
+mat_c:      .space 128
+checksum:   .quad 0
+expect:     .quad 0xfe3e19a02eb1c6c2
+status:     .quad 0
+
+.text
+main:
+    lda   r1, mat_a
+    lda   r2, mat_b
+    lda   r3, mat_c
+    lda   r4, 0(zero)        ; i
+row_loop:
+    lda   r5, 0(zero)        ; j
+col_loop:
+    lda   r6, 0(zero)        ; k
+    lda   r7, 0(zero)        ; acc
+dot_loop:
+    sll   r4, 5, r8          ; &A[i][k] = A + 32*i + 8*k
+    sll   r6, 3, r9
+    addq  r8, r9, r8
+    addq  r1, r8, r8
+    ldq   r10, 0(r8)
+    sll   r6, 5, r8          ; &B[k][j] = B + 32*k + 8*j
+    sll   r5, 3, r9
+    addq  r8, r9, r8
+    addq  r2, r8, r8
+    ldq   r11, 0(r8)
+    mulq  r10, r11, r12
+    addq  r7, r12, r7
+    addq  r6, 1, r6
+    cmpult r6, 4, r13
+    bne   r13, dot_loop
+    sll   r4, 5, r8          ; &C[i][j]
+    sll   r5, 3, r9
+    addq  r8, r9, r8
+    addq  r3, r8, r8
+    stq   r7, 0(r8)
+    addq  r5, 1, r5
+    cmpult r5, 4, r13
+    bne   r13, col_loop
+    addq  r4, 1, r4
+    stq   r4, progress
+    cmpult r4, 4, r13
+    bne   r13, row_loop
+
+    ; fold C into the checksum
+    lda   r14, 0(zero)       ; accumulator
+    lda   r4, 0(zero)        ; flat index
+fold_loop:
+    sll   r4, 3, r8
+    addq  r3, r8, r8
+    ldq   r10, 0(r8)
+    sll   r14, 11, r9
+    srl   r14, 53, r15
+    bis   r9, r15, r14
+    xor   r14, r10, r14
+    addq  r4, 1, r4
+    cmpult r4, 16, r13
+    bne   r13, fold_loop
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r14, checksum
+    ldq   r10, expect
+    cmpeq r14, r10, r11
+    stq   r11, status
+    halt

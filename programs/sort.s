@@ -1,0 +1,94 @@
+; sort.s -- insertion sort over an LCG-generated quadword array.
+;
+; Fills a 24-entry array from a 64-bit linear congruential generator,
+; insertion-sorts it in place (unsigned compares), verifies the result
+; is non-decreasing, and folds the sorted array into the checksum.
+; `progress` counts sorted prefix length, one bump per outer loop.
+
+.data
+progress:   .quad 0          ; sorted prefix length (watch target)
+arr:        .space 192       ; 24 quadwords
+nelems:     .quad 24
+sorted_ok:  .quad 0
+checksum:   .quad 0
+expect:     .quad 0x87a13a4d3cf5e4db
+status:     .quad 0
+
+.text
+main:
+    ; fill: x = x * 6364136223846793005 + 1442695040888963407
+    lda   r1, arr
+    ldq   r2, nelems
+    lda   r3, 0(zero)        ; i
+    lda   r4, 88172645463325252(zero)   ; seed
+fill_loop:
+    mulq  r4, 6364136223846793005, r4
+    addq  r4, 1442695040888963407, r4
+    sll   r3, 3, r5
+    addq  r1, r5, r5
+    stq   r4, 0(r5)
+    addq  r3, 1, r3
+    cmpult r3, r2, r6
+    bne   r6, fill_loop
+
+    ; insertion sort: for i in 1..n-1, sift arr[i] down
+    lda   r3, 1(zero)        ; i
+sort_outer:
+    cmpult r3, r2, r6
+    beq   r6, sort_done
+    sll   r3, 3, r5
+    addq  r1, r5, r5
+    ldq   r7, 0(r5)          ; key = arr[i]
+    mov   r3, r8             ; j = i
+sift:
+    beq   r8, place          ; j == 0: key goes to the front
+    subq  r8, 1, r9
+    sll   r9, 3, r10
+    addq  r1, r10, r10
+    ldq   r11, 0(r10)        ; arr[j-1]
+    cmpult r7, r11, r12      ; key < arr[j-1]?
+    beq   r12, place
+    sll   r8, 3, r13
+    addq  r1, r13, r13
+    stq   r11, 0(r13)        ; arr[j] = arr[j-1]
+    mov   r9, r8
+    br    sift
+place:
+    sll   r8, 3, r13
+    addq  r1, r13, r13
+    stq   r7, 0(r13)         ; arr[j] = key
+    addq  r3, 1, r3
+    stq   r3, progress
+    br    sort_outer
+
+sort_done:
+    ; verify non-decreasing and fold the sorted array
+    lda   r14, 1(zero)       ; ok flag
+    lda   r15, 0(zero)       ; accumulator
+    lda   r3, 0(zero)        ; i
+verify_loop:
+    sll   r3, 3, r5
+    addq  r1, r5, r5
+    ldq   r7, 0(r5)
+    sll   r15, 9, r9
+    srl   r15, 55, r10
+    bis   r9, r10, r15
+    xor   r15, r7, r15
+    addq  r3, 1, r3
+    cmpult r3, r2, r6
+    beq   r6, verify_done
+    ldq   r11, 8(r5)         ; arr[i+1]
+    cmpult r11, r7, r12      ; arr[i+1] < arr[i] -> broken
+    beq   r12, verify_loop
+    lda   r14, 0(zero)
+    br    verify_loop
+verify_done:
+    stq   r14, sorted_ok
+    xor   r15, r14, r15
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r15, checksum
+    ldq   r10, expect
+    cmpeq r15, r10, r11
+    stq   r11, status
+    halt

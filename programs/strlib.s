@@ -1,0 +1,124 @@
+; strlib.s -- byte-granularity string/memory library routines.
+;
+; The classic trio -- strlen, memcpy, memset -- implemented as leaf
+; subroutines (jsr/ret, args in r1-r3, results in r4) and exercised
+; over a small message buffer.  Byte loads/stores throughout, so this
+; workload leans on sub-word memory paths that the synthetic
+; benchmarks mostly avoid.  `progress` counts completed phases.
+
+.data
+progress:   .quad 0          ; completed library calls (watch target)
+message:    .byte 84, 104, 101, 32, 113, 117, 105, 99, 107, 32
+            .byte 98, 114, 111, 119, 110, 32, 102, 111, 120, 32
+            .byte 106, 117, 109, 112, 115, 32, 111, 118, 101, 114
+            .byte 32, 116, 104, 101, 32, 108, 97, 122, 121, 32
+            .byte 100, 111, 103, 0
+length:     .quad 0
+copybuf:    .space 64
+padbuf:     .space 32
+checksum:   .quad 0
+expect:     .quad 0xede388efe3d0bc24
+status:     .quad 0
+
+.text
+main:
+    ; length = strlen(message)
+    lda   r1, message
+    jsr   ra, strlen
+    stq   r4, length
+    mov   r4, r20            ; keep the length around
+    ldq   r5, progress
+    addq  r5, 1, r5
+    stq   r5, progress
+
+    ; memcpy(copybuf, message, length + 1)  -- include the NUL
+    lda   r1, copybuf
+    lda   r2, message
+    addq  r20, 1, r3
+    jsr   ra, memcpy
+    ldq   r5, progress
+    addq  r5, 1, r5
+    stq   r5, progress
+
+    ; memset(padbuf, 42, 32)
+    lda   r1, padbuf
+    lda   r2, 42(zero)
+    lda   r3, 32(zero)
+    jsr   ra, memset
+    ldq   r5, progress
+    addq  r5, 1, r5
+    stq   r5, progress
+
+    ; checksum: rotate-xor of every byte of copybuf[0..len] and padbuf
+    lda   r6, 0(zero)        ; accumulator
+    lda   r7, copybuf
+    addq  r20, 1, r8         ; bytes to fold
+    jsr   ra, foldbytes
+    lda   r7, padbuf
+    lda   r8, 32(zero)
+    jsr   ra, foldbytes
+    xor   r6, r20, r6        ; fold the measured length in too
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r6, checksum
+    ldq   r10, expect
+    cmpeq r6, r10, r11
+    stq   r11, status
+    halt
+
+; r4 = strlen(r1)
+strlen:
+    lda   r4, 0(zero)
+strlen_loop:
+    addq  r1, r4, r9
+    ldb   r10, 0(r9)
+    beq   r10, strlen_done
+    addq  r4, 1, r4
+    br    strlen_loop
+strlen_done:
+    ret   (ra)
+
+; memcpy(dst=r1, src=r2, n=r3); byte loop
+memcpy:
+    lda   r4, 0(zero)
+memcpy_loop:
+    cmpult r4, r3, r9
+    beq   r9, memcpy_done
+    addq  r2, r4, r10
+    ldb   r11, 0(r10)
+    addq  r1, r4, r10
+    stb   r11, 0(r10)
+    addq  r4, 1, r4
+    br    memcpy_loop
+memcpy_done:
+    ret   (ra)
+
+; memset(dst=r1, byte=r2, n=r3)
+memset:
+    lda   r4, 0(zero)
+memset_loop:
+    cmpult r4, r3, r9
+    beq   r9, memset_done
+    addq  r1, r4, r10
+    stb   r2, 0(r10)
+    addq  r4, 1, r4
+    br    memset_loop
+memset_done:
+    ret   (ra)
+
+; r6 = fold(r6, bytes r7[0..r8))  -- rotate-xor accumulate
+foldbytes:
+    lda   r9, 0(zero)
+foldbytes_loop:
+    cmpult r9, r8, r10
+    beq   r10, foldbytes_done
+    addq  r7, r9, r11
+    ldb   r12, 0(r11)
+    sll   r6, 5, r13
+    srl   r6, 59, r14
+    bis   r13, r14, r6
+    xor   r6, r12, r6
+    addq  r9, 1, r9
+    br    foldbytes_loop
+foldbytes_done:
+    ret   (ra)

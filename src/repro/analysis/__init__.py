@@ -1,18 +1,24 @@
 """Result analysis and presentation.
 
 * :mod:`repro.analysis.textchart` -- log-scale text bar charts of
-  figure results (the paper plots Figures 3/4/6 on log axes).
-* :mod:`repro.analysis.summary` -- geometric means and per-backend
-  aggregation of experiment grids.
+  figure results (the paper plots Figures 3/4/6 on log axes) and
+  text histograms of overhead distributions.
+* :mod:`repro.analysis.summary` -- geometric means, percentiles and
+  per-backend aggregation of experiment grids and corpus sweeps.
 """
 
-from repro.analysis.textchart import render_chart
-from repro.analysis.summary import (backend_geomeans, geomean,
-                                    summarize_figure)
+from repro.analysis.textchart import render_chart, render_histogram
+from repro.analysis.summary import (OverheadDistribution, backend_geomeans,
+                                    geomean, overhead_distributions,
+                                    percentile, summarize_figure)
 
 __all__ = [
     "render_chart",
+    "render_histogram",
     "geomean",
+    "percentile",
     "backend_geomeans",
+    "OverheadDistribution",
+    "overhead_distributions",
     "summarize_figure",
 ]

@@ -24,6 +24,26 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches ``numpy.percentile``'s default ("linear") method; raises on
+    empty input or ``q`` outside [0, 100].
+    """
+    values = sorted(values)
+    if not values:
+        raise ValueError("percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q={q} outside [0, 100]")
+    position = (len(values) - 1) * q / 100.0
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return values[lower]
+    weight = position - lower
+    return values[lower] * (1 - weight) + values[upper] * weight
+
+
 @dataclass(frozen=True)
 class BackendSummary:
     """Aggregate view of one backend across a grid."""
@@ -66,6 +86,67 @@ def backend_geomeans(result: FigureResult) -> dict[str, BackendSummary]:
             spurious_transitions=sum(c.spurious_transitions for c in cells),
         )
     return summaries
+
+
+@dataclass(frozen=True)
+class OverheadDistribution:
+    """The distribution of one backend's overheads across a corpus.
+
+    A single geomean hides the tail; a corpus sweep is exactly the
+    setting where the tail matters (one pathological workload per
+    backend is a finding, not noise), so the distribution summary
+    leads with median/p95/p99.
+    """
+
+    backend: str
+    count: int
+    unsupported: int
+    median: float
+    p95: float
+    p99: float
+    geomean_overhead: float
+    min_overhead: float
+    max_overhead: float
+
+    def describe(self) -> str:
+        """One-line text rendering of the distribution."""
+        return (f"{self.backend:16s} median {self.median:12,.2f}x"
+                f"  p95 {self.p95:12,.2f}x  p99 {self.p99:12,.2f}x"
+                f"  range [{self.min_overhead:,.2f}, "
+                f"{self.max_overhead:,.2f}]  n={self.count}"
+                + (f"  ({self.unsupported} unsupported)"
+                   if self.unsupported else ""))
+
+
+def overhead_distributions(cells) -> dict[str, OverheadDistribution]:
+    """Per-backend overhead distributions over a corpus sweep.
+
+    ``cells`` is a :class:`FigureResult` or any iterable of cells (the
+    unified ``RunResult`` shape: ``backend`` and ``overhead``
+    attributes).  Backends with no supported cells are omitted.
+    """
+    if isinstance(cells, FigureResult):
+        cells = cells.cells
+    by_backend: dict[str, list] = {}
+    for cell in cells:
+        by_backend.setdefault(cell.backend, []).append(cell)
+    distributions = {}
+    for backend, group in by_backend.items():
+        supported = [c.overhead for c in group if c.overhead is not None]
+        if not supported:
+            continue
+        distributions[backend] = OverheadDistribution(
+            backend=backend,
+            count=len(group),
+            unsupported=sum(1 for c in group if c.overhead is None),
+            median=percentile(supported, 50),
+            p95=percentile(supported, 95),
+            p99=percentile(supported, 99),
+            geomean_overhead=geomean(supported),
+            min_overhead=min(supported),
+            max_overhead=max(supported),
+        )
+    return distributions
 
 
 def summarize_figure(result: FigureResult,

@@ -35,6 +35,48 @@ def _bar(overhead: Optional[float], max_overhead: float) -> str:
     return _FILL * filled + " " + label
 
 
+def render_histogram(values, *, bins: int = 10, width: int = _BAR_WIDTH,
+                     title: Optional[str] = None) -> str:
+    """Render a histogram of ``values`` as text bars.
+
+    Overhead factors from a corpus sweep span orders of magnitude, so
+    when the data does (max/min > 10) the bin edges are log-spaced and
+    labelled accordingly; tight distributions get linear bins.  Bars
+    scale linearly with bin count; the fullest bin fills ``width``.
+    """
+    values = sorted(values)
+    if not values:
+        return f"{title or 'histogram'}: no values"
+    lo, hi = values[0], values[-1]
+    lines = [title] if title else []
+    if lo == hi:
+        lines.append(f"  [{lo:,.2f}] {_FILL * width} {len(values)}")
+        return "\n".join(lines)
+    logarithmic = lo > 0 and hi / lo > 10
+    if logarithmic:
+        lg_lo, lg_hi = math.log10(lo), math.log10(hi)
+        edges = [10 ** (lg_lo + (lg_hi - lg_lo) * i / bins)
+                 for i in range(bins + 1)]
+    else:
+        edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+    edges[-1] = hi  # float round-off must not orphan the max value
+    counts = [0] * bins
+    index = 0
+    for value in values:
+        while index < bins - 1 and value > edges[index + 1]:
+            index += 1
+        counts[index] += 1
+    fullest = max(counts)
+    scale_note = "log-spaced bins" if logarithmic else "linear bins"
+    lines.append(f"  ({len(values)} values, {scale_note})")
+    for i, count in enumerate(counts):
+        label = f"[{edges[i]:>10,.2f}, {edges[i + 1]:>10,.2f}]"
+        bar = _FILL * int(round(width * count / fullest))
+        lines.append(f"  {label} {bar}{' ' if bar else ''}{count}"
+                     if count else f"  {label}")
+    return "\n".join(lines)
+
+
 def render_chart(result: FigureResult,
                  max_overhead: Optional[float] = None) -> str:
     """Render ``result`` as grouped log-scale text bars."""

@@ -166,6 +166,9 @@ def experiment(*,
                backends: Sequence[str] = COMPARED_BACKENDS,
                conditional: bool = False,
                specs: Optional[Sequence[CellSpec]] = None,
+               corpus=None,
+               corpus_size: int = 32,
+               corpus_seed: int = 0,
                settings: Optional[ExperimentSettings] = None,
                scale: Optional[float] = None,
                workers: int = 0,
@@ -176,14 +179,31 @@ def experiment(*,
 
     By default the grid is the cross product ``benchmarks x kinds x
     backends`` (pass ``specs`` for an explicit cell list instead).
-    ``workers`` selects parallelism (0 = serial in-process), ``cache``
-    overrides the default on-disk result cache, and ``progress``
-    streams a telemetry line to stderr; pass a pre-built ``runner`` to
-    control everything at once.  The returned
+    ``corpus`` sweeps a program corpus as the workload axis instead:
+    anything :func:`~repro.workloads.corpus.resolve_corpus` accepts —
+    a named corpus (``"programs"``, ``"benchmarks"``, ``"generated"``,
+    ``"full"``), a :class:`~repro.workloads.corpus.Corpus`, a single
+    entry or workload name, or an iterable of them; ``corpus_size``
+    and ``corpus_seed`` parameterize the generated leg.  Each entry
+    runs on every backend with a watchpoint on its default target, and
+    whole-program entries carry their own instruction budgets into the
+    cell identity.  ``workers`` selects parallelism (0 = serial
+    in-process), ``cache`` overrides the default on-disk result cache,
+    and ``progress`` streams a telemetry line to stderr; pass a
+    pre-built ``runner`` to control everything at once.  The returned
     :class:`~repro.harness.figures.FigureResult` carries the engine's
     :class:`~repro.harness.runner.RunReport` as ``.report``.
     """
-    if specs is None:
+    description = None
+    if specs is None and corpus is not None:
+        from repro.workloads.corpus import corpus_specs, resolve_corpus
+
+        resolved = resolve_corpus(corpus, size=corpus_size,
+                                  seed=corpus_seed)
+        specs = corpus_specs(resolved, backends)
+        description = (f"{len(specs)}-cell sweep over corpus "
+                       f"'{resolved.name}' ({len(resolved)} workloads)")
+    elif specs is None:
         specs = [
             CellSpec.make(bench, kind, backend, conditional=conditional)
             for bench in benchmarks
@@ -196,5 +216,6 @@ def experiment(*,
                               progress=progress)
     return run_figure(
         "experiment",
-        f"{len(specs)}-cell grid via the parallel experiment engine",
+        description
+        or f"{len(specs)}-cell grid via the parallel experiment engine",
         specs, settings, runner=runner)

@@ -5,7 +5,14 @@ Regenerates any table or figure of the paper::
     dise-repro table1
     dise-repro fig3 --scale 2.0
     dise-repro fig3 --workers 4 --progress     # parallel engine
+    dise-repro corpus --corpus full --corpus-size 200
     dise-repro all
+
+The ``corpus`` target sweeps a program corpus (``--corpus``: the
+``programs/*.s`` workloads, the named benchmarks, fuzz-generated
+programs, or all three) across every debugger backend and prints the
+per-backend overhead *distribution* — median/p95/p99 plus a histogram
+— instead of a per-cell grid.
 
 ``--scale`` multiplies the per-cell instruction budgets (default taken
 from the ``REPRO_SCALE`` environment variable, default 1.0).
@@ -48,7 +55,7 @@ _FIGURES = {
     "fig9": figure9,
 }
 
-_TARGETS = ("table1", "table2", *_FIGURES, "headline", "all")
+_TARGETS = ("table1", "table2", *_FIGURES, "headline", "corpus", "all")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -88,6 +95,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="resume cells from a shared post-warm-up "
                              "checkpoint instead of re-simulating each "
                              "cell's warm-up prefix")
+    parser.add_argument("--corpus", default="programs",
+                        help="corpus for the 'corpus' target: programs, "
+                             "benchmarks, generated, full, a workload "
+                             "name, or a .s path (default: programs)")
+    parser.add_argument("--corpus-size", type=int, default=32,
+                        help="generated-corpus entry count "
+                             "(corpus target, default 32)")
+    parser.add_argument("--corpus-seed", type=int, default=0,
+                        help="first seed of the generated corpus "
+                             "(corpus target, default 0)")
     args = parser.parse_args(argv)
     settings = ExperimentSettings.scaled(args.scale,
                                          warm_start=args.warm_start)
@@ -114,7 +131,9 @@ def main(argv: list[str] | None = None) -> int:
                         progress=args.progress)
         _run_target(target, settings, runner, chart=args.chart,
                     summary=args.summary, benchmarks=args.benchmarks,
-                    kinds=args.kinds)
+                    kinds=args.kinds, corpus=args.corpus,
+                    corpus_size=args.corpus_size,
+                    corpus_seed=args.corpus_seed)
         if runner.last_report is not None:
             print(f"[{target}] {runner.last_report.summary()}",
                   file=sys.stderr)
@@ -130,7 +149,19 @@ def main(argv: list[str] | None = None) -> int:
 def _run_target(target: str, settings: ExperimentSettings, runner: Runner,
                 chart: bool = False, summary: bool = False,
                 benchmarks: str | None = None,
-                kinds: str | None = None) -> None:
+                kinds: str | None = None,
+                corpus: str = "programs",
+                corpus_size: int = 32,
+                corpus_seed: int = 0) -> None:
+    if target == "corpus":
+        from repro.api import experiment
+        from repro.harness.report import render_distribution
+
+        result = experiment(corpus=corpus, corpus_size=corpus_size,
+                            corpus_seed=corpus_seed, settings=settings,
+                            runner=runner)
+        print(render_distribution(result))
+        return
     if target in ("table1", "table2"):
         rows = table1(settings)
         print(format_table1(rows) if target == "table1"

@@ -36,8 +36,19 @@ from repro.errors import UnsupportedWatchpointError
 from repro.harness.cache import (ResultCache, WarmCheckpointCache,
                                  default_cache, default_warm_cache)
 from repro.results import RunResult
-from repro.workloads.benchmarks import (build_benchmark, watch_expression,
+from repro.workloads.benchmarks import (watch_expression,
                                         never_true_condition)
+
+
+def _build_workload(name: str):
+    """Resolve any workload name (benchmark, ``gen:<seed>``, ``.s``).
+
+    Imported lazily: ``repro.workloads.corpus`` pulls in the fuzz
+    package, whose campaign module imports the harness back.
+    """
+    from repro.workloads.corpus import build_workload
+
+    return build_workload(name)
 
 # Compatibility alias: the unified result type plays the former Cell's
 # role (same leading field order, same attributes).
@@ -84,6 +95,17 @@ class CellSpec:
     result (the figures use it to distinguish strategy variants of the
     same backend); ``options`` holds the backend keyword options as a
     sorted tuple of pairs so the spec stays hashable.
+
+    ``benchmark`` is any workload name :func:`~repro.workloads.corpus.
+    build_workload` accepts — a named benchmark, a promoted fuzz spec
+    (``gen:<seed>``) or a corpus ``.s`` file.  ``workload_digest``
+    carries the workload's content digest into the cache key, so
+    editing one ``.s`` source invalidates exactly that entry's cells.
+    ``settings_override`` pins instruction budgets *per cell* (corpus
+    entries run whole programs, so warm-up/measure budgets are an
+    entry property, not a sweep property); it folds into the cache key
+    through :meth:`effective_settings`, which every execution and
+    caching path applies.
     """
 
     benchmark: str
@@ -94,6 +116,8 @@ class CellSpec:
     label: Optional[str] = None
     config: Optional[MachineConfig] = None
     options: tuple[tuple[str, Any], ...] = ()
+    workload_digest: Optional[str] = None
+    settings_override: Optional["ExperimentSettings"] = None
 
     @classmethod
     def make(cls, benchmark: str, kind: str, backend: str, *,
@@ -102,6 +126,8 @@ class CellSpec:
              label: Optional[str] = None,
              config: Optional[MachineConfig] = None,
              interpreter: Optional[str] = None,
+             workload_digest: Optional[str] = None,
+             settings_override: Optional["ExperimentSettings"] = None,
              **options) -> "CellSpec":
         """Build a spec from :func:`run_cell`-style arguments.
 
@@ -125,11 +151,29 @@ class CellSpec:
             label=label,
             config=config,
             options=tuple(sorted(options.items())),
+            workload_digest=workload_digest,
+            settings_override=settings_override,
         )
 
-    def cache_payload(self, settings: "ExperimentSettings") -> dict:
+    def effective_settings(
+            self, settings: Optional["ExperimentSettings"] = None,
+    ) -> "ExperimentSettings":
+        """The budgets this cell actually runs with.
+
+        A spec-level ``settings_override`` wins over the sweep-level
+        ``settings``; with neither, the scaled defaults apply.  Every
+        path — cache key, in-process execution, worker execution —
+        resolves budgets through here, which is why the parallel
+        runner needs no per-spec settings plumbing.
+        """
+        if self.settings_override is not None:
+            return self.settings_override
+        return settings or ExperimentSettings.scaled()
+
+    def cache_payload(self,
+                      settings: Optional["ExperimentSettings"]) -> dict:
         """The JSON-able identity hashed into the cache key."""
-        return {
+        payload = {
             "benchmark": self.benchmark,
             "kind": self.kind,
             "backend": self.backend,
@@ -140,8 +184,13 @@ class CellSpec:
             "label": self.label,
             "config": asdict(self.config) if self.config else None,
             "options": [list(pair) for pair in self.options],
-            "settings": asdict(settings),
+            "settings": asdict(self.effective_settings(settings)),
         }
+        # Only corpus-addressed cells carry a digest; omitting the key
+        # otherwise keeps every pre-existing cache entry addressable.
+        if self.workload_digest is not None:
+            payload["workload_digest"] = self.workload_digest
+        return payload
 
 
 _BASELINE_CACHE: dict[tuple, MachineRun] = {}
@@ -207,7 +256,7 @@ def warm_checkpoint(benchmark: str,
         if blob is not None:
             _WARM_CACHE[mem_key] = blob
             return blob
-    machine = Machine(build_benchmark(benchmark), config,
+    machine = Machine(_build_workload(benchmark), config,
                       detailed_timing=detailed_timing)
     machine.run(settings.warmup_instructions)
     blob = machine.snapshot()
@@ -262,7 +311,7 @@ def run_baseline(benchmark: str,
             result = MachineRun(stats=stored.stats, halted=stored.halted)
             _BASELINE_CACHE[key] = result
             return result
-    machine = Machine(build_benchmark(benchmark), config)
+    machine = Machine(_build_workload(benchmark), config)
     machine.run(settings.warmup_instructions)
     machine.reset_stats()
     result = machine.run(settings.measure_instructions)
@@ -277,13 +326,13 @@ def run_baseline(benchmark: str,
 def execute_spec(spec: CellSpec,
                  settings: Optional[ExperimentSettings] = None) -> RunResult:
     """Run one cell in-process, bypassing the on-disk cache."""
-    settings = settings or ExperimentSettings.scaled()
+    settings = spec.effective_settings(settings)
     started = time.perf_counter()
     warm_blob = _warm_checkpoint_for(spec, settings)
     options = dict(spec.options)
     if warm_blob is not None:
         options["warm_checkpoint"] = warm_blob
-    session = Session(build_benchmark(spec.benchmark), backend=spec.backend,
+    session = Session(_build_workload(spec.benchmark), backend=spec.backend,
                       config=spec.config, **options)
     try:
         if spec.watch_expressions is None:
@@ -329,7 +378,7 @@ def run_spec(spec: CellSpec,
              settings: Optional[ExperimentSettings] = None, *,
              cache: Optional[ResultCache] = None) -> RunResult:
     """Run one cell, consulting (and filling) the on-disk cache."""
-    settings = settings or ExperimentSettings.scaled()
+    settings = spec.effective_settings(settings)
     cache = default_cache() if cache is None else cache
     key = cache.key_for(spec.cache_payload(settings)) if cache.enabled \
         else None

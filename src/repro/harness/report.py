@@ -34,6 +34,30 @@ def render_report(report: RunReport) -> str:
     return f"[engine] {report.summary()}"
 
 
+def render_distribution(result: FigureResult, *, bins: int = 10) -> str:
+    """Distributional overhead report for a corpus sweep.
+
+    Per backend: median/p95/p99/range one-liner plus a histogram of
+    the overhead factors (log-spaced bins when the spread warrants).
+    """
+    from repro.analysis.summary import overhead_distributions
+    from repro.analysis.textchart import render_histogram
+
+    distributions = overhead_distributions(result)
+    if not distributions:
+        return f"{result.name}: no supported cells"
+    lines = [f"{result.name}: {result.description}",
+             "overhead distribution per backend:"]
+    for backend, dist in distributions.items():
+        lines.append("  " + dist.describe())
+    for backend, dist in distributions.items():
+        overheads = [c.overhead for c in result.cells
+                     if c.backend == backend and c.overhead is not None]
+        lines.append(render_histogram(overheads, bins=bins,
+                                      title=f"{backend} overhead factors"))
+    return "\n".join(lines)
+
+
 def headline_summary(fig3: FigureResult) -> str:
     """The paper's abstract claims, checked against measured data.
 

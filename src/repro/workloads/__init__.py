@@ -1,4 +1,4 @@
-"""Synthetic workloads standing in for the paper's SPEC2000 functions.
+"""Workloads: synthetic benchmarks and the real-program corpus.
 
 * :mod:`repro.workloads.profiles` -- per-benchmark statistical profiles
   (store density, IPC class, code footprint, watchpoint write
@@ -10,6 +10,12 @@
   ``range_arr``).
 * :mod:`repro.workloads.benchmarks` -- the six named benchmarks and the
   standard watchpoint expressions.
+* :mod:`repro.workloads.corpus` -- the unified program corpus: on-disk
+  ``programs/*.s`` workloads, the named benchmarks and promoted fuzz
+  specs behind one :class:`~repro.workloads.corpus.CorpusEntry`
+  interface, threaded into the harness as experiment cells.
+* :mod:`repro.workloads.conformance` -- the corpus conformance suite
+  (every entry, every interpreter tier, every debugger backend).
 """
 
 from repro.workloads.profiles import (BenchmarkProfile, WatchTargetProfile,
@@ -19,6 +25,15 @@ from repro.workloads.benchmarks import (BENCHMARK_NAMES, WATCHPOINT_KINDS,
                                         build_benchmark, resolve_program,
                                         watch_expression,
                                         never_true_condition)
+from repro.workloads.corpus import (CORPUS_NAMES, Corpus, CorpusEntry,
+                                    WorkloadError, benchmark_corpus,
+                                    build_workload, corpus_specs, entry_for,
+                                    full_corpus, generated_corpus,
+                                    load_program_file, programs_corpus,
+                                    programs_dir, promote_spec,
+                                    resolve_corpus)
+from repro.workloads.conformance import (ConformanceReport, check_corpus,
+                                         check_entry)
 
 __all__ = [
     "BenchmarkProfile",
@@ -33,4 +48,22 @@ __all__ = [
     "resolve_program",
     "watch_expression",
     "never_true_condition",
+    "CORPUS_NAMES",
+    "Corpus",
+    "CorpusEntry",
+    "WorkloadError",
+    "benchmark_corpus",
+    "build_workload",
+    "corpus_specs",
+    "entry_for",
+    "full_corpus",
+    "generated_corpus",
+    "load_program_file",
+    "programs_corpus",
+    "programs_dir",
+    "promote_spec",
+    "resolve_corpus",
+    "ConformanceReport",
+    "check_corpus",
+    "check_entry",
 ]

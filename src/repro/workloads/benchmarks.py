@@ -43,17 +43,28 @@ def build_benchmark(name: str) -> Program:
 
 
 def resolve_program(program) -> tuple[Program, str]:
-    """Accept a :class:`Program` or a benchmark name; return both.
+    """Accept any program source; return ``(program, name)``.
 
-    The :mod:`repro.api` entry points take either form; a string is
-    built via :func:`build_benchmark` (a fresh, private instance).
+    The :mod:`repro.api` entry points take every form the corpus
+    unifies: a :class:`Program` instance, a benchmark name, a promoted
+    fuzz spec (``gen:<seed>``), a ``.s`` file path (or corpus workload
+    stem), or a :class:`~repro.workloads.corpus.CorpusEntry`.  Strings
+    build a fresh, private instance via
+    :func:`~repro.workloads.corpus.build_workload`.
     """
+    # Lazy: the corpus module pulls in the fuzz generator.
+    from repro.workloads.corpus import CorpusEntry, build_workload
+
     if isinstance(program, Program):
         return program, program.name
+    if isinstance(program, CorpusEntry):
+        return program.build(), program.name
     if isinstance(program, str):
-        return build_benchmark(program), program
+        return build_workload(program), program
     raise WorkloadError(
-        f"expected a Program or a benchmark name, got {type(program).__name__}")
+        f"expected a Program, a CorpusEntry, or a workload name "
+        f"(benchmark, 'gen:<seed>', or .s path), "
+        f"got {type(program).__name__}")
 
 
 @lru_cache(maxsize=None)

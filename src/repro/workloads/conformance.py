@@ -1,0 +1,227 @@
+"""Corpus conformance: every workload, every tier, every backend.
+
+A corpus entry *conforms* when it is observationally identical across
+the full execution matrix — the three interpreter tiers (table, legacy,
+compiled) undebugged, and each of the five debugger backends on all
+three tiers with a watchpoint on the entry's default target:
+
+* interpreter choice must be invisible: per backend, the legacy and
+  compiled runs must match the table run in final architectural state,
+  canonical stop sequence, and full ``SimStats``;
+* debugging must not perturb the application: every debugged run must
+  reproduce the undebugged final state (compared registers, every data
+  word, the halt flag);
+* all backends must present the same user-visible stop sequence;
+* a self-checking workload (the ``programs/*.s`` convention) must halt
+  with ``status == 1`` — its own checksum verified — in every run.
+
+Stop sequences are compared only for workloads with
+instruction-granularity statement starts (the ``programs/*.s`` files
+and promoted fuzz specs): the synthetic benchmarks mark statements
+sparsely, so the single-step backend legitimately stops at coarser
+points than the trap-per-store mechanisms.  Benchmark entries instead
+run to a bounded budget and must agree on final state.
+
+The comparison machinery (canonical :class:`~repro.fuzz.oracle.Stop`
+records, recorder-shadowed watched values, register/state/stats
+diffing) is shared with the differential fuzz oracle — same rules, a
+different program source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.config import MachineConfig
+from repro.cpu.machine import Machine
+from repro.debugger.backends import backend_class
+from repro.debugger.watchpoint import Watchpoint
+# Shared with the fuzz oracle by design: conformance applies the exact
+# comparison rules of the differential matrix to corpus workloads.
+from repro.fuzz.oracle import (BACKENDS, COMPARE_REGS, INTERPRETERS,
+                               Divergence, RunOutcome, StopRecorder,
+                               _compare, _interp_config)
+from repro.isa.program import Program
+from repro.workloads.corpus import Corpus, CorpusEntry, entry_for
+
+QUAD = 8
+
+
+@dataclass
+class ConformanceReport:
+    """Everything :func:`check_entry` observed for one corpus entry."""
+
+    workload: str
+    divergences: list[Divergence] = field(default_factory=list)
+    runs: int = 0
+    stop_count: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        """Multi-line text rendering used by tests and the smoke job."""
+        if self.ok:
+            return (f"{self.workload}: OK ({self.runs} runs, "
+                    f"{self.stop_count} stops)")
+        lines = [f"{self.workload}: {len(self.divergences)} divergence(s) "
+                 f"over {self.runs} runs"]
+        lines += ["  " + d.describe() for d in self.divergences]
+        return "\n".join(lines)
+
+
+def _data_symbols(program: Program) -> tuple[str, ...]:
+    """Names of the data words every run of the entry must agree on."""
+    return tuple(sorted(symbol.name for symbol in program.symbols.values()
+                        if symbol.kind == "data"))
+
+
+def _named_state(program: Program, symbols: Sequence[str],
+                 memory) -> tuple[tuple[str, int], ...]:
+    """Read every named data word (quadword granularity) from memory.
+
+    Addresses come from the *original* program image: data addresses
+    are identical across backends because transforms only append.
+    """
+    out = []
+    for name in symbols:
+        symbol = program.symbol(name)
+        words = max(1, symbol.size // QUAD)
+        for i in range(words):
+            label = name if words == 1 else f"{name}+{i * QUAD}"
+            out.append((label,
+                        memory.read_int(symbol.address + i * QUAD, QUAD)))
+    return tuple(out)
+
+
+def _run_undebugged(entry: CorpusEntry, symbols: Sequence[str], interp: str,
+                    config: Optional[MachineConfig]) -> RunOutcome:
+    name = f"undebugged/{interp}"
+    try:
+        program = entry.build()
+        machine = Machine(program, _interp_config(config, interp),
+                          detailed_timing=False)
+        run = machine.run(entry.run_budget())
+        return RunOutcome(
+            name=name, halted=run.halted,
+            regs=tuple(machine.regs[r] for r in COMPARE_REGS),
+            state=_named_state(program, symbols, machine.memory),
+            stats=run.stats.to_dict())
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return RunOutcome(name=name, error=f"{type(exc).__name__}: {exc}")
+
+
+def _run_debugged(entry: CorpusEntry, symbols: Sequence[str],
+                  backend_name: str, interp: str,
+                  config: Optional[MachineConfig]) -> RunOutcome:
+    name = f"{backend_name}/{interp}"
+    try:
+        program = entry.build()
+        watchpoints = [Watchpoint.parse(entry.watch, None, 1)]
+        backend = backend_class(backend_name)(
+            program, watchpoints, [], _interp_config(config, interp),
+            detailed_timing=False)
+        recorder = StopRecorder(backend)
+        run = backend.run(entry.run_budget())
+        return RunOutcome(
+            name=name, halted=run.halted, stops=tuple(recorder.stops),
+            regs=tuple(backend.machine.regs[r] for r in COMPARE_REGS),
+            state=_named_state(program, symbols, backend.machine.memory),
+            stats=run.stats.to_dict())
+    except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+        return RunOutcome(name=name, error=f"{type(exc).__name__}: {exc}")
+
+
+def _check_self(report: ConformanceReport, entry: CorpusEntry,
+                outcome: RunOutcome) -> None:
+    """A self-checking workload must have verified its own checksum."""
+    if not entry.self_checking or outcome.error or not outcome.halted:
+        return
+    state = dict(outcome.state)
+    if state.get("status") != 1:
+        report.divergences.append(Divergence(
+            "state", (outcome.name, outcome.name),
+            f"self-check failed: status={state.get('status')!r}, "
+            f"checksum={state.get('checksum', 0):#x} != "
+            f"expect={state.get('expect', 0):#x}"))
+
+
+def check_entry(entry: Union[CorpusEntry, str], *,
+                backends: Sequence[str] = BACKENDS,
+                interpreters: Sequence[str] = INTERPRETERS,
+                config: Optional[MachineConfig] = None) -> ConformanceReport:
+    """Run one corpus entry over the tier x backend matrix and compare.
+
+    The first interpreter listed is the reference tier.  Returns a
+    :class:`ConformanceReport`; ``report.ok`` is the verdict.
+    """
+    if isinstance(entry, str):
+        entry = entry_for(entry)
+    report = ConformanceReport(workload=entry.name)
+    symbols = _data_symbols(entry.build())
+    compare_stops = entry.source != "benchmark"
+    interpreters = tuple(interpreters)
+
+    reference = _run_undebugged(entry, symbols, interpreters[0], config)
+    report.runs += 1
+    if reference.error:
+        report.divergences.append(Divergence(
+            "error", (reference.name, reference.name), reference.error))
+        return report
+    if entry.budget > 0 and not reference.halted:
+        report.divergences.append(Divergence(
+            "termination", (reference.name, reference.name),
+            "undebugged run did not halt within the entry budget"))
+        return report
+    _check_self(report, entry, reference)
+    for interp in interpreters[1:]:
+        other = _run_undebugged(entry, symbols, interp, config)
+        report.runs += 1
+        _compare(report, reference, other, stats=True, stops=False)
+
+    debugged_reference: Optional[RunOutcome] = None
+    for backend_name in backends:
+        table = _run_debugged(entry, symbols, backend_name, interpreters[0],
+                              config)
+        report.runs += 1
+        # Interpreter choice must be invisible per backend.
+        for interp in interpreters[1:]:
+            other = _run_debugged(entry, symbols, backend_name, interp,
+                                  config)
+            report.runs += 1
+            _compare(report, table, other, stats=True, stops=compare_stops)
+        if table.error:
+            report.divergences.append(Divergence(
+                "error", (table.name, table.name), table.error))
+            continue
+        if entry.budget > 0 and not table.halted:
+            report.divergences.append(Divergence(
+                "termination", (table.name, table.name),
+                "debugged run did not halt within the entry budget"))
+        _check_self(report, entry, table)
+        # Debugging must not perturb the application's final state.
+        _compare(report, reference, table, stats=False, stops=False)
+        # All backends must present the same user-visible stop sequence.
+        if debugged_reference is None:
+            debugged_reference = table
+            report.stop_count = len(table.stops)
+        else:
+            _compare(report, debugged_reference, table, stats=False,
+                     stops=compare_stops)
+    return report
+
+
+def check_corpus(corpus, *,
+                 backends: Sequence[str] = BACKENDS,
+                 interpreters: Sequence[str] = INTERPRETERS,
+                 config: Optional[MachineConfig] = None
+                 ) -> list[ConformanceReport]:
+    """:func:`check_entry` for every entry of ``corpus``, in order."""
+    from repro.workloads.corpus import resolve_corpus
+
+    resolved: Corpus = resolve_corpus(corpus)
+    return [check_entry(entry, backends=backends,
+                        interpreters=interpreters, config=config)
+            for entry in resolved.entries]

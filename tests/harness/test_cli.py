@@ -36,6 +36,21 @@ def test_scale_flag_overrides_env(capsys, monkeypatch):
     assert "Table 2" in out
 
 
+def test_corpus_target(capsys):
+    assert cli.main(["corpus", "--corpus", "fib"]) == 0
+    out = capsys.readouterr().out
+    assert "overhead distribution per backend" in out
+    assert "median" in out and "p95" in out
+    assert "overhead factors" in out  # histogram section
+
+
+def test_corpus_target_generated(capsys):
+    assert cli.main(["corpus", "--corpus", "generated",
+                     "--corpus-size", "2", "--corpus-seed", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "2 workloads" in out
+
+
 def test_unknown_target_rejected():
     with pytest.raises(SystemExit):
         cli.main(["fig99"])

@@ -1,0 +1,165 @@
+"""Assembler hardening: properties, layout boundaries, error paths.
+
+The corpus makes the assembler a load-bearing input path (every
+``programs/*.s`` workload goes through it), so this file probes the
+edges the basic parsing tests do not: randomized data layouts and
+displacement values (hypothesis), ``.space``/``.align`` boundary
+behaviour, and every ``AssemblyError`` diagnostic a malformed source
+can hit, including the reported line number.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble, parse_instruction
+from repro.isa.program import DATA_BASE
+
+
+# -- properties -----------------------------------------------------------------
+
+@given(disp=st.integers(min_value=-32768, max_value=32767),
+       base=st.integers(min_value=0, max_value=31))
+@settings(max_examples=60)
+def test_memory_displacement_roundtrip(disp, base):
+    """Any 16-bit displacement (negative included) parses exactly."""
+    inst = parse_instruction(f"ldq r1, {disp}(r{base})")
+    assert inst.imm == disp
+    assert inst.rs1 == base
+
+
+@given(values=st.lists(st.integers(min_value=-(2 ** 63),
+                                   max_value=2 ** 64 - 1),
+                       min_size=1, max_size=8))
+@settings(max_examples=40)
+def test_quad_initializers_roundtrip(values):
+    """``.quad`` initializer bytes are the little-endian 64-bit values."""
+    program = assemble(".data\nblob: .quad " +
+                       ", ".join(str(v) for v in values) +
+                       "\n.text\nmain: halt\n")
+    item = next(i for i in program.data_items if i.name == "blob")
+    assert item.size == 8 * len(values)
+    for index, value in enumerate(values):
+        expected = (value & (2 ** 64 - 1)).to_bytes(8, "little")
+        assert item.init[8 * index:8 * index + 8] == expected
+
+
+@given(layout=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),   # .space bytes
+              st.sampled_from([1, 2, 4, 8, 16, 32])),   # .align
+    min_size=1, max_size=6))
+@settings(max_examples=40)
+def test_space_align_layout_invariants(layout):
+    """Random ``.space``/``.align`` blocks lay out aligned and disjoint.
+
+    Every symbol lands at or after ``DATA_BASE`` on its alignment, and
+    blocks never overlap: each symbol starts at or after the previous
+    block's end.
+    """
+    lines = [".data"]
+    for index, (space, align) in enumerate(layout):
+        lines.append(f"blk{index}: .align {align}")
+        lines.append(f"    .space {space}")
+    lines += [".text", "main: halt"]
+    program = assemble("\n".join(lines))
+    cursor = DATA_BASE
+    for index, (space, align) in enumerate(layout):
+        symbol = program.symbol(f"blk{index}")
+        assert symbol.address >= cursor
+        assert symbol.address % align == 0
+        # .space 0 still reserves one byte: symbols must stay distinct.
+        assert symbol.size == max(space, 1)
+        cursor = symbol.address + symbol.size
+
+
+# -- .space / .align boundaries -------------------------------------------------
+
+def test_space_zero_reserves_a_distinct_address():
+    program = assemble(".data\n"
+                       "a: .space 0\n"
+                       "b: .quad 7\n"
+                       ".text\nmain: halt\n")
+    a, b = program.symbol("a"), program.symbol("b")
+    assert a.size == 1
+    assert b.address >= a.address + 1
+
+
+def test_align_pads_to_boundary():
+    program = assemble(".data\n"
+                       "odd: .byte 1, 2, 3\n"
+                       "aligned: .align 16\n"
+                       "    .quad 42\n"
+                       ".text\nmain: halt\n")
+    assert program.symbol("aligned").address % 16 == 0
+    assert (program.symbol("aligned").address >=
+            program.symbol("odd").address + 3)
+
+
+def test_space_then_values_concatenate():
+    """A block may mix ``.space`` padding with initialized tails."""
+    program = assemble(".data\n"
+                       "mixed: .space 4\n"
+                       "    .byte 9\n"
+                       ".text\nmain: halt\n")
+    item = next(i for i in program.data_items if i.name == "mixed")
+    assert item.size == 5
+    assert item.init == bytes(4) + bytes([9])
+
+
+# -- error paths ----------------------------------------------------------------
+
+def _error(source):
+    with pytest.raises(AssemblyError) as excinfo:
+        assemble(source)
+    return str(excinfo.value)
+
+
+def test_duplicate_text_label():
+    message = _error(".text\nmain: halt\nmain: halt\n")
+    assert "duplicate label 'main'" in message
+    assert "line 3" in message
+
+
+def test_duplicate_data_label():
+    message = _error(".data\nx: .quad 1\nx: .quad 2\n.text\nmain: halt\n")
+    assert "duplicate data label 'x'" in message
+
+
+def test_unknown_directive():
+    assert "unknown directive '.bogus'" in _error(".bogus 12\n")
+
+
+def test_data_directive_outside_labelled_block():
+    assert "outside a labelled block" in _error(".data\n.quad 1\n")
+
+
+def test_instruction_in_data_section():
+    assert "instruction in .data section" in _error(
+        ".data\nx: .quad 1\naddq r1, r2, r3\n")
+
+
+def test_unknown_mnemonic():
+    message = _error(".text\nmain: frobnicate r1\n")
+    assert "unknown mnemonic 'frobnicate'" in message
+    assert "line 2" in message
+
+
+def test_operand_count_mismatch():
+    message = _error(".text\nmain: addq r1, r2\n")
+    assert "expected 3 operand(s), got 2" in message
+    assert "line 2" in message
+
+
+def test_bad_register_operand():
+    assert "bad operands for 'addq'" in _error(
+        ".text\nmain: addq r1, r2, r99\n")
+
+
+def test_bad_integer_directive_value():
+    with pytest.raises(AssemblyError):
+        assemble(".data\nx: .quad banana\n.text\nmain: halt\n")
+
+
+def test_unresolved_symbol_at_finalize():
+    message = _error(".text\nmain: ldq r1, nowhere\n")
+    assert "unresolved symbol 'nowhere'" in message

@@ -74,6 +74,20 @@ def test_experiment_explicit_specs(tmp_path):
     assert figure.cells[0].overhead is not None
 
 
+def test_experiment_corpus_sweep(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    figure = experiment(corpus=["fib", "gen:1"], backends=["dise"],
+                        cache=cache)
+    assert len(figure.cells) == 2
+    assert "corpus" in figure.description
+    assert {cell.benchmark for cell in figure.cells} == {"fib", "gen:1"}
+    assert all(cell.overhead is not None for cell in figure.cells)
+    # The sweep is content-addressed: an identical re-run is all-cache.
+    warm = experiment(corpus=["fib", "gen:1"], backends=["dise"],
+                      cache=cache)
+    assert warm.report is not None and warm.report.computed == 0
+
+
 def test_facade_reexported_from_package_root():
     assert repro.simulate is simulate
     assert repro.debug is debug

@@ -1,0 +1,98 @@
+"""Corpus conformance: the tier x backend matrix over every entry.
+
+Every corpus entry must run to the same final state on all three
+interpreter tiers and all five debugger backends, with identical stop
+sequences where statements are instruction-granular, and — for the
+self-checking ``programs/*.s`` workloads — verify its own checksum in
+every run.
+
+The shipped programs and two pinned fuzz seeds run in tier-1 (the whole
+sweep is a couple of seconds); the benchmarks and a wider generated
+sample are the ``slow`` leg.
+"""
+
+import pytest
+
+from repro.workloads.conformance import check_corpus, check_entry
+from repro.workloads.corpus import (benchmark_corpus, file_entry,
+                                    generated_corpus, programs_corpus)
+
+PROGRAM_NAMES = programs_corpus().names
+PINNED_GENERATED = ("gen:1", "gen:7")
+
+
+# -- tier-1: every shipped program, full matrix ---------------------------------
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_program_conforms(name):
+    report = check_entry(name)
+    assert report.ok, report.describe()
+    assert report.runs == 18  # 3 undebugged tiers + 5 backends x 3 tiers
+    # A watchpoint on `progress` must observe real change traffic.
+    assert report.stop_count > 0
+
+
+@pytest.mark.parametrize("name", PINNED_GENERATED)
+def test_pinned_generated_conforms(name):
+    report = check_entry(name)
+    assert report.ok, report.describe()
+    assert report.runs == 18
+
+
+def test_report_describe_lists_divergences(tmp_path):
+    # A workload whose baked-in `expect` is wrong fails its own
+    # checksum in every run: the self-check divergence names status
+    # and the mismatching values.
+    path = tmp_path / "broken.s"
+    path.write_text(
+        ".data\n"
+        "progress: .quad 0\n"
+        "checksum: .quad 0\n"
+        "expect:   .quad 999\n"
+        "status:   .quad 0\n"
+        ".text\n"
+        "main:\n"
+        "    lda   r1, 7(zero)\n"
+        "    stq   r1, progress\n"
+        "    stq   r1, checksum\n"
+        "    ldq   r10, expect\n"
+        "    cmpeq r1, r10, r11\n"
+        "    stq   r11, status\n"
+        "    halt\n")
+    entry = file_entry(path)
+    assert entry.self_checking
+    report = check_entry(entry)
+    assert not report.ok
+    text = report.describe()
+    assert "self-check failed" in text and "status=0" in text
+    # Fixing `expect` makes the same workload conform.
+    path.write_text(path.read_text().replace("999", "7"))
+    report = check_entry(file_entry(path))
+    assert report.ok, report.describe()
+
+
+def test_nonterminating_program_is_a_divergence(tmp_path):
+    path = tmp_path / "spin.s"
+    path.write_text(".data\nprogress: .quad 0\n.text\n"
+                    "main:\n"
+                    "    stq r1, progress\n"
+                    "    br main\n")
+    report = check_entry(file_entry(path))
+    assert not report.ok
+    assert any(d.kind == "termination" for d in report.divergences)
+
+
+# -- slow leg: benchmarks and a wider generated sample --------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", benchmark_corpus().names)
+def test_benchmark_conforms(name):
+    report = check_entry(name)
+    assert report.ok, report.describe()
+
+
+@pytest.mark.slow
+def test_generated_sample_conforms():
+    reports = check_corpus(generated_corpus(size=24, seed=100))
+    failures = [r.describe() for r in reports if not r.ok]
+    assert not failures, "\n".join(failures)

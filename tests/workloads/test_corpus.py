@@ -1,0 +1,250 @@
+"""The unified program corpus: registry, promotion, harness threading."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fuzz.generator import build_program, generate_spec
+from repro.fuzz.golden import GOLDEN_SEEDS
+from repro.harness.cache import ResultCache
+from repro.harness.experiment import (CellSpec, ExperimentSettings,
+                                      execute_spec, run_spec)
+from repro.isa.program import Program
+from repro.workloads.benchmarks import resolve_program
+from repro.workloads.corpus import (CORPUS_NAMES, Corpus, CorpusEntry,
+                                    benchmark_corpus, build_workload,
+                                    corpus_specs, entry_for, full_corpus,
+                                    generated_corpus, programs_corpus,
+                                    promote_spec, resolve_corpus)
+
+FIB = "fib"  # shipped corpus workload used as the file-entry exemplar
+
+
+# -- build_workload: one name resolver for every source -------------------------
+
+class TestBuildWorkload:
+    def test_benchmark_name(self):
+        program = build_workload("gcc")
+        assert isinstance(program, Program)
+
+    def test_generated_name(self):
+        program = build_workload("gen:7")
+        canonical = build_program(generate_spec(7))
+        assert program.content_digest() == canonical.content_digest()
+
+    def test_file_stem(self):
+        program = build_workload(FIB)
+        assert program.name == FIB
+        # Corpus files get instruction-granularity statements: the
+        # single-step backend must see every watched store (a loop's
+        # final iteration has no later label to trap at).
+        assert program.statement_starts == set(
+            range(len(program.instructions)))
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "tiny.s"
+        path.write_text(".data\nv: .quad 0\n.text\nmain:\n"
+                        "    stq r1, v\n    halt\n")
+        assert build_workload(str(path)).name == "tiny"
+
+    def test_unknown_name_lists_every_form(self):
+        with pytest.raises(WorkloadError, match="not a benchmark"):
+            build_workload("no-such-workload")
+        with pytest.raises(WorkloadError, match="gen:<seed>"):
+            build_workload("no-such-workload")
+
+    def test_bad_generated_seed(self):
+        with pytest.raises(WorkloadError, match="integer seed"):
+            build_workload("gen:banana")
+
+
+# -- entries and corpora --------------------------------------------------------
+
+class TestCorpora:
+    def test_programs_corpus_ships_the_workloads(self):
+        corpus = programs_corpus()
+        assert len(corpus) >= 7
+        assert all(entry.source == "file" for entry in corpus)
+        assert all(entry.self_checking for entry in corpus)
+        assert all(entry.watch == "progress" for entry in corpus)
+        digests = [entry.digest for entry in corpus]
+        assert len(set(digests)) == len(digests)
+
+    def test_benchmark_corpus(self):
+        corpus = benchmark_corpus()
+        assert len(corpus) == 6
+        assert all(entry.budget == 0 for entry in corpus)
+        assert all(entry.experiment_settings() is None for entry in corpus)
+
+    def test_generated_corpus_is_deterministic(self):
+        a = generated_corpus(size=3, seed=5)
+        b = generated_corpus(size=3, seed=5)
+        assert a.names == ("gen:5", "gen:6", "gen:7")
+        assert [e.digest for e in a] == [e.digest for e in b]
+
+    def test_full_corpus_concatenates(self):
+        corpus = full_corpus(size=2, seed=0)
+        assert len(corpus) == len(programs_corpus()) + 6 + 2
+
+    def test_entry_lookup(self):
+        corpus = programs_corpus()
+        assert corpus.entry(FIB).name == FIB
+        with pytest.raises(WorkloadError, match="no entry"):
+            corpus.entry("nope")
+
+    def test_corpus_names_registry(self):
+        for name in CORPUS_NAMES:
+            resolved = resolve_corpus(name, size=2)
+            assert isinstance(resolved, Corpus) and len(resolved) > 0
+
+
+class TestResolveCorpus:
+    def test_passthrough(self):
+        corpus = programs_corpus()
+        assert resolve_corpus(corpus) is corpus
+
+    def test_single_entry(self):
+        entry = entry_for(FIB)
+        assert resolve_corpus(entry).entries == (entry,)
+
+    def test_single_workload_name(self):
+        assert resolve_corpus("gen:3").names == ("gen:3",)
+
+    def test_iterable_of_mixed_forms(self):
+        corpus = resolve_corpus([FIB, entry_for("gcc"), "gen:1"])
+        assert corpus.names == (FIB, "gcc", "gen:1")
+
+    def test_empty_iterable(self):
+        with pytest.raises(WorkloadError, match="empty corpus"):
+            resolve_corpus([])
+
+    def test_wrong_type(self):
+        with pytest.raises(WorkloadError, match="expected a Corpus"):
+            resolve_corpus(42)
+
+
+# -- fuzz-spec promotion --------------------------------------------------------
+
+class TestPromotion:
+    def test_promoted_entry_is_seed_addressable(self):
+        entry = promote_spec(generate_spec(23))
+        assert entry.name == "gen:23"
+        assert entry.source == "generated"
+        assert entry.build().content_digest() == entry.digest
+
+    def test_non_reproducible_spec_is_rejected(self):
+        # Renaming the seed makes the rendering diverge from the
+        # canonical rendering of that seed: exactly the shrunk/edited
+        # shape promotion must refuse (workers rebuild from the seed).
+        spec = dataclasses.replace(generate_spec(11), seed=12)
+        with pytest.raises(WorkloadError, match="not seed-reproducible"):
+            promote_spec(spec)
+
+
+# -- the corpus as a harness axis -----------------------------------------------
+
+class TestCorpusSpecs:
+    def test_per_entry_cache_identity(self):
+        specs = corpus_specs(resolve_corpus([FIB, "gcc"]),
+                             backends=["dise"])
+        fib_spec, gcc_spec = specs
+        assert fib_spec.workload_digest == entry_for(FIB).digest
+        payload = fib_spec.cache_payload(None)
+        assert payload["workload_digest"] == fib_spec.workload_digest
+        # Benchmark cells carry a digest too, but no budget override.
+        assert gcc_spec.settings_override is None
+        # A different digest (an edited .s source) changes the key.
+        cache = ResultCache(enabled=False)
+        edited = dataclasses.replace(fib_spec, workload_digest="0" * 32)
+        assert (cache.key_for(fib_spec.cache_payload(None))
+                != cache.key_for(edited.cache_payload(None)))
+
+    def test_whole_program_budget_override(self):
+        (spec,) = corpus_specs(resolve_corpus(FIB), backends=["dise"])
+        override = spec.settings_override
+        assert override is not None and override.warmup_instructions == 0
+        # The override wins over any sweep-level settings, including
+        # inside the cache key.
+        sweep = ExperimentSettings(measure_instructions=1,
+                                   warmup_instructions=1)
+        assert spec.effective_settings(sweep) == override
+        assert (spec.cache_payload(sweep)["settings"]
+                == dataclasses.asdict(override))
+
+    def test_plain_specs_keep_legacy_identity(self):
+        # Non-corpus cells must hash exactly as before the corpus
+        # existed, or every pre-existing cache entry would invalidate.
+        spec = CellSpec.make("gcc", "HOT", "dise")
+        payload = spec.cache_payload(ExperimentSettings())
+        assert "workload_digest" not in payload
+
+    def test_watch_expression_is_the_entry_target(self):
+        (spec,) = corpus_specs(resolve_corpus("gen:7"),
+                               backends=["hardware"])
+        entry = entry_for("gen:7")
+        assert spec.watch_expressions == (entry.watch,)
+
+
+# -- resolve_program accepts every source ---------------------------------------
+
+class TestResolveProgram:
+    def test_program_instance(self):
+        program = build_workload("gcc")
+        assert resolve_program(program) == (program, program.name)
+
+    def test_benchmark_name(self):
+        program, name = resolve_program("mcf")
+        assert name == "mcf" and isinstance(program, Program)
+
+    def test_corpus_file_stem(self):
+        program, name = resolve_program(FIB)
+        assert name == FIB and program.name == FIB
+
+    def test_generated_name(self):
+        program, name = resolve_program("gen:7")
+        assert name == "gen:7"
+        assert program.content_digest() == entry_for("gen:7").digest
+
+    def test_corpus_entry(self):
+        entry = entry_for(FIB)
+        program, name = resolve_program(entry)
+        assert name == FIB and program.content_digest() == entry.digest
+
+    def test_unknown_source_error(self):
+        with pytest.raises(WorkloadError, match="CorpusEntry"):
+            resolve_program(3.14)
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            resolve_program("not-a-workload")
+
+
+# -- golden fuzz seeds as harness cells -----------------------------------------
+
+def _comparable(result) -> dict:
+    data = result.to_dict()
+    # Wall time is nondeterministic and cache provenance differs by
+    # construction; everything else must match bit for bit.
+    data.pop("wall_time", None)
+    data.pop("from_cache", None)
+    return data
+
+
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_golden_seed_cells_cache_bit_identically(seed, tmp_path):
+    """Promoted golden seeds round-trip the cache without drift.
+
+    The cached RunResult for a ``gen:<seed>`` cell must be bit-identical
+    (minus wall time) to executing the same cell directly — the corpus
+    promotion, the settings override, the worker-style name resolution
+    and the cache serialization all preserve the measurement.
+    """
+    entry = promote_spec(generate_spec(seed))
+    (spec,) = corpus_specs(resolve_corpus(entry), backends=["dise"])
+    cache = ResultCache(tmp_path / "cache")
+    computed = run_spec(spec, cache=cache)
+    assert not computed.from_cache
+    cached = run_spec(spec, cache=cache)
+    assert cached.from_cache
+    direct = execute_spec(spec)
+    assert _comparable(cached) == _comparable(direct)
+    assert _comparable(computed) == _comparable(direct)
