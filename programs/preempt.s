@@ -1,0 +1,56 @@
+; preempt.s -- pure-compute workload for preemption testing.
+;
+; No syscalls, no cooperation: two back-to-back compute loops that only
+; the timer interrupt can interrupt.  Run two instances under
+; repro.kernel's round-robin scheduler and the quantum decides exactly
+; where each is preempted; the self-check proves the interleaving never
+; leaks state between address spaces.  Phase one mixes with
+; multiply/add, phase two with rotate/xor, so a misplaced slice
+; boundary perturbs the checksum immediately.
+
+.data
+progress:   .quad 0          ; total iteration counter (watch target)
+phase1:     .quad 0
+checksum:   .quad 0
+expect:     .quad 0xe3ebce2358f9dc6f
+status:     .quad 0          ; 1 iff checksum == expect
+
+.text
+main:
+    lda   r4, 0(zero)        ; i
+    lda   r5, 1(zero)        ; accumulator
+    lda   r6, 500(zero)      ; phase-one iterations
+p1_loop:
+    addq  r4, 1, r4
+    stq   r4, progress
+    mulq  r5, 7, r5          ; acc = acc*7 + 2*i + 3
+    sll   r4, 1, r7
+    addq  r5, r7, r5
+    addq  r5, 3, r5
+    cmplt r4, r6, r7
+    bne   r7, p1_loop
+    stq   r5, phase1
+
+    lda   r4, 0(zero)        ; j
+    lda   r6, 500(zero)      ; phase-two iterations
+p2_loop:
+    addq  r4, 1, r4
+    ldq   r7, progress       ; progress = 500 + j
+    addq  r7, 1, r7
+    stq   r7, progress
+    sll   r5, 13, r7         ; acc = rol(acc, 13) ^ (j + 0x9e37)
+    srl   r5, 51, r8
+    bis   r7, r8, r5
+    lda   r9, 0x1e37(zero)
+    addq  r9, 0x8000, r9     ; 0x9e37 (lda immediates are 16-bit)
+    addq  r9, r4, r9
+    xor   r5, r9, r5
+    cmplt r4, r6, r7
+    bne   r7, p2_loop
+
+    ; -- self-check epilogue ------------------------------------------
+    stq   r5, checksum
+    ldq   r10, expect
+    cmpeq r5, r10, r11
+    stq   r11, status
+    halt

@@ -1,0 +1,55 @@
+; yield.s -- syscall-driven cooperative workload.
+;
+; Exercises the kernel ABI: one `getpid` up front (folded into the
+; checksum as the predicate `pid >= 1`, so the sum is identical at any
+; pid), a compute loop that bumps `progress` each iteration and yields
+; the CPU every 16th iteration via SYS_YIELD, and a SYS_EXIT epilogue.
+; On a standalone (kernel-less) machine the syscalls hit the inline OS
+; emulation -- getpid returns 1, yield is a no-op, exit halts -- so the
+; program is self-checking both solo and as a process under
+; repro.kernel's round-robin scheduler.
+
+.data
+progress:   .quad 0          ; iteration counter (watch target)
+pidcheck:   .quad 0          ; 1 iff getpid returned a positive pid
+checksum:   .quad 0
+expect:     .quad 0x6e6a40b96abc3bf9
+status:     .quad 0          ; 1 iff checksum == expect
+
+.text
+main:
+    lda   r1, 2(zero)        ; SYS_GETPID
+    syscall
+    cmpult zero, r1, r9      ; pid >= 1 (pid-independent predicate)
+    stq   r9, pidcheck
+
+    lda   r4, 0(zero)        ; i
+    lda   r5, 0(zero)        ; checksum accumulator
+    lda   r6, 240(zero)      ; iterations
+loop:
+    addq  r4, 1, r4
+    stq   r4, progress
+    sll   r5, 5, r7          ; sum = rol(sum, 5) ^ (3*i + 7)
+    srl   r5, 59, r8
+    bis   r7, r8, r5
+    mulq  r4, 3, r7
+    addq  r7, 7, r7
+    xor   r5, r7, r5
+    and   r4, 15, r7         ; every 16th iteration: yield the CPU
+    bne   r7, no_yield
+    lda   r1, 1(zero)        ; SYS_YIELD
+    syscall
+no_yield:
+    cmplt r4, r6, r7
+    bne   r7, loop
+
+    ; -- self-check epilogue ------------------------------------------
+    ldq   r9, pidcheck
+    xor   r5, r9, r5
+    stq   r5, checksum
+    ldq   r10, expect
+    cmpeq r5, r10, r11
+    stq   r11, status
+    lda   r1, 3(zero)        ; SYS_EXIT
+    syscall
+    halt                     ; unreachable (exit terminates the process)

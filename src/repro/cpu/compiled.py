@@ -31,8 +31,11 @@ Division of labor (the fast path pays for nothing it does not use):
 Invalidation: compiled blocks are specialized against a captured
 environment — the machine's ``text_version`` (bumped by ``reload_text``,
 ``patch_text``, and self-modifying stores into text), the DISE engine's
-``version`` (bumped by production install/remove/clear, which covers
-controller install/activate/deactivate) and ``enabled`` flag, the
+effective production list (compared by identity and order, which covers
+install/remove/clear, controller install/activate/deactivate, *and*
+per-process gating at context switches — a process whose production set
+is unchanged when it is scheduled back in keeps its compiled blocks)
+and ``enabled`` flag, the
 identity of ``instrumentation_pcs``, and the store-observability
 predicates.  :meth:`CompiledTier._stale` compares the capture against
 live state before every chain entry and flushes the whole cache on any
@@ -209,7 +212,7 @@ class CompiledTier:
         # Captured environment the cached blocks were specialized
         # against; None text_version means "never captured".
         self._text_version = None
-        self._engine_version = None
+        self._engine_prods = None
         self._engine_enabled = None
         self._ips = None
         self._any_protected = None
@@ -228,7 +231,7 @@ class CompiledTier:
         m = self.m
         engine = m.dise_engine
         return (self._text_version != m.text_version
-                or self._engine_version != engine.version
+                or self._engine_prods != engine._productions
                 or self._engine_enabled != engine.enabled
                 or self._ips is not m.instrumentation_pcs
                 or self._any_protected != m.pagetable.any_protected
@@ -240,7 +243,7 @@ class CompiledTier:
         m = self.m
         engine = m.dise_engine
         self._text_version = m.text_version
-        self._engine_version = engine.version
+        self._engine_prods = list(engine._productions)
         self._engine_enabled = engine.enabled
         self._ips = m.instrumentation_pcs
         self._any_protected = m.pagetable.any_protected

@@ -59,9 +59,10 @@ from repro.dise.registers import DiseRegisterFile
 from repro.isa.instruction import (H_ALU_IMM, H_ALU_LDA, H_ALU_MOV, H_ALU_REG,
                                    H_BRANCH, H_CODEWORD, H_CTRAP,
                                    H_DISE_BRANCH, H_DISE_CALL, H_DISE_MOVE,
-                                   H_DISE_RET, H_HALT, H_JUMP_BR, H_JUMP_JMP,
-                                   H_JUMP_JSR, H_JUMP_RET, H_LOAD, H_NOP,
-                                   H_STORE, H_TRAP, NUM_HANDLERS, Instruction)
+                                   H_DISE_RET, H_ERET, H_HALT, H_JUMP_BR,
+                                   H_JUMP_JMP, H_JUMP_JSR, H_JUMP_RET, H_LOAD,
+                                   H_NOP, H_STORE, H_SYSCALL, H_TRAP,
+                                   NUM_HANDLERS, Instruction)
 from repro.isa.opcodes import Format, Opcode, OpClass
 from repro.isa.program import (INSTRUCTION_BYTES, Program, STACK_TOP,
                                STACK_BYTES, TEXT_BASE)
@@ -80,6 +81,25 @@ class TrapKind(Enum):
     BREAKPOINT = "breakpoint"  # breakpoint register match at fetch
     PAGE_FAULT = "page_fault"  # store to a write-protected page
     SINGLE_STEP = "single_step"  # statement-granularity stepping
+
+
+# Architectural trap causes (latched in ``Machine.trap_cause``).  These
+# are *kernel* traps — serviced by a guest handler at the trap vector or
+# by the host scheduler (repro.kernel) — not debugger transitions.
+CAUSE_TIMER = 1  # preemption timer quantum expired
+CAUSE_SYSCALL = 2  # syscall instruction executed
+
+# Syscall numbers (passed in r1; results returned in r1).
+SYS_YIELD = 1  # voluntarily end the current quantum
+SYS_GETPID = 2  # r1 = calling process id
+SYS_EXIT = 3  # terminate the calling process
+
+
+class _TrapPending(Exception):
+    """Internal: unwinds the interpreter loops when a trap must be
+    serviced by the host (no guest trap vector installed).  Raised only
+    from the syscall handler, caught in :meth:`Machine._run_core` — the
+    hot loops pay nothing for it."""
 
 
 @dataclass
@@ -177,6 +197,32 @@ class Machine:
         self.regs = [0] * 32
         self.pc = 0
         self.halted = False
+
+        # Privilege / trap architecture (see DESIGN.md §14).  The
+        # machine boots in user mode; trap entry latches cause/epc/value
+        # and raises privilege.  With a guest trap vector installed
+        # (``trap_vector`` nonzero) fetch redirects there; otherwise the
+        # cause is held in ``pending_trap`` for the host — the attached
+        # kernel scheduler, or the :meth:`run` caller.
+        self.kernel_mode = False
+        self.trap_vector = 0
+        self.trap_cause = 0
+        self.trap_epc = 0
+        self.trap_value = 0
+        self.pending_trap: Optional[int] = None
+
+        # Preemption timer: a quantum of application instructions.  The
+        # deadline is an *absolute* app-instruction count; run slices
+        # are clipped to it (exactly like checkpoint boundaries), so
+        # preemption points are deterministic and identical across
+        # interpreter tiers at zero per-instruction cost.  -1 = the next
+        # run slice arms a fresh quantum.
+        self.timer_quantum = 0
+        self.timer_deadline = -1
+
+        # Process identity (multi-process machines: see repro.kernel).
+        self.current_process = program.name
+        self._kernel = None
 
         # DISE expansion state.
         self._expansion: Optional[list[Instruction]] = None
@@ -352,6 +398,12 @@ class Machine:
             "fetch_trap_resume_pc": self._fetch_trap_resume_pc,
             "last_store": (self.last_store_addr, self.last_store_size,
                            self.last_store_value),
+            "trap": (self.kernel_mode, self.trap_vector, self.trap_cause,
+                     self.trap_epc, self.trap_value, self.pending_trap,
+                     self.timer_quantum, self.timer_deadline),
+            "process": self.current_process,
+            "kernel": (self._kernel.snapshot()
+                       if self._kernel is not None else None),
         }
 
     def restore(self, blob: dict) -> None:
@@ -365,6 +417,13 @@ class Machine:
         :meth:`reload_text` after restoring across an append to re-sync
         statement boundaries.
         """
+        kernel_blob = blob.get("kernel")
+        if self._kernel is not None and kernel_blob is not None:
+            # Realign the live process contexts first: the machine-level
+            # fields below describe the process that was *current* at
+            # snapshot time, and must restore into that process's
+            # component objects (memory, page table, text).
+            self._kernel.pre_restore(kernel_blob)
         self.regs = list(blob["regs"])
         self.pc = blob["pc"]
         self.halted = blob["halted"]
@@ -393,6 +452,15 @@ class Machine:
         self._fetch_trap_resume_pc = blob["fetch_trap_resume_pc"]
         (self.last_store_addr, self.last_store_size,
          self.last_store_value) = blob["last_store"]
+        # Trap/timer architecture (absent in pre-kernel blobs, e.g.
+        # persisted warm-start checkpoints: default to boot state).
+        (self.kernel_mode, self.trap_vector, self.trap_cause,
+         self.trap_epc, self.trap_value, self.pending_trap,
+         self.timer_quantum, self.timer_deadline) = blob.get(
+            "trap", (False, 0, 0, 0, 0, None, 0, -1))
+        self.current_process = blob.get("process", self.current_process)
+        if self._kernel is not None and kernel_blob is not None:
+            self._kernel.post_restore(kernel_blob)
         # The snapshot may predate text mutations and carry a different
         # DISE production set; compiled blocks must never survive a
         # restore.  Cheaper than fingerprinting code versions into the
@@ -418,6 +486,20 @@ class Machine:
             tuple(sorted(self.pagetable.snapshot().items())),
         )).encode())
         digest.update(self.memory.state_fingerprint().encode())
+        # Trap/privilege/scheduler state joins the digest only when it
+        # is live (a kernel attached, or trap state off its boot
+        # values), so single-process fingerprints — and every golden
+        # recorded before the kernel existed — are unchanged.
+        if (self._kernel is not None or self.kernel_mode
+                or self.trap_vector or self.trap_cause or self.trap_epc
+                or self.trap_value or self.pending_trap is not None):
+            digest.update(repr((
+                self.kernel_mode, self.trap_vector, self.trap_cause,
+                self.trap_epc, self.trap_value, self.pending_trap,
+                self.current_process,
+            )).encode())
+        if self._kernel is not None:
+            digest.update(self._kernel.state_fingerprint().encode())
         return digest.hexdigest()
 
     def _build_handler_table(self) -> tuple:
@@ -452,6 +534,8 @@ class Machine:
         table[H_NOP] = self._h_nop
         table[H_HALT] = self._h_halt
         table[H_CODEWORD] = self._h_codeword
+        table[H_SYSCALL] = self._h_syscall
+        table[H_ERET] = self._h_eret_t if timed else self._h_eret_f
         return tuple(table)
 
     # -- register helpers -----------------------------------------------------
@@ -546,15 +630,31 @@ class Machine:
         """
         limit = max_app_instructions if max_app_instructions is not None else -1
         self.stopped_at_user = False
-        if self.checkpoint_store is not None and self._checkpoint_interval > 0:
-            self._run_chunked(limit)
+        if self._kernel is not None:
+            # Multi-process machine: the kernel scheduler drives the run
+            # (arming quanta, servicing traps, context-switching), so
+            # every existing caller — backends, reverse execution,
+            # time-travel queries, the harness — transparently debugs a
+            # multi-process workload.
+            self._kernel.run(limit)
         else:
-            self._dispatch_run(limit)
+            self._run_core(limit)
         stats = self.stats
         stats.cycles = self.timing.total_cycles if self.timing is not None \
             else stats.total_instructions
         return MachineRun(stats=stats, halted=self.halted,
                          stopped_at_user=self.stopped_at_user)
+
+    def attach_kernel(self, kernel) -> None:
+        """Hand the run loop to a :class:`repro.kernel.Kernel`.
+
+        After attachment :meth:`run` delegates to the kernel's scheduler
+        loop; the kernel calls back into :meth:`_run_core` for each
+        scheduling slice.
+        """
+        self._kernel = kernel
+        self.timer_quantum = kernel.quantum
+        self.timer_deadline = -1
 
     def _dispatch_run(self, limit: int) -> None:
         interp = self._interp
@@ -570,29 +670,67 @@ class Machine:
         else:
             self._run_table_functional(limit)
 
-    def _run_chunked(self, limit: int) -> None:
-        """Run in checkpoint-interval chunks, snapshotting at boundaries.
+    def _run_core(self, limit: int) -> None:
+        """Run in slices, composing every between-instruction event.
 
-        The hot interpreter loops are untouched: they are simply invoked
-        with limits clipped to the next interval boundary, and a
-        checkpoint is taken *between* chunks (never mid-instruction, so
-        chunking is invisible to program semantics — a chunked run is
-        bit-identical to an unchunked one).
+        The hot interpreter loops are untouched: they are invoked with
+        limits clipped to the nearest of (a) the caller's run limit,
+        (b) the next checkpoint-interval boundary, and (c) the
+        preemption-timer deadline.  Checkpoints are taken and timer
+        interrupts raised *between* slices — never mid-instruction — so
+        slicing is invisible to program semantics (a sliced run is
+        bit-identical to an unsliced one) and preemption points land on
+        exact application-instruction counts on every interpreter tier.
+
+        A slice also ends when a syscall trap must be serviced by the
+        host (``pending_trap``); the attached kernel (or the caller)
+        services it and re-enters.
         """
-        interval = self._checkpoint_interval
-        store = self.checkpoint_store
         stats = self.stats
+        store = self.checkpoint_store
+        interval = self._checkpoint_interval if store is not None else 0
         while not self.halted and not self.stopped_at_user:
-            app = stats.app_instructions
-            if limit >= 0 and app >= limit:
+            if self.pending_trap is not None:
                 break
-            boundary = (app // interval + 1) * interval
-            chunk = boundary if limit < 0 else min(limit, boundary)
-            self._dispatch_run(chunk)
-            if (not self.halted and not self.stopped_at_user
-                    and stats.app_instructions >= boundary):
-                store.add(Checkpoint(stats.app_instructions,
-                                     self._checkpoint_fn()))
+            app = stats.app_instructions
+            if 0 <= limit <= app:
+                break
+            target = limit
+            boundary = -1
+            if interval > 0:
+                boundary = (app // interval + 1) * interval
+                target = boundary if target < 0 else min(target, boundary)
+            deadline = -1
+            if self.timer_quantum > 0:
+                deadline = self.timer_deadline
+                if deadline < 0:  # arm a fresh quantum
+                    deadline = self.timer_deadline = app + self.timer_quantum
+                target = deadline if target < 0 else min(target, deadline)
+            try:
+                self._dispatch_run(target)
+            except _TrapPending:
+                pass
+            if self.halted or self.stopped_at_user:
+                break
+            app = stats.app_instructions
+            if boundary >= 0 and app >= boundary \
+                    and self.pending_trap is None:
+                store.add(Checkpoint(app, self._checkpoint_fn()))
+            if self.pending_trap is not None:
+                break
+            if 0 <= deadline <= app:
+                if self._expansion is not None or self._in_dise_function:
+                    # Replacement sequences (and DISE-called functions)
+                    # are atomic w.r.t. preemption: slip the deadline to
+                    # the next clean instruction boundary.
+                    self.timer_deadline = app + 1
+                else:
+                    self.timer_deadline = -1
+                    self._enter_trap(CAUSE_TIMER, self.pc, 0)
+                    if self.pending_trap is not None:
+                        break
+            elif target < 0:
+                break  # unlimited slice returned: nothing left to run
 
     def enable_checkpoints(self, interval: Optional[int] = None,
                            store: Optional[CheckpointStore] = None,
@@ -1133,6 +1271,58 @@ class Machine:
             f"codeword {inst.imm} executed without a matching DISE "
             f"production at pc={self.pc:#x}")
 
+    # -- kernel traps (syscall / eret / timer) -------------------------------
+
+    def _enter_trap(self, cause: int, epc: int, value: int) -> None:
+        """Architectural trap entry: latch cause/epc/value, go kernel.
+
+        With a guest trap vector installed, fetch redirects there (the
+        run continues inside the guest handler until ``eret``); without
+        one the cause is held pending for the host.
+        """
+        self.trap_cause = cause
+        self.trap_epc = epc
+        self.trap_value = value
+        self.kernel_mode = True
+        if self.trap_vector:
+            if self.timing is not None:
+                self.timing.flush()
+            self._jump(self.trap_vector)
+        else:
+            self.pending_trap = cause
+
+    def _h_syscall(self, inst: Instruction, d, is_dise: bool) -> None:
+        num = self.regs[1]
+        self._advance()
+        if self._kernel is not None or self.trap_vector:
+            # epc names the instruction after the syscall, so eret (or
+            # the kernel's resume) continues past it.
+            self._enter_trap(CAUSE_SYSCALL, self.pc, num)
+            if self.pending_trap is not None:
+                raise _TrapPending
+            return
+        # Standalone machine, no handler: emulate the host OS inline so
+        # single-process programs using syscalls run (and conform)
+        # without a kernel.  pids start at 1, matching a single-process
+        # kernel, so the two execution modes agree architecturally.
+        if num == SYS_GETPID:
+            self.regs[1] = 1
+        elif num == SYS_EXIT:
+            self.halted = True
+
+    def _h_eret_f(self, inst: Instruction, d, is_dise: bool) -> None:
+        if not self.kernel_mode:
+            raise SimulationError(f"eret in user mode at pc={self.pc:#x}")
+        self.kernel_mode = False
+        self._jump(self.trap_epc)
+
+    def _h_eret_t(self, inst: Instruction, d, is_dise: bool) -> None:
+        if not self.kernel_mode:
+            raise SimulationError(f"eret in user mode at pc={self.pc:#x}")
+        self.kernel_mode = False
+        self.timing.flush()
+        self._jump(self.trap_epc)
+
     # -- legacy interpreter ------------------------------------------------------
     #
     # The pre-dispatch-table interpreter, preserved verbatim (modulo the
@@ -1382,6 +1572,20 @@ class Machine:
             raise SimulationError(
                 f"codeword {inst.imm} executed without a matching DISE "
                 f"production at pc={self.pc:#x}")
+
+        if opclass is OpClass.SYSCALL:
+            self._h_syscall(inst, None, is_dise)
+            return
+
+        if opclass is OpClass.ERET:
+            if not self.kernel_mode:
+                raise SimulationError(
+                    f"eret in user mode at pc={self.pc:#x}")
+            self.kernel_mode = False
+            if timing is not None:
+                timing.flush()
+            self._jump(self.trap_epc)
+            return
 
         raise SimulationError(f"unhandled opcode {opcode.name}")
 

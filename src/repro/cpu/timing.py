@@ -237,6 +237,22 @@ class TimingModel:
         self._stall(self._flush_penalty)
         self.redirect_fetch()
 
+    def context_switch(self) -> None:
+        """Charge a process switch: pipeline flush plus TLB shootdown.
+
+        The address space changes, so both TLBs drop their translations
+        (the incoming process re-misses its working set — those misses
+        are real and stay counted).  Caches and the branch predictor are
+        physically tagged/untagged state shared across processes and are
+        left warm, as on a real core.  The fetch/data page trackers
+        reset so the first access after the switch re-probes.
+        """
+        self.flush()
+        self.itlb.flush()
+        self.dtlb.flush()
+        self._last_fetch_page = -1
+        self._last_data_page = -1
+
     # -- debugger costs --------------------------------------------------------
 
     def debugger_transition(self, spurious: bool) -> None:

@@ -48,6 +48,8 @@ class DebuggerBackend:
         self.config = config or DEFAULT_CONFIG
         detailed_timing = options.pop("detailed_timing", True)
         warm_checkpoint = options.pop("warm_checkpoint", None)
+        processes = options.pop("processes", ())
+        quantum = options.pop("quantum", None)
         self.options = options
 
         # Each backend instance models one debugged *process*: it works
@@ -79,6 +81,27 @@ class DebuggerBackend:
         if self.breakpoints and self.uses_breakpoint_registers:
             self.machine.breakpoint_registers.update(self._breakpoint_pcs)
         self.prepare()
+        # Multi-process sessions: co-resident programs share the core
+        # under a round-robin kernel (see repro.kernel).  The debugged
+        # target stays pid 1 — the mechanism prepare() just installed
+        # lives in its process context only, so neighbours run
+        # undebugged.  Attached *after* prepare() so every backend's
+        # setup path is identical with or without neighbours.
+        self.kernel = None
+        if processes or quantum is not None:
+            from repro.kernel import DEFAULT_QUANTUM, Kernel
+            self.kernel = Kernel(
+                self.machine,
+                quantum=DEFAULT_QUANTUM if quantum is None else quantum)
+            for neighbour in processes:
+                self.kernel.spawn(neighbour)
+
+    @property
+    def current_process(self) -> str:
+        """Name of the process scheduled on the machine (for stop
+        reporting: every backend tells the user *which process* the
+        debugger stopped in)."""
+        return self.machine.current_process
 
     # -- extension points ------------------------------------------------------
 

@@ -392,6 +392,28 @@ class CommandDispatcher:
         return CommandResult("seek-transition", result.to_dict(),
                              result.describe())
 
+    def cmd_seek_until(self, args: list[str]) -> CommandResult:
+        """seek-until EXPR CMP VALUE — move to where EXPR CMP VALUE
+        first holds."""
+        from repro.timetravel.engine import _COMPARATORS
+        cmp_at = next((i for i, a in enumerate(args)
+                       if a in _COMPARATORS), -1)
+        if cmp_at < 1 or cmp_at != len(args) - 2:
+            raise CommandError("usage: seek-until EXPR CMP VALUE "
+                               f"(CMP: {', '.join(sorted(_COMPARATORS))})")
+        expression = " ".join(args[:cmp_at])
+        try:
+            value = int(args[-1], 0)
+        except ValueError:
+            raise CommandError(f"bad value {args[-1]!r}; expected an "
+                               f"integer") from None
+        result = self._timeline_query().seek_until(expression, args[cmp_at],
+                                                   value)
+        self._instructions_run = \
+            self._backend_obj.machine.stats.app_instructions
+        return CommandResult("seek-until", result.to_dict(),
+                             result.describe())
+
     def cmd_value_at(self, args: list[str]) -> CommandResult:
         """value-at EXPR ORDINAL — evaluate EXPR as of an instruction
         count."""
@@ -413,12 +435,18 @@ class CommandDispatcher:
             # Fingerprints cost one digest per stop; compute on demand
             # when the controller was not recording them.
             fingerprint = self._backend_obj.state_fingerprint()
-        return {
+        payload = {
             "ordinal": record.ordinal,
             "app_instructions": record.app_instructions,
             "pc": record.pc,
             "state_fingerprint": fingerprint,
         }
+        # Multi-process sessions report which process the stop landed
+        # in; absent on single-process sessions so recorded golden wire
+        # transcripts predating the kernel are unchanged.
+        if record.process:
+            payload["process"] = record.process
+        return payload
 
     def _watch_values(self, backend) -> list[dict]:
         values = []
@@ -435,8 +463,11 @@ class CommandDispatcher:
         return values
 
     def _describe_stop(self, backend) -> str:
+        machine = backend.machine
+        where = (f" in {machine.current_process}"
+                 if machine._kernel is not None else "")
         lines = [f"Stopped after {self._instructions_run:,} instructions "
-                 f"(pc={backend.machine.pc:#x})."]
+                 f"(pc={machine.pc:#x}){where}."]
         for entry in self._watch_values(backend):
             lines.append(f"  {entry['describe']}  value = {entry['value']}")
         return "\n".join(lines)

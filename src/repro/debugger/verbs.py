@@ -87,6 +87,10 @@ REGISTRY: tuple[VerbSpec, ...] = (
     VerbSpec("seek-transition", "cmd_seek_transition", "EXPR N",
              "seek-transition EXPR N — move to the Nth change of EXPR.",
              needs_history=True),
+    VerbSpec("seek-until", "cmd_seek_until", "EXPR CMP VALUE",
+             "seek-until EXPR CMP VALUE — move to where EXPR CMP VALUE "
+             "first holds.",
+             needs_history=True),
     VerbSpec("value-at", "cmd_value_at", "EXPR ORDINAL",
              "value-at EXPR ORDINAL — evaluate EXPR as of an instruction "
              "count.",

@@ -39,6 +39,11 @@ class _Installed:
     # Engine install order: restored on reactivation so a
     # deactivate/activate round-trip does not change match priority.
     order: int = -1
+    # Gated out because the production's target process is not the one
+    # currently scheduled (see context_switch).  Orthogonal to
+    # ``active``, which records the *user's* enable/disable intent: a
+    # production is resident in the engine iff active and not suspended.
+    suspended: bool = False
 
 
 class DiseController:
@@ -91,9 +96,17 @@ class DiseController:
         target = target_process or self.process_name
         self._check_permission(principal, target)
         self._check_capacity(production)
-        order = self.engine.add(production)
-        self._installed.append(
-            _Installed(production, principal, target, order=order))
+        if target == self.process_name:
+            order = self.engine.add(production)
+            self._installed.append(
+                _Installed(production, principal, target, order=order))
+        else:
+            # Installing for a process that is not currently scheduled:
+            # table space is reserved, but the production stays out of
+            # the engine until its target runs — the current process's
+            # instruction stream never probes it.
+            self._installed.append(
+                _Installed(production, principal, target, suspended=True))
         return production
 
     def install_all(self, productions, principal: str = "debugger",
@@ -126,7 +139,7 @@ class DiseController:
     def uninstall(self, production: Production) -> None:
         """Remove a production and free its table space."""
         entry = self._find(production)
-        if entry.active:
+        if entry.active and not entry.suspended:
             self.engine.remove(production)
         self._installed.remove(entry)
 
@@ -134,7 +147,8 @@ class DiseController:
         """Temporarily disable without freeing table space."""
         entry = self._find(production)
         if entry.active:
-            entry.order = self.engine.remove(production)
+            if not entry.suspended:
+                entry.order = self.engine.remove(production)
             entry.active = False
 
     def activate(self, production: Production) -> None:
@@ -142,9 +156,40 @@ class DiseController:
         original table position (match priority is preserved)."""
         entry = self._find(production)
         if not entry.active:
-            self.engine.add(production,
-                            order=entry.order if entry.order >= 0 else None)
+            if not entry.suspended:
+                self.engine.add(
+                    production,
+                    order=entry.order if entry.order >= 0 else None)
             entry.active = True
+
+    def context_switch(self, process_name: str) -> None:
+        """Re-gate the engine for the incoming process.
+
+        This is the paper's permission story made mechanical: a
+        production targets exactly one process, so on a context switch
+        every production whose ``target_process`` is not the incoming
+        process is lifted out of the engine (its pattern can never be
+        probed by the other process's fetch stream — the non-target
+        process pays nothing for it), and every production targeting
+        the incoming process is dropped back in at its original match
+        priority.  User ``activate``/``deactivate`` intent is tracked
+        separately and survives any number of switches.
+        """
+        if process_name == self.process_name:
+            return
+        self.process_name = process_name
+        for entry in self._installed:
+            should_run = entry.target_process == process_name
+            if should_run and entry.suspended:
+                entry.suspended = False
+                if entry.active:
+                    self.engine.add(
+                        entry.production,
+                        order=entry.order if entry.order >= 0 else None)
+            elif not should_run and not entry.suspended:
+                entry.suspended = True
+                if entry.active:
+                    entry.order = self.engine.remove(entry.production)
 
     def uninstall_all(self) -> None:
         """Remove every installed production."""
@@ -164,14 +209,16 @@ class DiseController:
     # -- snapshots -------------------------------------------------------------
 
     def snapshot(self) -> tuple:
-        """Capture the install table and trust set.
+        """Capture the install table, trust set, and gating identity.
 
-        Entries are copied (their ``active``/``order`` fields mutate on
-        activate/deactivate); the productions themselves are shared.
+        Entries are copied (their ``active``/``order``/``suspended``
+        fields mutate on activate/deactivate/context_switch); the
+        productions themselves are shared.
         """
         return (tuple(dataclasses.replace(entry)
                       for entry in self._installed),
-                frozenset(self.trusted_principals))
+                frozenset(self.trusted_principals),
+                self.process_name)
 
     def restore(self, blob: tuple) -> None:
         """Reset the install table to a previous :meth:`snapshot`.
@@ -179,7 +226,9 @@ class DiseController:
         The paired engine must be restored separately (the machine's
         snapshot does both, keeping them consistent).
         """
-        installed, trusted = blob
+        installed, trusted = blob[0], blob[1]
         self._installed = [dataclasses.replace(entry)
                            for entry in installed]
         self.trusted_principals = set(trusted)
+        if len(blob) > 2:  # pre-kernel blobs had no gating identity
+            self.process_name = blob[2]

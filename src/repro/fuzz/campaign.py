@@ -47,6 +47,9 @@ class FuzzCell:
     config: Optional[MachineConfig] = None
     #: Also run the snapshot/restore leg (one backend, seed-rotated).
     checkpoint_leg: bool = False
+    #: Also run the multi-process interrupt-determinism leg (one
+    #: backend, seed-rotated).
+    interrupt_leg: bool = False
 
     # The Runner's bookkeeping interface (same shape as CellSpec).
     @property
@@ -68,9 +71,10 @@ class FuzzCell:
 
 
 def _make_cell(spec: ProgramSpec, config: Optional[MachineConfig],
-               checkpoint_leg: bool = False) -> FuzzCell:
+               checkpoint_leg: bool = False,
+               interrupt_leg: bool = False) -> FuzzCell:
     return FuzzCell((json.dumps(spec.to_dict(), sort_keys=True),),
-                    spec.seed, config, checkpoint_leg)
+                    spec.seed, config, checkpoint_leg, interrupt_leg)
 
 
 def _checkpoint_backend(cell: FuzzCell) -> Optional[str]:
@@ -78,6 +82,14 @@ def _checkpoint_backend(cell: FuzzCell) -> Optional[str]:
     if not cell.checkpoint_leg:
         return None
     return BACKENDS[cell.seed % len(BACKENDS)]
+
+
+def _interrupt_backend(cell: FuzzCell) -> Optional[str]:
+    """The backend the cell's interrupt leg exercises (seed-rotated,
+    offset so a seed pairs different backends across the two legs)."""
+    if not cell.interrupt_leg:
+        return None
+    return BACKENDS[(cell.seed + 1) % len(BACKENDS)]
 
 
 def fuzz_worker(cell: FuzzCell, settings) -> RunResult:
@@ -89,7 +101,8 @@ def fuzz_worker(cell: FuzzCell, settings) -> RunResult:
     seed in-process for the full report.
     """
     report = run_differential(cell.spec, cell.config,
-                              checkpoint_backend=_checkpoint_backend(cell))
+                              checkpoint_backend=_checkpoint_backend(cell),
+                              interrupt_backend=_interrupt_backend(cell))
     reason = "" if report.ok else (
         _FAIL_MARKER + report.divergences[0].describe())
     return RunResult(
@@ -158,6 +171,7 @@ def run_campaign(base_seed: int, iterations: int, *,
                  shrink_failures: bool = True,
                  shrink_checks: int = 400,
                  checkpoint_leg: bool = False,
+                 interrupt_leg: bool = False,
                  progress: bool = False) -> CampaignResult:
     """Fuzz ``iterations`` seeds starting at ``base_seed``.
 
@@ -165,7 +179,10 @@ def run_campaign(base_seed: int, iterations: int, *,
     failing seeds are then re-run and shrunk serially in-process (the
     shrinker's oracle calls are sequential by nature).  With
     ``checkpoint_leg`` each seed additionally exercises mid-program
-    snapshot/restore under one backend (rotated by seed).
+    snapshot/restore under one backend (rotated by seed); with
+    ``interrupt_leg`` each seed also runs debugged next to a
+    co-resident copy of itself under the preemptive kernel (rotated by
+    seed, offset by one).
     """
     started = time.perf_counter()
     result = CampaignResult(base_seed=base_seed, iterations=iterations)
@@ -174,7 +191,8 @@ def run_campaign(base_seed: int, iterations: int, *,
     for i in range(iterations):
         spec = generate_spec(base_seed + i, generator_config)
         spec.inject = inject
-        cells.append(_make_cell(spec, config, checkpoint_leg))
+        cells.append(_make_cell(spec, config, checkpoint_leg,
+                                interrupt_leg))
 
     runner = Runner(workers=workers, cache=ResultCache(enabled=False),
                     worker=fuzz_worker, progress=progress)
@@ -204,14 +222,17 @@ def _investigate(cell: FuzzCell, do_shrink: bool,
                  shrink_checks: int) -> Failure:
     spec = cell.spec
     ckpt = _checkpoint_backend(cell)
-    report = run_differential(spec, cell.config, checkpoint_backend=ckpt)
+    intr = _interrupt_backend(cell)
+    report = run_differential(spec, cell.config, checkpoint_backend=ckpt,
+                              interrupt_backend=intr)
     failure = Failure(seed=cell.seed, report=report, spec=spec)
     if report.ok:  # fails in a worker but not here: keep the raw spec
         return failure
     if do_shrink:
         def is_failing(candidate: ProgramSpec) -> bool:
             return not run_differential(candidate, cell.config,
-                                        checkpoint_backend=ckpt).ok
+                                        checkpoint_backend=ckpt,
+                                        interrupt_backend=intr).ok
 
         failure.shrunk_spec = shrink(spec, is_failing,
                                      max_checks=shrink_checks)

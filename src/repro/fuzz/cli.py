@@ -55,6 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-leg", action="store_true",
                         help="also exercise mid-program snapshot/restore "
                              "under one backend per seed (seed-rotated)")
+    parser.add_argument("--interrupt-leg", action="store_true",
+                        help="also run each program debugged beside a "
+                             "co-resident copy of itself under the "
+                             "preemptive kernel (seed-rotated backend)")
     parser.add_argument("--blocks", type=int, default=None,
                         help="body blocks per generated program")
     parser.add_argument("--store-density", type=float, default=None,
@@ -110,6 +114,7 @@ def main(argv: list[str] | None = None) -> int:
         shrink_failures=not args.no_shrink,
         shrink_checks=args.shrink_checks,
         checkpoint_leg=args.checkpoint_leg,
+        interrupt_leg=args.interrupt_leg,
         progress=args.progress,
     )
     if not args.quiet or not result.ok:

@@ -473,6 +473,71 @@ def checkpoint_leg(spec: ProgramSpec, backend_name: str,
     return report.divergences
 
 
+def interrupt_leg(spec: ProgramSpec, backend_name: str = "dise",
+                  config: Optional[MachineConfig] = None
+                  ) -> list[Divergence]:
+    """Multi-process interrupt determinism: table vs compiled.
+
+    The spec's program runs debugged as pid 1 with an undebugged copy
+    of *itself* spawned as a co-resident process, under the round-robin
+    kernel with a pinned preemption quantum sized so each process is
+    preempted several times.  Timer interrupts land at application-
+    instruction boundaries on every interpreter tier, so the two legs
+    must agree bit for bit on:
+
+    * the canonical stop sequence (all stops come from pid 1 — the
+      debug mechanism lives in its process context only);
+    * pid 1's final architectural state, which must also match a *solo*
+      debugged table run — preemption must be invisible to the
+      debugged program;
+    * the whole-machine ``state_fingerprint`` (covers every process)
+      and the kernel's context-switch/preemption/syscall counters.
+    """
+    from repro.fuzz.inject import applied_injection
+
+    probe = _run_undebugged(spec, config, "table")
+    if probe.error or not probe.halted:
+        return []  # the main matrix reports this failure
+    # Several preemptions per process, pinned across interpreters.
+    quantum = max(probe.stats["app_instructions"] // 8, 20)
+    budget = 2 * dynamic_budget(spec)
+
+    outcomes = []
+    for interp in ("table", "compiled"):
+        name = f"{backend_name}-mp/{interp}"
+        try:
+            with applied_injection(spec.inject, backend_name):
+                program = build_program(spec)
+                watchpoints, breakpoints = _build_points(spec)
+                backend = backend_class(backend_name)(
+                    program, watchpoints, breakpoints,
+                    _interp_config(config, interp), detailed_timing=False,
+                    processes=[build_program(spec)], quantum=quantum)
+                recorder = StopRecorder(backend)
+                run = backend.run(budget)
+            kernel = backend.kernel
+            target = kernel.process_state(1)
+            outcomes.append(RunOutcome(
+                name=name, halted=run.halted, stops=tuple(recorder.stops),
+                regs=tuple(target.regs[r] for r in COMPARE_REGS),
+                state=_final_state(spec, program, target.memory),
+                stats={"context_switches": kernel.context_switches,
+                       "preemptions": kernel.preemptions,
+                       "syscalls": kernel.syscalls},
+                fingerprint=backend.state_fingerprint()))
+        except Exception as exc:  # noqa: BLE001 - a crash IS the finding
+            outcomes.append(RunOutcome(name=name,
+                                       error=f"{type(exc).__name__}: {exc}"))
+    report = OracleReport(seed=spec.seed)
+    _compare(report, outcomes[0], outcomes[1], stats=True, stops=True)
+    # Preemption must not perturb the debugged process: pid 1's stops
+    # and final state match a solo debugged run (stats legitimately
+    # differ -- the neighbour's instructions are on the same machine).
+    solo = _run_backend(spec, backend_name, config, "table")
+    _compare(report, solo, outcomes[0], stats=False, stops=True)
+    return report.divergences
+
+
 def timeline_leg(spec: ProgramSpec, backend_name: str,
                  config: Optional[MachineConfig] = None,
                  interp: str = "table", *,
@@ -567,7 +632,8 @@ def timeline_leg(spec: ProgramSpec, backend_name: str,
 def run_differential(spec: ProgramSpec,
                      config: Optional[MachineConfig] = None,
                      backends: tuple[str, ...] = BACKENDS,
-                     checkpoint_backend: Optional[str] = None
+                     checkpoint_backend: Optional[str] = None,
+                     interrupt_backend: Optional[str] = None
                      ) -> OracleReport:
     """Run the full differential matrix for one spec.
 
@@ -577,7 +643,9 @@ def run_differential(spec: ProgramSpec,
 
     ``checkpoint_backend`` additionally runs the snapshot/restore
     :func:`checkpoint_leg` under the named backend on both
-    interpreters, folding its divergences into the report.
+    interpreters; ``interrupt_backend`` runs the multi-process
+    :func:`interrupt_leg` under the named backend.  Both fold their
+    divergences into the report.
     """
     report = OracleReport(seed=spec.seed)
 
@@ -632,4 +700,7 @@ def run_differential(spec: ProgramSpec,
             report.divergences.extend(
                 checkpoint_leg(spec, checkpoint_backend, config,
                                interp=interp))
+    if interrupt_backend is not None:
+        report.divergences.extend(
+            interrupt_leg(spec, interrupt_backend, config))
     return report

@@ -43,9 +43,9 @@ TargetType = Union[int, str, None]
 (H_ALU_LDA, H_ALU_MOV, H_ALU_IMM, H_ALU_REG, H_LOAD, H_STORE, H_BRANCH,
  H_JUMP_BR, H_JUMP_JSR, H_JUMP_RET, H_JUMP_JMP, H_TRAP, H_CTRAP,
  H_DISE_BRANCH, H_DISE_CALL, H_DISE_RET, H_DISE_MOVE, H_NOP, H_HALT,
- H_CODEWORD) = range(20)
+ H_CODEWORD, H_SYSCALL, H_ERET) = range(22)
 
-NUM_HANDLERS = 20
+NUM_HANDLERS = 22
 
 
 class Decoded:
@@ -165,6 +165,10 @@ class Instruction:
             d.handler_index = H_HALT
         elif opclass is OpClass.CODEWORD:
             d.handler_index = H_CODEWORD
+        elif opclass is OpClass.SYSCALL:
+            d.handler_index = H_SYSCALL
+        elif opclass is OpClass.ERET:
+            d.handler_index = H_ERET
         elif opclass is OpClass.DISE_BRANCH:
             d.handler_index = H_DISE_BRANCH
         elif opclass is OpClass.DISE_CALL:

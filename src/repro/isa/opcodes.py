@@ -29,6 +29,8 @@ class OpClass(IntEnum):
     DISE_CALL = 10  # d_call / d_ccall
     DISE_RET = 11
     DISE_MOVE = 12  # d_mfr / d_mtr
+    SYSCALL = 13  # trap into the kernel (cause CAUSE_SYSCALL)
+    ERET = 14  # return from a trap handler (kernel mode only)
 
 
 @unique
@@ -99,6 +101,8 @@ class Opcode(IntEnum):
     HALT = 58
     CTRAP = 59  # conditional trap: trap if rs1 != 0 (DISE-ISA extension)
     CODEWORD = 60  # reserved opcode; exists only to match a DISE pattern
+    SYSCALL = 61  # kernel trap; syscall number in r1 (see repro.kernel)
+    ERET = 62  # return from trap: pc = trap_epc, drop to user mode
 
     # DISE-only control (legal only inside replacement sequences).
     D_BEQ = 64  # skip imm replacement instructions if rs1 == 0
@@ -197,6 +201,8 @@ _INFO: dict[Opcode, OpInfo] = {
     Opcode.HALT: OpInfo("halt", OpClass.HALT, Format.MISC),
     Opcode.CTRAP: OpInfo("ctrap", OpClass.TRAP, Format.CTRAP, reads_rs1=True),
     Opcode.CODEWORD: OpInfo("codeword", OpClass.CODEWORD, Format.CODEWORD),
+    Opcode.SYSCALL: OpInfo("syscall", OpClass.SYSCALL, Format.MISC),
+    Opcode.ERET: OpInfo("eret", OpClass.ERET, Format.MISC),
     Opcode.D_BEQ: OpInfo("d_beq", OpClass.DISE_BRANCH, Format.DISE_BRANCH,
                          reads_rs1=True, dise_only=True),
     Opcode.D_BNE: OpInfo("d_bne", OpClass.DISE_BRANCH, Format.DISE_BRANCH,

@@ -62,6 +62,15 @@ class Tlb:
         self.hits = 0
         self.misses = 0
 
+    def flush(self) -> None:
+        """Drop all translations, keeping the counters.
+
+        This is a context switch, not a measurement reset: the incoming
+        process re-misses its working set and those misses count.
+        """
+        for ways in self._sets:
+            ways.clear()
+
     def snapshot(self) -> tuple:
         """Capture TLB contents and counters."""
         return ([list(ways) for ways in self._sets], self.hits, self.misses)

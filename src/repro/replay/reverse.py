@@ -35,10 +35,12 @@ class StopRecord:
     app_instructions: int
     pc: int
     fingerprint: str = ""  # architectural digest (when recording enabled)
+    process: str = ""  # which process the stop landed in (multi-process)
 
     def describe(self) -> str:
         """One-line human-readable summary of the stop."""
-        return (f"stop #{self.ordinal} at pc={self.pc:#x} "
+        where = f" in {self.process}" if self.process else ""
+        return (f"stop #{self.ordinal} at pc={self.pc:#x}{where} "
                 f"({self.app_instructions:,} instructions)")
 
 
@@ -81,7 +83,12 @@ class ReverseController:
                 app_instructions=machine.stats.app_instructions,
                 pc=machine.pc,
                 fingerprint=(machine.state_fingerprint()
-                             if self.record_fingerprints else "")))
+                             if self.record_fingerprints else ""),
+                # Name the stopped process only on multi-process
+                # machines, so single-process stop descriptions (and
+                # recorded golden transcripts) are unchanged.
+                process=(machine.current_process
+                         if machine._kernel is not None else "")))
         return result
 
     # -- backward execution ------------------------------------------------

@@ -41,6 +41,7 @@ deterministic replay would reproduce the identical answer.
 
 from __future__ import annotations
 
+import operator
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from typing import Optional
@@ -123,6 +124,10 @@ class QueryResult:
         if self.query == "value-at":
             return (f"{self.target} = {self.value} at instruction "
                     f"{self.app_instructions:,}.")
+        if self.query == "seek-until":
+            return (f"Condition {self.target} first holds at instruction "
+                    f"{self.app_instructions:,} "
+                    f"(value = {self.value}, pc={self.pc:#x}).")
         return f"{self.query}: {self.to_dict()}"
 
 
@@ -249,6 +254,93 @@ class TimelineQuery:
             old_value=_jsonable(event.old_value),
             state_fingerprint=fingerprint,
             windows_scanned=windows_scanned,
+            instructions_replayed=self._replayed - replayed_before)
+        if payload is not None:
+            self.cache.store(self.cache.key_for(payload), result,
+                             payload=payload)
+        return result
+
+    def seek_until(self, expression: str, cmp: str,
+                   value: int) -> QueryResult:
+        """Move the session to the first point in recorded history
+        where ``expression CMP value`` holds.
+
+        A predicate-directed seek: windows are scanned oldest-first
+        through the same memoized transition machinery as
+        :meth:`seek_transition`, and the scan stops at the first window
+        containing a satisfying value — on long traces only a prefix of
+        history is replayed.  Like ``seek-transition`` this relocates
+        the live machine (via :meth:`ReverseController.seek`, so stops
+        passed through are re-recorded).  If the predicate already
+        holds at the start of recorded history the session seeks there;
+        if it never holds, :class:`TimelineError`.
+        """
+        expr = self._transition_expression(expression)
+        predicate = _COMPARATORS.get(cmp)
+        if predicate is None:
+            raise TimelineError(
+                f"unknown comparator {cmp!r}; expected one of "
+                f"{', '.join(sorted(_COMPARATORS))}")
+        target = f"{expression} {cmp} {value}"
+        payload = None
+        if self.cache is not None:
+            payload = self._cache_payload("seek-until",
+                                          [expression, cmp, value])
+        cached = self._cache_load("seek-until", [expression, cmp, value])
+        replayed_before = self._replayed
+        windows_scanned = 0
+        if cached is not None:
+            landing = cached.app_instructions
+            landing_value = cached.value
+            landing_old = cached.old_value
+        else:
+            landing = None
+            landing_value = None
+            landing_old = None
+            with self._query_context():
+                genesis = self.controller.store.oldest
+                # Window extents must be computed before the baseline
+                # replay below rewinds the machine (history's end is
+                # the live position).
+                windows = self._windows()
+                # Already true at the start of recorded history?
+                self._replay(genesis, genesis.app_instructions)
+                start_value = expr.evaluate(self.backend.resolver,
+                                            self.machine.memory)
+                if predicate(start_value, value):
+                    landing = genesis.app_instructions
+                    landing_value = start_value
+                else:
+                    for checkpoint, end in windows:
+                        transitions = self._transitions_in(
+                            checkpoint, end, expression, expr)
+                        windows_scanned += 1
+                        hit = next((t for t in transitions
+                                    if predicate(t.new_value, value)), None)
+                        if hit is not None:
+                            landing = hit.app_instructions
+                            landing_value = hit.new_value
+                            landing_old = hit.old_value
+                            break
+            if landing is None:
+                raise TimelineError(
+                    f"{target} never holds in recorded history")
+        self.controller.seek(landing)
+        fingerprint = self.backend.state_fingerprint()
+        if cached is not None:
+            if (cached.state_fingerprint
+                    and cached.state_fingerprint != fingerprint):
+                raise ReplayDivergenceError(
+                    f"seek-until re-landed at {landing:,} with a "
+                    f"different state fingerprint than the cached answer "
+                    f"— recorded history no longer reproduces")
+            cached.from_cache = True
+            return cached
+        result = QueryResult(
+            "seek-until", target, True, app_instructions=landing,
+            pc=self.machine.pc, ordinal=landing,
+            value=_jsonable(landing_value), old_value=_jsonable(landing_old),
+            state_fingerprint=fingerprint, windows_scanned=windows_scanned,
             instructions_replayed=self._replayed - replayed_before)
         if payload is not None:
             self.cache.store(self.cache.key_for(payload), result,
@@ -558,6 +650,17 @@ class TimelineQuery:
         payload = self._cache_payload(query, args)
         self.cache.store(self.cache.key_for(payload), result,
                          payload=payload)
+
+
+#: Comparators accepted by :meth:`TimelineQuery.seek_until`.
+_COMPARATORS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
 
 
 def _jsonable(value):

@@ -53,7 +53,7 @@ BENCHMARK_BUDGET = 20_000
 FILE_WATCH = "progress"
 
 #: Named corpora :func:`resolve_corpus` knows how to build.
-CORPUS_NAMES = ("programs", "benchmarks", "generated", "full")
+CORPUS_NAMES = ("programs", "system", "benchmarks", "generated", "full")
 
 
 def programs_dir() -> Path:
@@ -288,6 +288,19 @@ def programs_corpus() -> Corpus:
     return Corpus("programs", tuple(file_entry(path) for path in paths))
 
 
+#: Workloads written against the kernel: syscall-driven cooperation
+#: and timer-preempted pure compute.  The multi-process conformance
+#: and overhead harnesses schedule these against each other.
+SYSTEM_PROGRAMS = ("yield", "preempt")
+
+
+def system_corpus() -> Corpus:
+    """The kernel-facing workloads (see :data:`SYSTEM_PROGRAMS`)."""
+    directory = programs_dir()
+    return Corpus("system", tuple(file_entry(directory / f"{name}.s")
+                                  for name in SYSTEM_PROGRAMS))
+
+
 def benchmark_corpus() -> Corpus:
     """The six named synthetic benchmarks as corpus entries."""
     return Corpus("benchmarks",
@@ -328,6 +341,8 @@ def resolve_corpus(corpus, *, size: int = 32, seed: int = 0) -> Corpus:
     if isinstance(corpus, str):
         if corpus == "programs":
             return programs_corpus()
+        if corpus == "system":
+            return system_corpus()
         if corpus == "benchmarks":
             return benchmark_corpus()
         if corpus == "generated":

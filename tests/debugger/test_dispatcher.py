@@ -22,7 +22,7 @@ def test_verbs_cover_the_repl_command_set():
         "watch", "break", "delete", "info", "backend", "run", "continue",
         "checkpoint", "rewind", "reverse-continue", "print", "x",
         "overhead", "last-write", "first-write", "seek-transition",
-        "value-at"}
+        "seek-until", "value-at"}
 
 
 def test_verb_table_is_generated_from_the_registry():

@@ -4,7 +4,8 @@ import pytest
 
 from repro.fuzz.generator import (Block, BodyOp, DebugPoint, ProgramSpec,
                                   generate_spec)
-from repro.fuzz.oracle import BACKENDS, Stop, _run_backend, run_differential
+from repro.fuzz.oracle import (BACKENDS, Stop, _run_backend, interrupt_leg,
+                               run_differential)
 
 
 def manual_spec(points, ops=None, iterations=2, epilogue=False):
@@ -88,8 +89,32 @@ def test_stop_describe_mentions_facts():
     assert "v0=0x10" in stop.describe()
 
 
+def test_interrupt_leg_is_clean_under_dise():
+    # Debugged beside a preempted copy of itself: table and compiled
+    # agree on stops, per-process state, and switch counts, and pid 1
+    # matches a solo debugged run.
+    spec = manual_spec([DebugPoint("watch", "v0")], iterations=3)
+    divergences = interrupt_leg(spec, "dise")
+    assert not divergences, divergences[0].describe()
+
+
+def test_interrupt_leg_folds_into_the_report():
+    report = run_differential(generate_spec(2), interrupt_backend="hardware")
+    assert report.ok, report.divergences[0].describe()
+
+
 @pytest.mark.slow
 def test_extended_seed_sweep_is_clean():
     for seed in range(300, 360):
         report = run_differential(generate_spec(seed))
         assert report.ok, (seed, report.divergences[0].describe())
+
+
+@pytest.mark.slow
+def test_interrupt_leg_sweep_all_backends():
+    for seed in range(500, 510):
+        spec = generate_spec(seed)
+        backend = BACKENDS[seed % len(BACKENDS)]
+        divergences = interrupt_leg(spec, backend)
+        assert not divergences, (seed, backend,
+                                 divergences[0].describe())

@@ -234,6 +234,7 @@ SCRIPT = [
     ("first-write", ["hot"], True),
     ("value-at", ["hot", "5"], True),
     ("seek-transition", ["hot", "2"], True),
+    ("seek-until", ["hot", ">=", "3"], True),
     ("rewind", ["1"], True),
     ("reverse-continue", [], True),
     ("print", ["hot"], True),
